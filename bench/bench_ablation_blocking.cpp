@@ -1,0 +1,52 @@
+// Ablation C — what host-thread blocking costs (Figure 4 quantified).
+//
+// Sweeps the computation:communication balance by shrinking the per-node
+// domain (more nodes on the GbE system => less compute per node, same halo)
+// and reports the communication time *exposed* beyond the ideal
+// compute-only runtime for the host-driven (hand-optimized) and
+// event-driven (clMPI) schedules. The difference isolates §III's problem
+// statement: the host thread being tied up in one stage's communication
+// delays the next stage's, even when its data is ready.
+#include <iostream>
+
+#include "apps/himeno/himeno.hpp"
+#include "bench_util.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace clmpi;
+  using apps::himeno::Config;
+  using apps::himeno::Variant;
+
+  const auto& prof = sys::cichlid();
+  std::cout << "Ablation C: exposed communication time per Himeno iteration on "
+            << prof.name << "\n\n";
+  Table t({"nodes", "compute-only [ms/it]", "hand exposed [ms/it]", "clMPI exposed [ms/it]",
+           "clMPI saves"});
+
+  for (int nodes : {1, 2, 4}) {
+    Config cfg = Config::size_m();
+    cfg.iterations = 6;
+
+    cfg.variant = Variant::hand_optimized;
+    const auto hand = benchutil::best_of(
+        3, [&] { return apps::himeno::run_cluster(prof, nodes, cfg); });
+    cfg.variant = Variant::clmpi;
+    const auto cl = benchutil::best_of(
+        3, [&] { return apps::himeno::run_cluster(prof, nodes, cfg); });
+
+    // Per-rank device busy time is the compute-only lower bound.
+    const double ideal = cl.compute_s / cfg.iterations * 1e3;
+    const double hand_exposed = hand.makespan_s / cfg.iterations * 1e3 - ideal;
+    const double cl_exposed = cl.makespan_s / cfg.iterations * 1e3 - ideal;
+    t.add_row({std::to_string(nodes), fmt(ideal, 3), fmt(hand_exposed, 3),
+               fmt(cl_exposed, 3),
+               fmt((hand_exposed - cl_exposed) / std::max(hand_exposed, 1e-9) * 100.0, 1) +
+                   " %"});
+  }
+  std::cout << t.str() << '\n';
+  std::cout << "Expected shape: exposure grows as nodes shrink the per-rank compute; the\n"
+               "clMPI schedule consistently exposes less, and the savings grow with the\n"
+               "imbalance (Figure 4(b) vs 4(c)).\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation D — "new hardware, zero code changes" (§VI).
+//
+// The paper argues clMPI lets applications "benefit from hardware
+// improvements without making any code change, or even without recompiling":
+// the transfer implementation is the runtime's business. Section II cites
+// the then-unreleased GPUDirect RDMA (CUDA 5 / Kepler + a compatible
+// InfiniBand HCA) as exactly such an improvement.
+//
+// This bench runs the *same* Himeno clMPI binary and the same p2p probe on
+// (a) the historical RICC profile and (b) a hypothetical RICC upgraded with
+// a GPUDirect-capable HCA. Only the system profile changes; the runtime's
+// selector discovers the direct path by itself.
+#include <iostream>
+
+#include "apps/himeno/himeno.hpp"
+#include "bench_util.hpp"
+#include "ocl/context.hpp"
+#include "ocl/platform.hpp"
+#include "simmpi/cluster.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "transfer/strategy.hpp"
+
+namespace {
+
+using namespace clmpi;
+
+sys::SystemProfile ricc_with_gpudirect() {
+  sys::SystemProfile p = sys::ricc();
+  p.name = "RICC+GPUDirect";
+  p.nic.name = "InfiniBand DDR (GPUDirect RDMA)";
+  p.nic.rdma_direct = true;
+  p.nic.rdma_setup = vt::microseconds(10.0);  // memory-registration cache hit
+  return p;
+}
+
+double p2p_ms(const sys::SystemProfile& prof, std::size_t size) {
+  double seconds = 0.0;
+  mpi::Cluster::Options opt;
+  opt.nranks = 2;
+  opt.profile = &prof;
+  mpi::Cluster::run(opt, [&](mpi::Rank& rank) {
+    ocl::Platform platform(prof, rank.rank(), nullptr);
+    ocl::Context ctx(platform.device());
+    ocl::BufferPtr buf = ctx.create_buffer(size);
+    const auto strategy = xfer::select(prof, size);
+    xfer::DeviceEndpoint ep{&rank.world(), &platform.device(), buf.get(), 0, size,
+                            1 - rank.rank(), 1};
+    if (rank.rank() == 0) {
+      (void)xfer::send_device(ep, strategy, rank.clock().now());
+    } else {
+      seconds = xfer::recv_device(ep, strategy, rank.clock().now()).s;
+    }
+  });
+  return seconds * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  using namespace clmpi;
+  const auto& base = sys::ricc();
+  const auto upgraded = ricc_with_gpudirect();
+
+  std::cout << "Ablation D: the same application on GPUDirect-capable hardware\n\n";
+  std::cout << "p2p device-to-device transfer, runtime-selected strategy [ms]:\n\n";
+  Table t({"message", base.name + " (picks)", upgraded.name + " (picks)", "speedup"});
+  for (std::size_t size : {768_KiB, 8_MiB, 64_MiB}) {
+    const double before = p2p_ms(base, size);
+    const double after = p2p_ms(upgraded, size);
+    t.add_row({format_bytes(size),
+               fmt(before, 2) + " (" + xfer::to_string(xfer::select(base, size).kind) + ")",
+               fmt(after, 2) + " (" + xfer::to_string(xfer::select(upgraded, size).kind) +
+                   ")",
+               fmt(before / after, 2) + "x"});
+  }
+  std::cout << t.str() << '\n';
+
+  std::cout << "Himeno M, clMPI implementation, unchanged application code [GFLOPS]:\n\n";
+  Table h({"nodes", base.name, upgraded.name, "gain"});
+  for (int nodes : {8, 16, 32}) {
+    apps::himeno::Config cfg = apps::himeno::Config::size_m();
+    cfg.iterations = 4;
+    cfg.variant = apps::himeno::Variant::clmpi;
+    const auto before = benchutil::best_of(
+        3, [&] { return apps::himeno::run_cluster(base, nodes, cfg); });
+    const auto after = benchutil::best_of(
+        3, [&] { return apps::himeno::run_cluster(upgraded, nodes, cfg); });
+    h.add_row({std::to_string(nodes), fmt(before.gflops, 2), fmt(after.gflops, 2),
+               fmt(after.gflops / before.gflops, 3) + "x"});
+  }
+  std::cout << h.str() << '\n';
+  std::cout << "Expected shape: the selector switches to gpudirect on the upgraded\n"
+               "profile; transfers shed their staging cost and the comm-bound Himeno\n"
+               "configurations gain — with zero application changes (paper §VI).\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 10 — nanopowder growth simulation on RICC: baseline (plain
+// MPI_Isend/MPI_Recv + clEnqueueWriteBuffer) vs clMPI (MPI_Isend with
+// MPI_CL_MEM + clEnqueueRecvBuffer), for node counts that divide the 40-cell
+// decomposition.
+//
+// Paper claims reproduced here:
+//  * the ~42 MB per-step coefficient distribution is exposed communication,
+//    so clMPI's pipelined path wins at every node count;
+//  * scaling is limited by the serial host phase and by rank 0's NIC
+//    serializing one coefficient message per peer, so performance degrades
+//    past ~5 nodes (the paper calls out the drop at 8).
+#include <iostream>
+
+#include "apps/nanopowder/nanopowder.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace clmpi;
+  const auto& prof = sys::ricc();
+
+  std::cout << "Figure 10: nanopowder simulation on " << prof.name
+            << " (42 MB coefficients/step, 40 cells)\n\n";
+  Table t({"nodes", "baseline [ms/step]", "clMPI [ms/step]", "speedup", "baseline rel. 1-node",
+           "clMPI rel. 1-node"});
+
+  double base1 = 0.0, cl1 = 0.0;
+  for (int nodes : {1, 2, 4, 5, 8, 10, 20, 40}) {
+    apps::nanopowder::Config cfg;  // paper scale: nbins=2290 -> 42 MB
+    cfg.steps = 1;  // one steady-state step; the metric is ms/step
+    cfg.use_clmpi = false;
+    const auto base = apps::nanopowder::run_cluster(prof, nodes, cfg);
+    cfg.use_clmpi = true;
+    const auto cl = apps::nanopowder::run_cluster(prof, nodes, cfg);
+    if (nodes == 1) {
+      base1 = base.seconds_per_step;
+      cl1 = cl.seconds_per_step;
+    }
+    t.add_row({std::to_string(nodes), fmt(base.seconds_per_step * 1e3, 2),
+               fmt(cl.seconds_per_step * 1e3, 2),
+               fmt(base.seconds_per_step / cl.seconds_per_step, 3),
+               fmt(base1 / base.seconds_per_step, 2), fmt(cl1 / cl.seconds_per_step, 2)});
+  }
+  std::cout << t.str() << '\n';
+  std::cout << "Expected shape: clMPI <= baseline at every node count (speedup > 1 once\n"
+               "the coefficient distribution is exposed); relative performance peaks\n"
+               "around 4-5 nodes and degrades by 8+ nodes as rank 0's serialized\n"
+               "coefficient sends dominate (paper: \"performance degrades when the\n"
+               "number of nodes is 8\").\n";
+  return 0;
+}

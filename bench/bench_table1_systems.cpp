@@ -1,0 +1,61 @@
+// Table I — system specifications of the two evaluation machines.
+//
+// Prints the descriptive inventory (the paper's Table I rows) plus the
+// calibrated quantitative model parameters each profile feeds into the
+// simulation, so a reader can audit every cost the other benches use.
+#include <iostream>
+
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "systems/profile.hpp"
+
+int main() {
+  using namespace clmpi;
+  const auto& a = sys::cichlid();
+  const auto& b = sys::ricc();
+
+  std::cout << "Table I: system specifications\n\n";
+  Table t({"", a.name, b.name});
+  t.add_row({"CPU", a.cpu.name, b.cpu.name});
+  t.add_row({"GPU", a.gpu.name, b.gpu.name});
+  t.add_row({"NIC", a.nic.name, b.nic.name});
+  t.add_row({"Nodes", std::to_string(a.max_nodes), std::to_string(b.max_nodes)});
+  t.add_row({"OS", a.os, b.os});
+  t.add_row({"Compiler", a.compiler, b.compiler});
+  t.add_row({"Driver Ver.", a.driver_version, b.driver_version});
+  t.add_row({"OpenCL", a.opencl_version, b.opencl_version});
+  t.add_row({"MPI", a.mpi_version, b.mpi_version});
+  std::cout << t.str() << '\n';
+
+  std::cout << "Calibrated model parameters (drive every other bench):\n\n";
+  auto us = [](vt::Duration d) { return fmt(d.s * 1e6, 1) + " us"; };
+  auto mbps = [](double bps) { return fmt(bps / 1e6, 0) + " MB/s"; };
+  Table m({"parameter", a.name, b.name});
+  m.add_row({"wire latency", us(a.nic.wire.latency), us(b.nic.wire.latency)});
+  m.add_row({"wire bandwidth", mbps(a.nic.wire.bytes_per_second),
+             mbps(b.nic.wire.bytes_per_second)});
+  m.add_row({"eager threshold", format_bytes(a.nic.eager_threshold),
+             format_bytes(b.nic.eager_threshold)});
+  m.add_row({"PCIe pinned", mbps(a.pcie.pinned.bytes_per_second),
+             mbps(b.pcie.pinned.bytes_per_second)});
+  m.add_row({"PCIe pageable", mbps(a.pcie.pageable.bytes_per_second),
+             mbps(b.pcie.pageable.bytes_per_second)});
+  m.add_row({"mapped access", mbps(a.pcie.mapped.bytes_per_second),
+             mbps(b.pcie.mapped.bytes_per_second)});
+  m.add_row({"pin setup", us(a.pcie.pin_setup), us(b.pcie.pin_setup)});
+  m.add_row({"map setup", us(a.pcie.map_setup), us(b.pcie.map_setup)});
+  m.add_row({"GPU stencil rate", fmt(a.gpu.stencil_flops / 1e9, 1) + " GF/s",
+             fmt(b.gpu.stencil_flops / 1e9, 1) + " GF/s"});
+  m.add_row({"GPU pair rate", fmt(a.gpu.pair_interactions_per_s / 1e9, 2) + " Gpair/s",
+             fmt(b.gpu.pair_interactions_per_s / 1e9, 2) + " Gpair/s"});
+  m.add_row({"host rate", fmt(a.cpu.host_flops / 1e9, 1) + " GF/s",
+             fmt(b.cpu.host_flops / 1e9, 1) + " GF/s"});
+  m.add_row({"small-msg preference",
+             a.small_preference == sys::SmallTransferPreference::mapped ? "mapped" : "pinned",
+             b.small_preference == sys::SmallTransferPreference::mapped ? "mapped"
+                                                                        : "pinned"});
+  m.add_row({"pipeline threshold", format_bytes(a.pipeline_threshold),
+             format_bytes(b.pipeline_threshold)});
+  std::cout << m.str();
+  return 0;
+}

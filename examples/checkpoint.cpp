@@ -1,0 +1,77 @@
+// Checkpoint/restart with the §VI extension commands: a cluster broadcasts
+// fresh parameters to every device (clEnqueueBcastBuffer built on the
+// MPI-3.0 non-blocking collectives), computes, and streams its state to
+// node-local storage (clEnqueueWriteFile) — all as enqueued commands chained
+// by events, with the host threads free throughout.
+//
+// Run:  ./examples/checkpoint
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "clmpi/runtime.hpp"
+#include "ocl/context.hpp"
+#include "ocl/platform.hpp"
+#include "ocl/queue.hpp"
+#include "simmpi/cluster.hpp"
+#include "support/units.hpp"
+
+int main() {
+  using namespace clmpi;
+  constexpr std::size_t kState = 8_MiB;
+
+  mpi::Cluster::Options options;
+  options.nranks = 4;
+  options.profile = &sys::ricc();
+
+  const auto result = mpi::Cluster::run(options, [&](mpi::Rank& rank) {
+    ocl::Platform platform(rank.profile(), rank.rank(), rank.tracer());
+    ocl::Context ctx(platform.device());
+    rt::Runtime runtime(rank, platform.device());
+    auto queue = ctx.create_queue();
+
+    // 1. Rank 0's device holds this step's parameters; broadcast them.
+    ocl::BufferPtr params = ctx.create_buffer(1_MiB, ocl::MemFlags::read_only, "params");
+    if (rank.rank() == 0) {
+      for (auto& v : params->as<float>()) v = 0.25f;
+    }
+    ocl::EventPtr got_params = runtime.enqueue_bcast_buffer(
+        *queue, params, /*blocking=*/false, 0, params->size(), /*root=*/0, rank.world(), {});
+
+    // 2. Compute this step's state once the parameters are in.
+    ocl::BufferPtr state = ctx.create_buffer(kState, ocl::MemFlags::read_write, "state");
+    ocl::Program prog;
+    prog.define(
+        "advance",
+        [](const ocl::NDRange& r, const ocl::KernelArgs& args) {
+          auto p = args.span_of<float>(0);
+          auto s = args.span_of<float>(1);
+          for (std::size_t i = 0; i < r.total() && i < s.size(); ++i) {
+            s[i] = p[i % p.size()] * static_cast<float>(i % 17);
+          }
+        },
+        ocl::flops_per_item(3.0));
+    auto kernel = prog.create_kernel("advance");
+    kernel->set_arg(0, params);
+    kernel->set_arg(1, state);
+    std::vector<ocl::EventPtr> after_params{got_params};
+    ocl::EventPtr computed = queue->enqueue_ndrange(
+        kernel, ocl::NDRange::linear(kState / sizeof(float)), after_params, rank.clock());
+
+    // 3. Checkpoint the state to node-local storage, gated on the kernel.
+    const std::string path =
+        "/tmp/clmpi_example_ckpt_rank" + std::to_string(rank.rank()) + ".bin";
+    std::vector<ocl::EventPtr> after_compute{computed};
+    runtime.enqueue_write_file(*queue, state, false, 0, kState, path, after_compute);
+
+    std::printf("[rank %d] broadcast+compute+checkpoint enqueued at %.3f ms (host free)\n",
+                rank.rank(), rank.now_s() * 1e3);
+    runtime.finish(rank.clock());
+    queue->finish(rank.clock());
+    std::printf("[rank %d] checkpoint durable at %.2f ms virtual time -> %s\n", rank.rank(),
+                rank.now_s() * 1e3, path.c_str());
+  });
+
+  std::printf("makespan: %.2f ms of virtual time\n", result.makespan_s * 1e3);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Overlapping stencil: the paper's Figure 6 pattern distilled.
+//
+// Four ranks run a 1-D ring of iterations where each iteration launches a
+// kernel and exchanges a boundary block with the right neighbour. All
+// dependencies are expressed with events; the host thread enqueues the whole
+// loop without a single wait and synchronizes once at the end. The printed
+// Gantt chart shows communication (=) sliding under compute (#).
+//
+// Run:  ./examples/halo_exchange
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "clmpi/runtime.hpp"
+#include "ocl/context.hpp"
+#include "ocl/platform.hpp"
+#include "ocl/queue.hpp"
+#include "simmpi/cluster.hpp"
+#include "support/units.hpp"
+#include "vt/tracer.hpp"
+
+int main() {
+  using namespace clmpi;
+  constexpr int kIterations = 4;
+  constexpr std::size_t kBlock = 2_MiB;
+
+  vt::Tracer tracer;
+  mpi::Cluster::Options options;
+  options.nranks = 4;
+  options.profile = &sys::ricc();
+  options.tracer = &tracer;
+
+  const auto result = mpi::Cluster::run(options, [](mpi::Rank& rank) {
+    ocl::Platform platform(rank.profile(), rank.rank(), rank.tracer());
+    ocl::Context ctx(platform.device());
+    rt::Runtime clmpi_rt(rank, platform.device());
+    auto q_compute = ctx.create_queue("compute");
+    auto q_comm = ctx.create_queue("comm");
+
+    ocl::BufferPtr field = ctx.create_buffer(kBlock * 2, ocl::MemFlags::read_write, "field");
+    ocl::Program prog;
+    prog.define(
+        "relax",
+        [](const ocl::NDRange& r, const ocl::KernelArgs& args) {
+          auto data = args.span_of<float>(0);
+          for (std::size_t i = 1; i < r.total() && i < data.size(); ++i) {
+            data[i - 1] = 0.5f * (data[i - 1] + data[i]);
+          }
+        },
+        ocl::flops_per_item(2.0));
+    auto kernel = prog.create_kernel("relax");
+    kernel->set_arg(0, field);
+
+    const int right = (rank.rank() + 1) % rank.size();
+    const int left = (rank.rank() + rank.size() - 1) % rank.size();
+
+    ocl::EventPtr k_prev, recv_prev, send_prev;
+    std::vector<ocl::EventPtr> waits;
+    for (int it = 0; it < kIterations; ++it) {
+      // Kernel for this iteration: needs last iteration's received halo.
+      waits.clear();
+      if (recv_prev) waits.push_back(recv_prev);
+      if (send_prev) waits.push_back(send_prev);  // don't overwrite in-flight data
+      ocl::EventPtr k = q_compute->enqueue_ndrange(
+          kernel, ocl::NDRange::linear(kBlock / sizeof(float)), waits, rank.clock());
+
+      // Send our fresh boundary right, receive the next halo from the left.
+      waits.assign({k});
+      send_prev = clmpi_rt.enqueue_send_buffer(*q_comm, field, false, 0, kBlock, right, it,
+                                               rank.world(), waits);
+      waits.clear();
+      if (k_prev) waits.push_back(k_prev);
+      recv_prev = clmpi_rt.enqueue_recv_buffer(*q_comm, field, false, kBlock, kBlock, left,
+                                               it, rank.world(), waits);
+      k_prev = k;
+    }
+    // The one and only host synchronization point (Figure 6's clFinish).
+    q_compute->finish(rank.clock());
+    clmpi_rt.finish(rank.clock());
+  });
+
+  std::printf("4 ranks, %d overlapped iterations: makespan %.3f ms\n\n", kIterations,
+              result.makespan_s * 1e3);
+  std::cout << tracer.gantt(100);
+  return 0;
+}

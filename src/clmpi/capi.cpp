@@ -1,0 +1,426 @@
+#include "clmpi/capi.h"
+
+#include <vector>
+
+#include "support/error.hpp"
+
+// Handle definitions ---------------------------------------------------------
+
+struct _cl_context {
+  clmpi::ocl::Context* ctx;
+};
+
+struct _cl_command_queue {
+  std::unique_ptr<clmpi::ocl::CommandQueue> queue;
+};
+
+struct _cl_mem {
+  clmpi::ocl::BufferPtr buf;
+};
+
+struct _cl_event {
+  clmpi::ocl::EventPtr ev;
+  int refs;
+};
+
+namespace clmpi::capi {
+namespace {
+
+struct Binding {
+  mpi::Rank* rank{nullptr};
+  rt::Runtime* runtime{nullptr};
+};
+
+thread_local Binding t_binding;
+
+Binding& binding() {
+  CLMPI_REQUIRE(t_binding.rank != nullptr,
+                "no ThreadBinding active on this thread; construct one first");
+  return t_binding;
+}
+
+std::vector<ocl::EventPtr> to_waitlist(cl_uint numevts, const cl_event* wlist) {
+  CLMPI_REQUIRE((numevts == 0) == (wlist == nullptr),
+                "wait list pointer and count disagree");
+  std::vector<ocl::EventPtr> waits;
+  waits.reserve(numevts);
+  for (cl_uint i = 0; i < numevts; ++i) {
+    CLMPI_REQUIRE(wlist[i] != nullptr, "null event in wait list");
+    waits.push_back(wlist[i]->ev);
+  }
+  return waits;
+}
+
+void return_event(cl_event* evtret, ocl::EventPtr ev) {
+  if (evtret != nullptr) *evtret = new _cl_event{std::move(ev), 1};
+}
+
+/// Run `body`, translating exceptions into OpenCL status codes.
+template <typename Fn>
+cl_int guarded(Fn&& body) {
+  try {
+    body();
+    return CL_SUCCESS;
+  } catch (const Error& e) {
+    return static_cast<cl_int>(e.status());
+  } catch (...) {
+    return CL_INVALID_OPERATION;
+  }
+}
+
+}  // namespace
+
+ThreadBinding::ThreadBinding(mpi::Rank& rank, rt::Runtime& runtime) {
+  CLMPI_REQUIRE(t_binding.rank == nullptr, "thread already has an active binding");
+  t_binding = Binding{&rank, &runtime};
+}
+
+ThreadBinding::~ThreadBinding() { t_binding = Binding{}; }
+
+MPI_Comm comm_world() { return &binding().rank->world(); }
+
+mpi::Rank& bound_rank() { return *binding().rank; }
+
+std::size_t datatype_size(MPI_Datatype dt) {
+  switch (dt) {
+    case MPI_BYTE: return 1;
+    case MPI_INT: return sizeof(int);
+    case MPI_FLOAT: return sizeof(float);
+    case MPI_DOUBLE: return sizeof(double);
+    case MPI_CL_MEM: return 1;
+  }
+  throw PreconditionError("unknown MPI datatype");
+}
+
+}  // namespace clmpi::capi
+
+namespace {
+
+clmpi::mpi::Rank& rank_ctx() { return clmpi::capi::bound_rank(); }
+
+clmpi::rt::Runtime& runtime_ctx();
+
+}  // namespace
+
+// A second accessor inside the capi namespace keeps the thread-local private.
+namespace clmpi::capi {
+rt::Runtime& bound_runtime();
+rt::Runtime& bound_runtime() { return *binding().runtime; }
+}  // namespace clmpi::capi
+
+namespace {
+clmpi::rt::Runtime& runtime_ctx() { return clmpi::capi::bound_runtime(); }
+}  // namespace
+
+// OpenCL core subset ----------------------------------------------------------
+
+cl_context clmpiCreateContext(clmpi::ocl::Context& cxx_context) {
+  return new _cl_context{&cxx_context};
+}
+
+cl_int clReleaseContext(cl_context context) {
+  if (context == nullptr) return CL_INVALID_CONTEXT;
+  delete context;
+  return CL_SUCCESS;
+}
+
+cl_command_queue clCreateCommandQueue(cl_context context, cl_int* errcode_ret) {
+  if (context == nullptr) {
+    if (errcode_ret != nullptr) *errcode_ret = CL_INVALID_CONTEXT;
+    return nullptr;
+  }
+  auto* handle = new _cl_command_queue{context->ctx->create_queue()};
+  if (errcode_ret != nullptr) *errcode_ret = CL_SUCCESS;
+  return handle;
+}
+
+cl_int clReleaseCommandQueue(cl_command_queue queue) {
+  if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  delete queue;  // the queue destructor drains pending commands
+  return CL_SUCCESS;
+}
+
+cl_mem clCreateBuffer(cl_context context, std::size_t size, cl_int* errcode_ret) {
+  if (context == nullptr) {
+    if (errcode_ret != nullptr) *errcode_ret = CL_INVALID_CONTEXT;
+    return nullptr;
+  }
+  cl_mem handle = nullptr;
+  const cl_int status = clmpi::capi::guarded([&] {
+    handle = new _cl_mem{context->ctx->create_buffer(size)};
+  });
+  if (errcode_ret != nullptr) *errcode_ret = status;
+  return handle;
+}
+
+cl_int clReleaseMemObject(cl_mem mem) {
+  if (mem == nullptr) return CL_INVALID_MEM_OBJECT;
+  delete mem;
+  return CL_SUCCESS;
+}
+
+clmpi::ocl::BufferPtr clmpiGetBuffer(cl_mem mem) {
+  CLMPI_REQUIRE(mem != nullptr, "null cl_mem handle");
+  return mem->buf;
+}
+
+clmpi::ocl::CommandQueue& clmpiGetQueue(cl_command_queue queue) {
+  CLMPI_REQUIRE(queue != nullptr, "null cl_command_queue handle");
+  return *queue->queue;
+}
+
+cl_int clEnqueueReadBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                           std::size_t offset, std::size_t size, void* hbuf,
+                           cl_uint numevts, const cl_event* wlist, cl_event* evtret) {
+  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  return clmpi::capi::guarded([&] {
+    const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
+    auto ev = cmd->queue->enqueue_read_buffer(buf->buf, blocking == CL_TRUE, offset, size,
+                                              hbuf, waits, rank_ctx().clock());
+    clmpi::capi::return_event(evtret, std::move(ev));
+  });
+}
+
+cl_int clEnqueueWriteBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                            std::size_t offset, std::size_t size, const void* hbuf,
+                            cl_uint numevts, const cl_event* wlist, cl_event* evtret) {
+  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  return clmpi::capi::guarded([&] {
+    const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
+    auto ev = cmd->queue->enqueue_write_buffer(buf->buf, blocking == CL_TRUE, offset, size,
+                                               hbuf, waits, rank_ctx().clock());
+    clmpi::capi::return_event(evtret, std::move(ev));
+  });
+}
+
+void* clEnqueueMapBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                         std::size_t offset, std::size_t size, cl_uint numevts,
+                         const cl_event* wlist, cl_event* evtret, cl_int* errcode_ret) {
+  void* ptr = nullptr;
+  const cl_int status = clmpi::capi::guarded([&] {
+    CLMPI_REQUIRE(cmd != nullptr, "null command queue");
+    CLMPI_REQUIRE(buf != nullptr, "null buffer");
+    const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
+    auto mapping = cmd->queue->enqueue_map_buffer(buf->buf, blocking == CL_TRUE, offset,
+                                                  size, waits, rank_ctx().clock());
+    ptr = mapping.ptr;
+    clmpi::capi::return_event(evtret, std::move(mapping.event));
+  });
+  if (errcode_ret != nullptr) *errcode_ret = status;
+  return ptr;
+}
+
+cl_int clEnqueueUnmapMemObject(cl_command_queue cmd, cl_mem buf, void* mapped_ptr,
+                               cl_uint numevts, const cl_event* wlist, cl_event* evtret) {
+  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  return clmpi::capi::guarded([&] {
+    const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
+    auto ev = cmd->queue->enqueue_unmap(buf->buf, static_cast<std::byte*>(mapped_ptr),
+                                        waits, rank_ctx().clock());
+    clmpi::capi::return_event(evtret, std::move(ev));
+  });
+}
+
+cl_int clEnqueueNDRangeKernel(cl_command_queue cmd, const clmpi::ocl::KernelPtr& kernel,
+                              const clmpi::ocl::NDRange& range, cl_uint numevts,
+                              const cl_event* wlist, cl_event* evtret) {
+  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  return clmpi::capi::guarded([&] {
+    const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
+    auto ev = cmd->queue->enqueue_ndrange(kernel, range, waits, rank_ctx().clock());
+    clmpi::capi::return_event(evtret, std::move(ev));
+  });
+}
+
+cl_int clFinish(cl_command_queue cmd) {
+  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  return clmpi::capi::guarded([&] { cmd->queue->finish(rank_ctx().clock()); });
+}
+
+cl_int clWaitForEvents(cl_uint num_events, const cl_event* event_list) {
+  return clmpi::capi::guarded([&] {
+    const auto waits = clmpi::capi::to_waitlist(num_events, event_list);
+    for (const auto& ev : waits) ev->wait(rank_ctx().clock());
+  });
+}
+
+cl_int clRetainEvent(cl_event event) {
+  if (event == nullptr) return CL_INVALID_VALUE;
+  ++event->refs;
+  return CL_SUCCESS;
+}
+
+cl_int clReleaseEvent(cl_event event) {
+  if (event == nullptr) return CL_INVALID_VALUE;
+  if (--event->refs == 0) delete event;
+  return CL_SUCCESS;
+}
+
+// The clMPI extension ---------------------------------------------------------
+
+cl_int clEnqueueSendBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                           std::size_t offset, std::size_t size, int dst, int tag,
+                           MPI_Comm comm, cl_uint numevts, const cl_event* wlist,
+                           cl_event* evtret) {
+  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  return clmpi::capi::guarded([&] {
+    const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
+    auto ev = runtime_ctx().enqueue_send_buffer(*cmd->queue, buf->buf, blocking == CL_TRUE,
+                                                offset, size, dst, tag, *comm, waits);
+    clmpi::capi::return_event(evtret, std::move(ev));
+  });
+}
+
+cl_int clEnqueueRecvBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                           std::size_t offset, std::size_t size, int src, int tag,
+                           MPI_Comm comm, cl_uint numevts, const cl_event* wlist,
+                           cl_event* evtret) {
+  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  return clmpi::capi::guarded([&] {
+    const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
+    auto ev = runtime_ctx().enqueue_recv_buffer(*cmd->queue, buf->buf, blocking == CL_TRUE,
+                                                offset, size, src, tag, *comm, waits);
+    clmpi::capi::return_event(evtret, std::move(ev));
+  });
+}
+
+cl_event clCreateEventFromMPIRequest(cl_context /*context*/, MPI_Request* request,
+                                     cl_int* errcode_ret) {
+  cl_event handle = nullptr;
+  const cl_int status = clmpi::capi::guarded([&] {
+    CLMPI_REQUIRE(request != nullptr && request->valid(), "invalid MPI request");
+    handle = new _cl_event{runtime_ctx().event_from_request(*request), 1};
+  });
+  if (errcode_ret != nullptr) *errcode_ret = status;
+  return handle;
+}
+
+cl_int clEnqueueBcastBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                            std::size_t offset, std::size_t size, int root, MPI_Comm comm,
+                            cl_uint numevts, const cl_event* wlist, cl_event* evtret) {
+  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  return clmpi::capi::guarded([&] {
+    const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
+    auto ev = runtime_ctx().enqueue_bcast_buffer(*cmd->queue, buf->buf, blocking == CL_TRUE,
+                                                 offset, size, root, *comm, waits);
+    clmpi::capi::return_event(evtret, std::move(ev));
+  });
+}
+
+cl_int clEnqueueWriteFile(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                          std::size_t offset, std::size_t size, const char* path,
+                          cl_uint numevts, const cl_event* wlist, cl_event* evtret) {
+  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (path == nullptr) return CL_INVALID_VALUE;
+  return clmpi::capi::guarded([&] {
+    const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
+    auto ev = runtime_ctx().enqueue_write_file(*cmd->queue, buf->buf, blocking == CL_TRUE,
+                                               offset, size, path, waits);
+    clmpi::capi::return_event(evtret, std::move(ev));
+  });
+}
+
+cl_int clEnqueueReadFile(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                         std::size_t offset, std::size_t size, const char* path,
+                         cl_uint numevts, const cl_event* wlist, cl_event* evtret) {
+  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (path == nullptr) return CL_INVALID_VALUE;
+  return clmpi::capi::guarded([&] {
+    const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
+    auto ev = runtime_ctx().enqueue_read_file(*cmd->queue, buf->buf, blocking == CL_TRUE,
+                                              offset, size, path, waits);
+    clmpi::capi::return_event(evtret, std::move(ev));
+  });
+}
+
+// MPI subset --------------------------------------------------------------------
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank) {
+  *rank = comm->rank();
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_size(MPI_Comm comm, int* size) {
+  *size = comm->size();
+  return MPI_SUCCESS;
+}
+
+namespace {
+
+std::span<const std::byte> send_span(const void* buf, int count, MPI_Datatype dt) {
+  const std::size_t bytes = static_cast<std::size_t>(count) * clmpi::capi::datatype_size(dt);
+  return {static_cast<const std::byte*>(buf), bytes};
+}
+
+std::span<std::byte> recv_span(void* buf, int count, MPI_Datatype dt) {
+  const std::size_t bytes = static_cast<std::size_t>(count) * clmpi::capi::datatype_size(dt);
+  return {static_cast<std::byte*>(buf), bytes};
+}
+
+}  // namespace
+
+int MPI_Isend(const void* buf, int count, MPI_Datatype dt, int dest, int tag, MPI_Comm comm,
+              MPI_Request* request) {
+  if (dt == MPI_CL_MEM) {
+    *request = runtime_ctx().isend_cl_mem(send_span(buf, count, dt), dest, tag, *comm);
+  } else {
+    *request = comm->isend(send_span(buf, count, dt), dest, tag, rank_ctx().clock());
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Irecv(void* buf, int count, MPI_Datatype dt, int source, int tag, MPI_Comm comm,
+              MPI_Request* request) {
+  if (dt == MPI_CL_MEM) {
+    *request = runtime_ctx().irecv_cl_mem(recv_span(buf, count, dt), source, tag, *comm);
+  } else {
+    *request = comm->irecv(recv_span(buf, count, dt), source, tag, rank_ctx().clock());
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Send(const void* buf, int count, MPI_Datatype dt, int dest, int tag, MPI_Comm comm) {
+  MPI_Request req;
+  MPI_Isend(buf, count, dt, dest, tag, comm, &req);
+  return MPI_Wait(&req);
+}
+
+int MPI_Recv(void* buf, int count, MPI_Datatype dt, int source, int tag, MPI_Comm comm) {
+  MPI_Request req;
+  MPI_Irecv(buf, count, dt, source, tag, comm, &req);
+  return MPI_Wait(&req);
+}
+
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, int dest,
+                 int sendtag, void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                 int source, int recvtag, MPI_Comm comm) {
+  MPI_Request rreq;
+  MPI_Irecv(recvbuf, recvcount, recvtype, source, recvtag, comm, &rreq);
+  MPI_Request sreq;
+  MPI_Isend(sendbuf, sendcount, sendtype, dest, sendtag, comm, &sreq);
+  MPI_Wait(&sreq);
+  return MPI_Wait(&rreq);
+}
+
+int MPI_Wait(MPI_Request* request) {
+  request->wait(rank_ctx().clock());
+  return MPI_SUCCESS;
+}
+
+int MPI_Waitall(int count, MPI_Request* requests) {
+  for (int i = 0; i < count; ++i) requests[i].wait(rank_ctx().clock());
+  return MPI_SUCCESS;
+}
+
+int MPI_Barrier(MPI_Comm comm) {
+  comm->barrier(rank_ctx().clock());
+  return MPI_SUCCESS;
+}

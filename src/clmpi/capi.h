@@ -1,0 +1,178 @@
+// C-style API layer mirroring the paper's function signatures.
+//
+// The paper presents clMPI as an OpenCL extension with C entry points
+// (clEnqueueSendBuffer, clEnqueueRecvBuffer, clCreateEventFromMPIRequest)
+// plus MPI wrappers accepting the MPI_CL_MEM datatype. This header exposes
+// that exact surface on top of the C++ core, so the paper's code listings
+// (Figures 1, 5, 6 and 7) port with only mechanical changes. Consumers are
+// C++ translation units; handles are opaque pointers with OpenCL-style
+// retain/release lifetimes.
+//
+// Threading model: each MPI rank binds its thread once via
+// clmpi::capi::ThreadBinding; all C API calls on that thread then resolve
+// the rank's clock, world communicator and clMPI runtime through the
+// binding (this stands in for the per-process globals of a real MPI+OpenCL
+// stack).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "clmpi/runtime.hpp"
+#include "ocl/context.hpp"
+#include "ocl/queue.hpp"
+#include "simmpi/cluster.hpp"
+
+// --- scalar types and constants (OpenCL naming) -----------------------------
+
+using cl_int = std::int32_t;
+using cl_uint = std::uint32_t;
+using cl_bool = std::uint32_t;
+
+inline constexpr cl_bool CL_TRUE = 1;
+inline constexpr cl_bool CL_FALSE = 0;
+inline constexpr cl_int CL_SUCCESS = 0;
+inline constexpr cl_int CL_INVALID_VALUE = -30;
+inline constexpr cl_int CL_INVALID_EVENT_WAIT_LIST = -57;
+inline constexpr cl_int CL_INVALID_COMMAND_QUEUE = -36;
+inline constexpr cl_int CL_INVALID_CONTEXT = -34;
+inline constexpr cl_int CL_INVALID_MEM_OBJECT = -38;
+inline constexpr cl_int CL_INVALID_OPERATION = -59;
+
+// --- opaque handles ----------------------------------------------------------
+
+struct _cl_context;
+struct _cl_command_queue;
+struct _cl_mem;
+struct _cl_event;
+using cl_context = _cl_context*;
+using cl_command_queue = _cl_command_queue*;
+using cl_mem = _cl_mem*;
+using cl_event = _cl_event*;
+
+// --- MPI surface --------------------------------------------------------------
+
+using MPI_Comm = clmpi::mpi::Comm*;
+using MPI_Request = clmpi::mpi::Request;
+
+enum MPI_Datatype : int {
+  MPI_BYTE = 0,
+  MPI_INT,
+  MPI_FLOAT,
+  MPI_DOUBLE,
+  /// clMPI extension (§IV-C): the peer endpoint is a communicator device.
+  MPI_CL_MEM,
+};
+
+inline constexpr int MPI_SUCCESS = 0;
+
+/// Resolves to the calling thread's world communicator (see ThreadBinding).
+#define MPI_COMM_WORLD (::clmpi::capi::comm_world())
+
+namespace clmpi::capi {
+
+/// RAII thread binding: construct at the top of a rank's body, before any C
+/// API call on that thread.
+class ThreadBinding {
+ public:
+  ThreadBinding(mpi::Rank& rank, rt::Runtime& runtime);
+  ~ThreadBinding();
+
+  ThreadBinding(const ThreadBinding&) = delete;
+  ThreadBinding& operator=(const ThreadBinding&) = delete;
+};
+
+/// The bound thread's MPI_COMM_WORLD.
+MPI_Comm comm_world();
+
+/// The bound thread's rank context (clock access for hand-written hosts).
+mpi::Rank& bound_rank();
+
+/// Element size of a datatype in bytes (MPI_CL_MEM counts raw bytes).
+std::size_t datatype_size(MPI_Datatype dt);
+
+}  // namespace clmpi::capi
+
+// --- OpenCL core subset ---------------------------------------------------------
+
+/// Create a context for the bound rank's communicator device.
+cl_context clmpiCreateContext(clmpi::ocl::Context& cxx_context);
+cl_int clReleaseContext(cl_context context);
+
+cl_command_queue clCreateCommandQueue(cl_context context, cl_int* errcode_ret);
+cl_int clReleaseCommandQueue(cl_command_queue queue);
+
+cl_mem clCreateBuffer(cl_context context, std::size_t size, cl_int* errcode_ret);
+cl_int clReleaseMemObject(cl_mem mem);
+
+/// Runtime-internal escape hatch: the C++ buffer behind a handle (examples
+/// use it to initialize device data through kernels or typed views).
+clmpi::ocl::BufferPtr clmpiGetBuffer(cl_mem mem);
+clmpi::ocl::CommandQueue& clmpiGetQueue(cl_command_queue queue);
+
+cl_int clEnqueueReadBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                           std::size_t offset, std::size_t size, void* hbuf,
+                           cl_uint numevts, const cl_event* wlist, cl_event* evtret);
+cl_int clEnqueueWriteBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                            std::size_t offset, std::size_t size, const void* hbuf,
+                            cl_uint numevts, const cl_event* wlist, cl_event* evtret);
+void* clEnqueueMapBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                         std::size_t offset, std::size_t size, cl_uint numevts,
+                         const cl_event* wlist, cl_event* evtret, cl_int* errcode_ret);
+cl_int clEnqueueUnmapMemObject(cl_command_queue cmd, cl_mem buf, void* mapped_ptr,
+                               cl_uint numevts, const cl_event* wlist, cl_event* evtret);
+
+/// Launch a kernel instance (argument bindings set through the C++ handle).
+cl_int clEnqueueNDRangeKernel(cl_command_queue cmd, const clmpi::ocl::KernelPtr& kernel,
+                              const clmpi::ocl::NDRange& range, cl_uint numevts,
+                              const cl_event* wlist, cl_event* evtret);
+
+cl_int clFinish(cl_command_queue cmd);
+cl_int clWaitForEvents(cl_uint num_events, const cl_event* event_list);
+cl_int clReleaseEvent(cl_event event);
+cl_int clRetainEvent(cl_event event);
+
+// --- the clMPI extension (§IV-A, §IV-C) -------------------------------------------
+
+cl_int clEnqueueSendBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                           std::size_t offset, std::size_t size, int dst, int tag,
+                           MPI_Comm comm, cl_uint numevts, const cl_event* wlist,
+                           cl_event* evtret);
+cl_int clEnqueueRecvBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                           std::size_t offset, std::size_t size, int src, int tag,
+                           MPI_Comm comm, cl_uint numevts, const cl_event* wlist,
+                           cl_event* evtret);
+cl_event clCreateEventFromMPIRequest(cl_context context, MPI_Request* request,
+                                     cl_int* errcode_ret);
+
+/// Collective device-buffer broadcast (§IV-C/§VI extension): every rank of
+/// `comm` must call it, in the same order.
+cl_int clEnqueueBcastBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                            std::size_t offset, std::size_t size, int root, MPI_Comm comm,
+                            cl_uint numevts, const cl_event* wlist, cl_event* evtret);
+
+/// File-I/O commands (§VI extension): stage a device buffer to/from node
+/// storage as ordinary enqueued commands.
+cl_int clEnqueueWriteFile(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                          std::size_t offset, std::size_t size, const char* path,
+                          cl_uint numevts, const cl_event* wlist, cl_event* evtret);
+cl_int clEnqueueReadFile(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                         std::size_t offset, std::size_t size, const char* path,
+                         cl_uint numevts, const cl_event* wlist, cl_event* evtret);
+
+// --- MPI subset (wrappers honouring MPI_CL_MEM) --------------------------------------
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank);
+int MPI_Comm_size(MPI_Comm comm, int* size);
+int MPI_Isend(const void* buf, int count, MPI_Datatype dt, int dest, int tag, MPI_Comm comm,
+              MPI_Request* request);
+int MPI_Irecv(void* buf, int count, MPI_Datatype dt, int source, int tag, MPI_Comm comm,
+              MPI_Request* request);
+int MPI_Send(const void* buf, int count, MPI_Datatype dt, int dest, int tag, MPI_Comm comm);
+int MPI_Recv(void* buf, int count, MPI_Datatype dt, int source, int tag, MPI_Comm comm);
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, int dest,
+                 int sendtag, void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                 int source, int recvtag, MPI_Comm comm);
+int MPI_Wait(MPI_Request* request);
+int MPI_Waitall(int count, MPI_Request* requests);
+int MPI_Barrier(MPI_Comm comm);

@@ -1,0 +1,362 @@
+#include "clmpi/runtime.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "simmpi/datatype.hpp"
+#include "support/log.hpp"
+#include "transfer/async.hpp"
+#include "support/error.hpp"
+
+namespace clmpi::rt {
+
+namespace {
+
+/// Build a request that completes when all of `subs` have, at the latest of
+/// their completion times. This is how MPI_CL_MEM operations present a
+/// pipelined wire decomposition as a single MPI_Request to the caller.
+mpi::Request aggregate_requests(std::vector<mpi::Request> subs, const mpi::MsgStatus& st) {
+  CLMPI_REQUIRE(!subs.empty(), "aggregate of zero requests");
+  auto state = std::make_shared<mpi::detail::RequestState>();
+
+  struct Progress {
+    std::mutex mutex;
+    std::size_t remaining;
+    vt::TimePoint latest;
+  };
+  auto progress = std::make_shared<Progress>();
+  progress->remaining = subs.size();
+
+  for (mpi::Request& sub : subs) {
+    sub.on_complete([state, progress, st](vt::TimePoint when, const mpi::MsgStatus&) {
+      bool last = false;
+      vt::TimePoint latest;
+      {
+        std::lock_guard lock(progress->mutex);
+        progress->latest = vt::max(progress->latest, when);
+        latest = progress->latest;
+        last = (--progress->remaining == 0);
+      }
+      if (last) state->complete(latest, st);
+    });
+  }
+  return mpi::Request(std::move(state));
+}
+
+}  // namespace
+
+Runtime::Runtime(mpi::Rank& rank, ocl::Device& device, xfer::SelectionMode selection)
+    : rank_(&rank),
+      device_(&device),
+      selection_(selection),
+      disk_("disk" + std::to_string(rank.rank())) {
+  CLMPI_REQUIRE(device.node() == rank.rank(),
+                "the communicator device must live on the rank's node");
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+Runtime::~Runtime() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+  // Posted transfers reference application buffers; make sure they are all
+  // done before the runtime (and with it, typically, those buffers) goes.
+  // Failed commands already carry their exception to whoever waits on their
+  // event; the destructor must not throw.
+  for (const auto& ev : issued_) {
+    try {
+      ev->wait();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+}
+
+void Runtime::dispatcher_loop() {
+  log::set_thread_label("clmpi-comm" + std::to_string(rank_->rank()));
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return shutdown_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // shutdown with a drained queue
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    // Release the command once its wait list fires (§IV-B): commands are
+    // released in enqueue order, which preserves MPI tag-matching order.
+    vt::TimePoint ready = job.enqueue_time;
+    try {
+      for (const auto& w : job.waits) ready = vt::max(ready, w->wait());
+      job.post(ready);
+    } catch (...) {
+      job.fail(ready, std::current_exception());
+    }
+  }
+}
+
+ocl::EventPtr Runtime::submit(ocl::CommandQueue& queue, std::string label,
+                              ocl::WaitList waits,
+                              std::function<void(vt::TimePoint, const ocl::EventPtr&)> post) {
+  CLMPI_REQUIRE(&queue.device() == device_, "queue is not bound to the communicator device");
+  for (const auto& w : waits) CLMPI_REQUIRE(w != nullptr, "null event in wait list");
+
+  // The command's event is a user event that mimics a command event (§V-A).
+  auto ev = std::make_shared<ocl::UserEvent>(std::move(label));
+  ev->mark_queued(rank_->clock().now());
+
+  Job job;
+  job.waits.assign(waits.begin(), waits.end());
+  job.enqueue_time = rank_->clock().now();
+  job.post = [post = std::move(post), ev](vt::TimePoint ready) {
+    ev->mark_submitted(ready);
+    ev->mark_running(ready);
+    post(ready, ev);
+  };
+  job.fail = [ev](vt::TimePoint when, std::exception_ptr error) {
+    ev->mark_failed(when, std::move(error));
+  };
+  {
+    std::lock_guard lock(mutex_);
+    CLMPI_REQUIRE(!shutdown_, "enqueue on a shut-down clMPI runtime");
+    jobs_.push_back(std::move(job));
+    issued_.push_back(ev);
+  }
+  cv_.notify_all();
+  return ev;
+}
+
+xfer::Strategy Runtime::policy(std::size_t size) const {
+  return xfer::select(device_->profile(), size, selection_);
+}
+
+void Runtime::finish(vt::Clock& clock) {
+  std::vector<ocl::EventPtr> snapshot;
+  {
+    std::lock_guard lock(mutex_);
+    snapshot = issued_;
+  }
+  for (const auto& ev : snapshot) ev->wait(clock);
+}
+
+ocl::EventPtr Runtime::enqueue_send_buffer(ocl::CommandQueue& queue,
+                                           const ocl::BufferPtr& buf, bool blocking,
+                                           std::size_t offset, std::size_t size, int dst,
+                                           int tag, mpi::Comm& comm, ocl::WaitList waits,
+                                           std::optional<xfer::Strategy> force) {
+  CLMPI_REQUIRE(buf != nullptr, "send from a null buffer");
+  const xfer::Strategy strategy = force.value_or(policy(size));
+  const xfer::DeviceEndpoint ep{&comm, device_, buf.get(), offset, size, dst, tag};
+
+  ocl::EventPtr ev = submit(
+      queue, "clEnqueueSendBuffer -> " + std::to_string(dst), waits,
+      // `buf` captured to keep the memory object alive until completion.
+      [ep, strategy, buf](vt::TimePoint ready, const ocl::EventPtr& event) {
+        xfer::send_device_async(ep, strategy, ready,
+                                [event, buf](vt::TimePoint end) {
+                                  static_cast<ocl::UserEvent&>(*event).set_complete(end);
+                                });
+      });
+  if (blocking) ev->wait(rank_->clock());
+  return ev;
+}
+
+ocl::EventPtr Runtime::enqueue_recv_buffer(ocl::CommandQueue& queue,
+                                           const ocl::BufferPtr& buf, bool blocking,
+                                           std::size_t offset, std::size_t size, int src,
+                                           int tag, mpi::Comm& comm, ocl::WaitList waits,
+                                           std::optional<xfer::Strategy> force) {
+  CLMPI_REQUIRE(buf != nullptr, "receive into a null buffer");
+  const xfer::Strategy strategy = force.value_or(policy(size));
+  const xfer::DeviceEndpoint ep{&comm, device_, buf.get(), offset, size, src, tag};
+
+  ocl::EventPtr ev = submit(
+      queue, "clEnqueueRecvBuffer <- " + std::to_string(src), waits,
+      [ep, strategy, buf](vt::TimePoint ready, const ocl::EventPtr& event) {
+        xfer::recv_device_async(ep, strategy, ready,
+                                [event, buf](vt::TimePoint end) {
+                                  static_cast<ocl::UserEvent&>(*event).set_complete(end);
+                                });
+      });
+  if (blocking) ev->wait(rank_->clock());
+  return ev;
+}
+
+ocl::EventPtr Runtime::enqueue_bcast_buffer(ocl::CommandQueue& queue,
+                                            const ocl::BufferPtr& buf, bool blocking,
+                                            std::size_t offset, std::size_t size, int root,
+                                            mpi::Comm& comm, ocl::WaitList waits) {
+  CLMPI_REQUIRE(buf != nullptr, "broadcast of a null buffer");
+  CLMPI_REQUIRE(offset + size <= buf->size(), "broadcast region outside the buffer");
+  CLMPI_REQUIRE(size > 0, "empty broadcast");
+  auto* dev = device_;
+  const bool is_root = comm.rank() == root;
+  mpi::Comm* comm_ptr = &comm;
+
+  ocl::EventPtr ev = submit(
+      queue, "clEnqueueBcastBuffer root=" + std::to_string(root), waits,
+      [dev, buf, offset, size, root, is_root, comm_ptr](vt::TimePoint ready,
+                                                        const ocl::EventPtr& event) {
+        auto& prof = dev->profile();
+        auto bounce = std::make_shared<std::vector<std::byte>>(size);
+        vt::TimePoint wire_ready = ready;
+        if (is_root) {
+          // Stage the payload down through the pinned path first.
+          const auto setup = dev->copy_engine().acquire(ready, prof.pcie.pin_setup);
+          const auto d2h =
+              dev->charge_dma(setup.end, size, /*to_device=*/false, /*pinned_host=*/true);
+          std::memcpy(bounce->data(), buf->storage().data() + offset, size);
+          wire_ready = d2h.end;
+        }
+        vt::Clock wire_clock(wire_ready);
+        mpi::Request req = comm_ptr->ibcast(*bounce, root, wire_clock);
+        req.on_complete([dev, buf, offset, size, is_root, bounce,
+                         event](vt::TimePoint when, const mpi::MsgStatus&) {
+          if (is_root) {
+            static_cast<ocl::UserEvent&>(*event).set_complete(when);
+            return;
+          }
+          const auto setup =
+              dev->copy_engine().acquire(when, dev->profile().pcie.pin_setup);
+          const auto h2d =
+              dev->charge_dma(setup.end, size, /*to_device=*/true, /*pinned_host=*/true);
+          std::memcpy(buf->storage().data() + offset, bounce->data(), size);
+          static_cast<ocl::UserEvent&>(*event).set_complete(h2d.end);
+        });
+      });
+  if (blocking) ev->wait(rank_->clock());
+  return ev;
+}
+
+ocl::EventPtr Runtime::enqueue_write_file(ocl::CommandQueue& queue,
+                                          const ocl::BufferPtr& buf, bool blocking,
+                                          std::size_t offset, std::size_t size,
+                                          std::string path, ocl::WaitList waits) {
+  CLMPI_REQUIRE(buf != nullptr, "file write from a null buffer");
+  CLMPI_REQUIRE(offset + size <= buf->size(), "file write region outside the buffer");
+  CLMPI_REQUIRE(!path.empty(), "file write needs a path");
+  auto* dev = device_;
+  auto* disk = &disk_;
+
+  ocl::EventPtr ev = submit(
+      queue, "clEnqueueWriteFile " + path, waits,
+      [dev, disk, buf, offset, size, path = std::move(path)](vt::TimePoint ready,
+                                                             const ocl::EventPtr& event) {
+        auto& prof = dev->profile();
+        // Stage down through the pinned path, then stream to storage.
+        const auto setup = dev->copy_engine().acquire(ready, prof.pcie.pin_setup);
+        const auto d2h =
+            dev->charge_dma(setup.end, size, /*to_device=*/false, /*pinned_host=*/true);
+        const auto io = disk->acquire(d2h.end, prof.storage.of(size));
+
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        CLMPI_REQUIRE(out.good(), "cannot open file for writing: " + path);
+        out.write(reinterpret_cast<const char*>(buf->storage().data() + offset),
+                  static_cast<std::streamsize>(size));
+        CLMPI_REQUIRE(out.good(), "short write to file: " + path);
+        out.close();
+        static_cast<ocl::UserEvent&>(*event).set_complete(io.end);
+      });
+  if (blocking) ev->wait(rank_->clock());
+  return ev;
+}
+
+ocl::EventPtr Runtime::enqueue_read_file(ocl::CommandQueue& queue, const ocl::BufferPtr& buf,
+                                         bool blocking, std::size_t offset, std::size_t size,
+                                         std::string path, ocl::WaitList waits) {
+  CLMPI_REQUIRE(buf != nullptr, "file read into a null buffer");
+  CLMPI_REQUIRE(offset + size <= buf->size(), "file read region outside the buffer");
+  CLMPI_REQUIRE(!path.empty(), "file read needs a path");
+  auto* dev = device_;
+  auto* disk = &disk_;
+
+  ocl::EventPtr ev = submit(
+      queue, "clEnqueueReadFile " + path, waits,
+      [dev, disk, buf, offset, size, path = std::move(path)](vt::TimePoint ready,
+                                                             const ocl::EventPtr& event) {
+        auto& prof = dev->profile();
+        const auto io = disk->acquire(ready, prof.storage.of(size));
+
+        std::ifstream in(path, std::ios::binary);
+        CLMPI_REQUIRE(in.good(), "cannot open file for reading: " + path);
+        in.read(reinterpret_cast<char*>(buf->storage().data() + offset),
+                static_cast<std::streamsize>(size));
+        CLMPI_REQUIRE(static_cast<std::size_t>(in.gcount()) == size,
+                      "short read from file: " + path);
+
+        const auto setup = dev->copy_engine().acquire(io.end, prof.pcie.pin_setup);
+        const auto h2d =
+            dev->charge_dma(setup.end, size, /*to_device=*/true, /*pinned_host=*/true);
+        static_cast<ocl::UserEvent&>(*event).set_complete(h2d.end);
+      });
+  if (blocking) ev->wait(rank_->clock());
+  return ev;
+}
+
+ocl::EventPtr Runtime::event_from_request(mpi::Request req) {
+  CLMPI_REQUIRE(req.valid(), "event from a null request");
+  auto event = std::make_shared<ocl::UserEvent>("mpi-request");
+  event->mark_queued(rank_->clock().now());
+  req.on_complete([event](vt::TimePoint when, const mpi::MsgStatus&) {
+    event->set_complete(when);
+  });
+  return event;
+}
+
+mpi::Request Runtime::isend_cl_mem(std::span<const std::byte> data, int dst, int tag,
+                                   mpi::Comm& comm) {
+  const xfer::Strategy strategy = policy(data.size());
+  const vt::TimePoint ready = rank_->clock().now();
+  if (strategy.kind != xfer::StrategyKind::pipelined) {
+    return comm.isend(data, dst, tag, rank_->clock());
+  }
+  const std::size_t nblocks = xfer::pipeline_block_count(data.size(), strategy.block);
+  std::vector<mpi::Request> subs;
+  subs.reserve(nblocks);
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    const std::size_t begin = k * strategy.block;
+    const std::size_t n = std::min(strategy.block, data.size() - begin);
+    subs.push_back(comm.isend(data.subspan(begin, n), dst,
+                              mpi::detail::pipeline_subtag(tag, static_cast<int>(k)),
+                              ready));
+  }
+  return aggregate_requests(std::move(subs), mpi::MsgStatus{dst, tag, data.size()});
+}
+
+mpi::Request Runtime::irecv_cl_mem(std::span<std::byte> data, int src, int tag,
+                                   mpi::Comm& comm) {
+  const xfer::Strategy strategy = policy(data.size());
+  const vt::TimePoint ready = rank_->clock().now();
+  if (strategy.kind != xfer::StrategyKind::pipelined) {
+    return comm.irecv(data, src, tag, rank_->clock());
+  }
+  const std::size_t nblocks = xfer::pipeline_block_count(data.size(), strategy.block);
+  std::vector<mpi::Request> subs;
+  subs.reserve(nblocks);
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    const std::size_t begin = k * strategy.block;
+    const std::size_t n = std::min(strategy.block, data.size() - begin);
+    subs.push_back(comm.irecv(data.subspan(begin, n), src,
+                              mpi::detail::pipeline_subtag(tag, static_cast<int>(k)),
+                              ready));
+  }
+  return aggregate_requests(std::move(subs), mpi::MsgStatus{src, tag, data.size()});
+}
+
+void Runtime::send_cl_mem(std::span<const std::byte> data, int dst, int tag,
+                          mpi::Comm& comm) {
+  mpi::Request req = isend_cl_mem(data, dst, tag, comm);
+  req.wait(rank_->clock());
+}
+
+void Runtime::recv_cl_mem(std::span<std::byte> data, int src, int tag, mpi::Comm& comm) {
+  mpi::Request req = irecv_cl_mem(data, src, tag, comm);
+  req.wait(rank_->clock());
+}
+
+}  // namespace clmpi::rt

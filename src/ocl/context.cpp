@@ -1,0 +1,23 @@
+#include "ocl/context.hpp"
+
+#include "ocl/queue.hpp"
+
+namespace clmpi::ocl {
+
+Context::Context(Device& device) : device_(&device) {}
+
+BufferPtr Context::create_buffer(std::size_t size, MemFlags flags, std::string label) {
+  return std::make_shared<Buffer>(this, size, flags, std::move(label));
+}
+
+std::shared_ptr<UserEvent> Context::create_user_event(std::string label) {
+  return std::make_shared<UserEvent>(std::move(label));
+}
+
+std::unique_ptr<CommandQueue> Context::create_queue(std::string label, QueueOrder order) {
+  if (label == "cmd") label += std::to_string(next_queue_);
+  ++next_queue_;
+  return std::make_unique<CommandQueue>(*this, *device_, std::move(label), order);
+}
+
+}  // namespace clmpi::ocl

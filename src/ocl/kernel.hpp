@@ -1,0 +1,126 @@
+// Kernels and programs.
+//
+// Simulation note: a kernel is a host callable operating directly on device
+// buffer storage (the real math really runs, so applications can verify
+// results), plus a cost model that converts the launched NDRange into
+// virtual device time. The cost model is where a GPU's throughput
+// (sys::GpuModel) enters the picture.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ocl/buffer.hpp"
+#include "systems/profile.hpp"
+#include "vt/time.hpp"
+
+namespace clmpi::ocl {
+
+/// Global work size (clEnqueueNDRangeKernel).
+struct NDRange {
+  std::array<std::size_t, 3> global{1, 1, 1};
+  unsigned dims{1};
+
+  [[nodiscard]] std::size_t total() const { return global[0] * global[1] * global[2]; }
+
+  static NDRange linear(std::size_t n) { return {{n, 1, 1}, 1}; }
+  static NDRange grid2(std::size_t x, std::size_t y) { return {{x, y, 1}, 2}; }
+  static NDRange grid3(std::size_t x, std::size_t y, std::size_t z) { return {{x, y, z}, 3}; }
+};
+
+/// One bound kernel argument: a buffer or a scalar.
+using KernelArg = std::variant<BufferPtr, double, std::int64_t>;
+
+/// Typed access to the argument list inside a kernel body.
+class KernelArgs {
+ public:
+  explicit KernelArgs(const std::vector<KernelArg>& args) : args_(&args) {}
+
+  [[nodiscard]] std::size_t count() const { return args_->size(); }
+
+  [[nodiscard]] BufferPtr buffer(std::size_t index) const;
+  [[nodiscard]] double scalar(std::size_t index) const;
+  [[nodiscard]] std::int64_t integer(std::size_t index) const;
+
+  /// Typed element view of a buffer argument.
+  template <typename T>
+  [[nodiscard]] std::span<T> span_of(std::size_t index) const {
+    return buffer(index)->as<T>();
+  }
+
+ private:
+  const std::vector<KernelArg>* args_;
+};
+
+/// The kernel's computation, invoked once per launch with the full NDRange
+/// (work-items are iterated inside for speed; semantics match a data-parallel
+/// launch as long as the body has no cross-item dependences).
+using KernelBody = std::function<void(const NDRange&, const KernelArgs&)>;
+
+/// Virtual device time one launch costs on the given system.
+using KernelCost =
+    std::function<vt::Duration(const NDRange&, const sys::SystemProfile&)>;
+
+class Kernel {
+ public:
+  Kernel(std::string name, KernelBody body, KernelCost cost);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// clSetKernelArg. Not thread-safe (matches OpenCL); arguments are
+  /// snapshotted at enqueue time.
+  void set_arg(std::size_t index, BufferPtr buf);
+  void set_arg(std::size_t index, double scalar);
+  void set_arg(std::size_t index, std::int64_t scalar);
+
+  [[nodiscard]] const std::vector<KernelArg>& args() const noexcept { return args_; }
+  [[nodiscard]] const KernelBody& body() const noexcept { return body_; }
+  [[nodiscard]] const KernelCost& cost() const noexcept { return cost_; }
+
+ private:
+  void grow_to(std::size_t index);
+
+  std::string name_;
+  KernelBody body_;
+  KernelCost cost_;
+  std::vector<KernelArg> args_;
+};
+
+using KernelPtr = std::shared_ptr<Kernel>;
+
+/// A named collection of kernel definitions (the clCreateProgram /
+/// clCreateKernel pair, with C++ callables standing in for OpenCL C source).
+class Program {
+ public:
+  Program() = default;
+
+  /// Register a kernel definition under `name`.
+  void define(const std::string& name, KernelBody body, KernelCost cost);
+
+  /// Instantiate a kernel (fresh argument bindings per instance).
+  [[nodiscard]] KernelPtr create_kernel(const std::string& name) const;
+
+  [[nodiscard]] bool has_kernel(const std::string& name) const;
+
+ private:
+  struct Definition {
+    KernelBody body;
+    KernelCost cost;
+  };
+  std::map<std::string, Definition> definitions_;
+};
+
+/// Convenience cost model: `flops` floating point operations per work-item,
+/// executed at the profile's sustained stencil rate.
+KernelCost flops_per_item(double flops);
+
+/// Convenience cost model: a fixed duration per launch.
+KernelCost fixed_cost(vt::Duration d);
+
+}  // namespace clmpi::ocl

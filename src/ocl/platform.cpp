@@ -1,0 +1,19 @@
+#include "ocl/platform.hpp"
+
+#include "support/error.hpp"
+
+namespace clmpi::ocl {
+
+Platform::Platform(const sys::SystemProfile& profile, int node, vt::Tracer* tracer,
+                   int num_devices)
+    : profile_(&profile) {
+  CLMPI_REQUIRE(num_devices > 0, "platform needs at least one device");
+  for (int d = 0; d < num_devices; ++d) devices_.emplace_back(profile, node, tracer, d);
+}
+
+Device& Platform::device(std::size_t index) {
+  CLMPI_REQUIRE(index < devices_.size(), "device index out of range");
+  return devices_[index];
+}
+
+}  // namespace clmpi::ocl

@@ -1,0 +1,30 @@
+// Platforms: the per-node OpenCL entry point, owning that node's devices.
+#pragma once
+
+#include <deque>
+
+#include "ocl/device.hpp"
+#include "systems/profile.hpp"
+#include "vt/tracer.hpp"
+
+namespace clmpi::ocl {
+
+class Platform {
+ public:
+  /// Stand-alone platform (single-node tests / examples without MPI).
+  Platform(const sys::SystemProfile& profile, int node, vt::Tracer* tracer,
+           int num_devices = 1);
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  [[nodiscard]] std::size_t num_devices() const noexcept { return devices_.size(); }
+  [[nodiscard]] Device& device(std::size_t index = 0);
+  [[nodiscard]] const sys::SystemProfile& profile() const noexcept { return *profile_; }
+
+ private:
+  const sys::SystemProfile* profile_;
+  std::deque<Device> devices_;  // deque: Device is immovable
+};
+
+}  // namespace clmpi::ocl

@@ -1,0 +1,117 @@
+#include "simmpi/cluster.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "simmpi/cluster_core.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace clmpi::mpi {
+
+namespace {
+
+std::vector<int> iota_group(int n) {
+  std::vector<int> g(static_cast<std::size_t>(n));
+  std::iota(g.begin(), g.end(), 0);
+  return g;
+}
+
+}  // namespace
+
+Rank::Rank(detail::ClusterCore* core, int id, int nranks)
+    : core_(core), id_(id), clock_(), world_(core, /*context=*/0, iota_group(nranks), id) {}
+
+const sys::SystemProfile& Rank::profile() const { return *core_->profile; }
+
+vt::Tracer* Rank::tracer() const { return core_->tracer; }
+
+void Rank::compute(vt::Duration d, const std::string& label) {
+  const vt::TimePoint start = clock_.now();
+  clock_.advance(d);
+  if (core_->tracer != nullptr) {
+    core_->tracer->record("host" + std::to_string(id_), label, vt::SpanKind::compute, start,
+                          clock_.now());
+  }
+}
+
+RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>& body) {
+  CLMPI_REQUIRE(options.nranks > 0, "cluster needs at least one rank");
+  CLMPI_REQUIRE(options.profile != nullptr, "cluster needs a system profile");
+
+  detail::ClusterCore core;
+  core.profile = options.profile;
+  core.tracer = options.tracer;
+  core.network =
+      std::make_unique<Network>(options.profile->nic, options.nranks, options.tracer);
+  for (int n = 0; n < options.nranks; ++n) core.mailboxes.emplace_back(*core.network, n);
+
+  RunResult result;
+  result.rank_end_s.assign(static_cast<std::size_t>(options.nranks), 0.0);
+
+  std::mutex state_mutex;
+  std::condition_variable done_cv;
+  int remaining = options.nranks;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(options.nranks));
+  for (int r = 0; r < options.nranks; ++r) {
+    threads.emplace_back([&, r] {
+      log::set_thread_label("rank" + std::to_string(r));
+      try {
+        Rank rank(&core, r, options.nranks);
+        body(rank);
+        result.rank_end_s[static_cast<std::size_t>(r)] = rank.now_s();
+      } catch (...) {
+        std::lock_guard lock(state_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      {
+        std::lock_guard lock(state_mutex);
+        --remaining;
+      }
+      done_cv.notify_all();
+    });
+  }
+
+  if (options.watchdog_seconds > 0.0) {
+    std::unique_lock lock(state_mutex);
+    const bool finished = done_cv.wait_for(
+        lock, std::chrono::duration<double>(options.watchdog_seconds),
+        [&] { return remaining == 0; });
+    if (!finished) {
+      // A rank is stuck in a blocking operation: this is a communication
+      // deadlock in the user program, the same hang a real MPI job would
+      // exhibit. There is no safe way to unwind a foreign stuck thread, so
+      // diagnose and abort.
+      std::cerr << "clmpi::mpi::Cluster watchdog: " << remaining << " of " << options.nranks
+                << " ranks still blocked after " << options.watchdog_seconds
+                << "s of real time — communication deadlock; aborting.\n";
+      std::abort();
+    }
+  }
+
+  for (auto& t : threads) t.join();
+  // Join non-blocking-collective progression threads before the mailboxes
+  // and network (owned by `core`) go away. They terminate once every rank
+  // has issued its side of the collective, which the rank joins above
+  // guarantee for well-formed programs.
+  {
+    std::lock_guard lock(core.aux_mutex);
+    for (auto& t : core.aux_threads) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  result.makespan_s = 0.0;
+  for (double e : result.rank_end_s) result.makespan_s = std::max(result.makespan_s, e);
+  return result;
+}
+
+}  // namespace clmpi::mpi

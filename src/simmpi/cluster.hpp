@@ -1,0 +1,83 @@
+// Cluster: the top-level runner of the simulated machine.
+//
+// Cluster::run spawns one real thread per MPI rank (one rank per node, as in
+// the paper's evaluation), executes the supplied body on each, and reports
+// per-rank virtual end times. A real-time watchdog converts accidental
+// communication deadlocks (which block real threads, exactly as they would
+// block real MPI processes) into a diagnosed abort instead of a hang.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+#include "systems/profile.hpp"
+#include "vt/clock.hpp"
+#include "vt/tracer.hpp"
+
+namespace clmpi::mpi {
+
+namespace detail {
+struct ClusterCore;
+}
+
+/// Per-rank execution context handed to the user body.
+class Rank {
+ public:
+  Rank(detail::ClusterCore* core, int id, int nranks);
+
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+
+  [[nodiscard]] int rank() const noexcept { return id_; }
+  [[nodiscard]] int size() const noexcept { return world_.size(); }
+
+  /// MPI_COMM_WORLD for this rank.
+  [[nodiscard]] Comm& world() noexcept { return world_; }
+
+  /// The host thread's virtual clock.
+  [[nodiscard]] vt::Clock& clock() noexcept { return clock_; }
+
+  [[nodiscard]] const sys::SystemProfile& profile() const;
+  [[nodiscard]] vt::Tracer* tracer() const;
+
+  /// Internal: cluster-shared state, used by the clMPI runtime layers.
+  [[nodiscard]] detail::ClusterCore* core() const noexcept { return core_; }
+
+  /// Host-side busy work of virtual duration `d` (traced as compute).
+  void compute(vt::Duration d, const std::string& label = "host");
+
+  /// Current virtual time of this rank's host thread, in seconds.
+  [[nodiscard]] double now_s() const { return clock_.now().s; }
+
+ private:
+  detail::ClusterCore* core_;
+  int id_;
+  vt::Clock clock_;
+  Comm world_;
+};
+
+struct RunResult {
+  /// Virtual end time of each rank's body.
+  std::vector<double> rank_end_s;
+  /// max(rank_end_s): the virtual makespan of the run.
+  double makespan_s{0.0};
+};
+
+class Cluster {
+ public:
+  struct Options {
+    int nranks{2};
+    const sys::SystemProfile* profile{nullptr};  ///< required
+    vt::Tracer* tracer{nullptr};
+    /// Real-time deadlock watchdog; 0 disables.
+    double watchdog_seconds{120.0};
+  };
+
+  /// Run `body` on every rank; blocks until all ranks return. The first
+  /// exception thrown by any rank is re-thrown here after all threads join.
+  static RunResult run(const Options& options, const std::function<void(Rank&)>& body);
+};
+
+}  // namespace clmpi::mpi

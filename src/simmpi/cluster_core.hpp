@@ -1,0 +1,37 @@
+// Shared state of a running simulated cluster (internal).
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "simmpi/mailbox.hpp"
+#include "simmpi/network.hpp"
+#include "systems/profile.hpp"
+#include "vt/tracer.hpp"
+
+namespace clmpi::mpi::detail {
+
+struct ClusterCore {
+  const sys::SystemProfile* profile{nullptr};
+  vt::Tracer* tracer{nullptr};
+  std::unique_ptr<Network> network;
+  std::deque<Mailbox> mailboxes;  ///< one per node, indexed by global node id
+  std::atomic<int> next_context{1};
+
+  /// Auxiliary runtime threads (non-blocking collective progression).
+  /// Registered here so Cluster::run joins them before tearing the cluster
+  /// down — a progression thread must never outlive the mailboxes.
+  std::mutex aux_mutex;
+  std::vector<std::thread> aux_threads;
+
+  void register_aux_thread(std::thread t) {
+    std::lock_guard lock(aux_mutex);
+    aux_threads.push_back(std::move(t));
+  }
+};
+
+}  // namespace clmpi::mpi::detail

@@ -1,0 +1,176 @@
+#include "simmpi/comm.hpp"
+
+#include <algorithm>
+
+#include "simmpi/cluster_core.hpp"
+#include "support/error.hpp"
+
+namespace clmpi::mpi {
+
+namespace {
+/// Host CPU cost of posting one MPI operation (library call overhead).
+constexpr vt::Duration kCallOverhead = vt::microseconds(0.5);
+}  // namespace
+
+Comm::Comm(detail::ClusterCore* core, int context, std::vector<int> group, int my_rank)
+    : core_(core), context_(context), group_(std::move(group)), my_rank_(my_rank) {
+  CLMPI_REQUIRE(core_ != nullptr, "comm needs a cluster");
+  CLMPI_REQUIRE(my_rank_ >= 0 && my_rank_ < size(), "rank outside the comm group");
+}
+
+Comm::Comm(const Comm& other)
+    : core_(other.core_),
+      context_(other.context_),
+      group_(other.group_),
+      my_rank_(other.my_rank_),
+      coll_seq_(other.coll_seq_.load()) {}
+
+Comm& Comm::operator=(const Comm& other) {
+  core_ = other.core_;
+  context_ = other.context_;
+  group_ = other.group_;
+  my_rank_ = other.my_rank_;
+  coll_seq_.store(other.coll_seq_.load());
+  return *this;
+}
+
+int Comm::node_of(int rank_in_comm) const {
+  CLMPI_REQUIRE(rank_in_comm >= 0 && rank_in_comm < size(), "rank outside the comm group");
+  return group_[static_cast<std::size_t>(rank_in_comm)];
+}
+
+void Comm::check_peer(int peer, bool allow_any) const {
+  if (allow_any && peer == any_source) return;
+  CLMPI_REQUIRE(peer >= 0 && peer < size(), "peer rank outside the comm group");
+}
+
+Request Comm::post_send(std::span<const std::byte> data, int dst, int tag,
+                        vt::TimePoint ready, const P2POptions& opts) {
+  check_peer(dst, /*allow_any=*/false);
+  auto state = std::make_shared<detail::RequestState>();
+  detail::Envelope env;
+  env.src_rank = my_rank_;
+  env.src_node = group_[static_cast<std::size_t>(my_rank_)];
+  env.tag = tag;
+  env.context = context_;
+  env.bytes = data.size();
+  env.payload = data;
+  env.eager = data.size() <= core_->network->model().eager_threshold;
+  env.post_time = ready;
+  env.bw_cap = opts.wire_bw_cap;
+  env.sreq = state;
+  core_->mailboxes[static_cast<std::size_t>(node_of(dst))].post_send(std::move(env));
+  return Request(state);
+}
+
+Request Comm::post_recv(std::span<std::byte> data, int src, int tag, vt::TimePoint ready,
+                        const P2POptions& opts) {
+  check_peer(src, /*allow_any=*/true);
+  auto state = std::make_shared<detail::RequestState>();
+  detail::PostedRecv pr;
+  pr.src_rank = src;
+  pr.tag = tag;
+  pr.context = context_;
+  pr.buffer = data;
+  pr.post_time = ready;
+  pr.bw_cap = opts.wire_bw_cap;
+  pr.rreq = state;
+  core_->mailboxes[static_cast<std::size_t>(group_[static_cast<std::size_t>(my_rank_)])]
+      .post_recv(std::move(pr));
+  return Request(state);
+}
+
+Request Comm::isend(std::span<const std::byte> data, int dst, int tag, vt::TimePoint ready,
+                    P2POptions opts) {
+  return post_send(data, dst, tag, ready, opts);
+}
+
+Request Comm::irecv(std::span<std::byte> data, int src, int tag, vt::TimePoint ready,
+                    P2POptions opts) {
+  return post_recv(data, src, tag, ready, opts);
+}
+
+Request Comm::isend(std::span<const std::byte> data, int dst, int tag, vt::Clock& clock) {
+  clock.advance(kCallOverhead);
+  return post_send(data, dst, tag, clock.now(), {});
+}
+
+Request Comm::irecv(std::span<std::byte> data, int src, int tag, vt::Clock& clock) {
+  clock.advance(kCallOverhead);
+  return post_recv(data, src, tag, clock.now(), {});
+}
+
+void Comm::send(std::span<const std::byte> data, int dst, int tag, vt::Clock& clock) {
+  Request req = isend(data, dst, tag, clock);
+  req.wait(clock);
+}
+
+MsgStatus Comm::recv(std::span<std::byte> data, int src, int tag, vt::Clock& clock) {
+  Request req = irecv(data, src, tag, clock);
+  req.wait(clock);
+  return req.status();
+}
+
+void Comm::sendrecv(std::span<const std::byte> send_data, int dst, int send_tag,
+                    std::span<std::byte> recv_data, int src, int recv_tag,
+                    vt::Clock& clock) {
+  Request rr = irecv(recv_data, src, recv_tag, clock);
+  Request sr = isend(send_data, dst, send_tag, clock);
+  sr.wait(clock);
+  rr.wait(clock);
+}
+
+std::optional<MsgStatus> Comm::iprobe(int src, int tag) const {
+  check_peer(src, /*allow_any=*/true);
+  return core_->mailboxes[static_cast<std::size_t>(group_[static_cast<std::size_t>(my_rank_)])]
+      .iprobe(src, tag, context_);
+}
+
+MsgStatus Comm::probe(int src, int tag, vt::Clock& clock) {
+  check_peer(src, /*allow_any=*/true);
+  auto [status, available] =
+      core_->mailboxes[static_cast<std::size_t>(group_[static_cast<std::size_t>(my_rank_)])]
+          .probe(src, tag, context_);
+  clock.sync_to(available);
+  return status;
+}
+
+Comm Comm::dup(vt::Clock& clock) {
+  // Root allocates the context id and broadcasts it so every member agrees.
+  int ctx = 0;
+  if (my_rank_ == 0) ctx = core_->next_context.fetch_add(1);
+  bcast(std::as_writable_bytes(std::span(&ctx, 1)), 0, clock);
+  return Comm(core_, ctx, group_, my_rank_);
+}
+
+Comm Comm::split(int color, int key, vt::Clock& clock) {
+  struct Entry {
+    int color, key, old_rank;
+  };
+  const Entry mine{color, key, my_rank_};
+  std::vector<Entry> all(static_cast<std::size_t>(size()));
+  allgather(std::as_bytes(std::span(&mine, 1)), std::as_writable_bytes(std::span(all)),
+            clock);
+
+  int ctx = 0;
+  if (my_rank_ == 0) ctx = core_->next_context.fetch_add(1);
+  bcast(std::as_writable_bytes(std::span(&ctx, 1)), 0, clock);
+
+  std::vector<Entry> members;
+  for (const Entry& e : all)
+    if (e.color == color) members.push_back(e);
+  std::sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.old_rank < b.old_rank;
+  });
+
+  std::vector<int> new_group;
+  int new_rank = -1;
+  for (const Entry& e : members) {
+    if (e.old_rank == my_rank_) new_rank = static_cast<int>(new_group.size());
+    new_group.push_back(group_[static_cast<std::size_t>(e.old_rank)]);
+  }
+  CLMPI_REQUIRE(new_rank >= 0, "split: calling rank missing from its color group");
+  return Comm(core_, ctx, std::move(new_group), new_rank);
+}
+
+}  // namespace clmpi::mpi

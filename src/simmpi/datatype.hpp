@@ -1,0 +1,66 @@
+// MPI datatypes and reduction operators for the simulated MPI.
+//
+// The clMPI paper's key datatype extension — MPI_CL_MEM, marking an endpoint
+// as a communicator *device* so the runtime can stage/pipe the transfer — is
+// a first-class member of this enum (see clmpi/wrappers.hpp for its use).
+#pragma once
+
+#include <cstddef>
+
+#include "support/error.hpp"
+
+namespace clmpi::mpi {
+
+enum class Datatype {
+  byte,
+  int32,
+  int64,
+  uint64,
+  float32,
+  float64,
+  /// clMPI extension: the message endpoint is device memory managed through
+  /// an OpenCL command queue; the runtime applies optimized staging.
+  cl_mem,
+};
+
+/// Size in bytes of one element of `dt`. cl_mem messages are counted in
+/// bytes (the extension transfers raw device-buffer contents).
+constexpr std::size_t size_of(Datatype dt) {
+  switch (dt) {
+    case Datatype::byte: return 1;
+    case Datatype::int32: return 4;
+    case Datatype::int64: return 8;
+    case Datatype::uint64: return 8;
+    case Datatype::float32: return 4;
+    case Datatype::float64: return 8;
+    case Datatype::cl_mem: return 1;
+  }
+  return 1;
+}
+
+enum class ReduceOp { sum, prod, min, max };
+
+/// Wildcards accepted by receive operations (match any sender / any tag).
+inline constexpr int any_source = -1;
+inline constexpr int any_tag = -1;
+
+/// User tags must stay below this bound; the space above is reserved for the
+/// collective algorithms and the clMPI runtime's internal sub-messages.
+inline constexpr int max_user_tag = (1 << 24) - 1;
+
+namespace detail {
+/// Tags used internally by collectives, outside the user tag space. Each
+/// collective *instance* gets a per-communicator sequence number so that
+/// outstanding non-blocking collectives (issued in the same order on every
+/// rank, as MPI requires) never cross-match; `round` separates the steps of
+/// one instance's algorithm.
+constexpr int collective_tag(int op, int seq, int round = 0) {
+  return (1 << 24) + ((op & 7) << 14) + ((seq & 127) << 3) + (round & 7);
+}
+/// Tags used by pipelined clMPI sub-messages: block k of a user message.
+constexpr int pipeline_subtag(int user_tag, int block) {
+  return (1 << 25) + user_tag * 64 + (block % 64);
+}
+}  // namespace detail
+
+}  // namespace clmpi::mpi

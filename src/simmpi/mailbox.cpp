@@ -1,0 +1,115 @@
+#include "simmpi/mailbox.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace clmpi::mpi::detail {
+
+bool Mailbox::matches(const Envelope& env, const PostedRecv& pr) {
+  return env.context == pr.context &&
+         (pr.src_rank == any_source || pr.src_rank == env.src_rank) &&
+         (pr.tag == any_tag || pr.tag == env.tag);
+}
+
+void Mailbox::post_send(Envelope env) {
+  std::lock_guard lock(mutex_);
+
+  auto it = std::find_if(posted_.begin(), posted_.end(),
+                         [&](const PostedRecv& pr) { return matches(env, pr); });
+  if (it != posted_.end()) {
+    PostedRecv pr = std::move(*it);
+    posted_.erase(it);
+    deliver(env, pr);
+    return;
+  }
+
+  if (env.eager) {
+    // Eager protocol: inject onto the wire immediately; the sender's buffer
+    // is reusable after injection, so copy the payload out first.
+    env.eager_copy.assign(env.payload.begin(), env.payload.end());
+    env.payload = {};
+    const auto span = net_->transfer(env.src_node, node_, env.post_time, env.bytes,
+                                     env.bw_cap);
+    env.arrival = span.end;
+    env.sreq->complete(span.end, MsgStatus{env.src_rank, env.tag, env.bytes});
+  }
+  unexpected_.push_back(std::move(env));
+  arrival_cv_.notify_all();
+}
+
+void Mailbox::post_recv(PostedRecv pr) {
+  std::lock_guard lock(mutex_);
+
+  auto it = std::find_if(unexpected_.begin(), unexpected_.end(),
+                         [&](const Envelope& env) { return matches(env, pr); });
+  if (it != unexpected_.end()) {
+    Envelope env = std::move(*it);
+    unexpected_.erase(it);
+    deliver(env, pr);
+    return;
+  }
+  posted_.push_back(std::move(pr));
+}
+
+std::pair<MsgStatus, vt::TimePoint> Mailbox::probe(int src_rank, int tag, int context) {
+  PostedRecv pattern;
+  pattern.src_rank = src_rank;
+  pattern.tag = tag;
+  pattern.context = context;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    auto it = std::find_if(unexpected_.begin(), unexpected_.end(),
+                           [&](const Envelope& env) { return matches(env, pattern); });
+    if (it != unexpected_.end()) {
+      const vt::TimePoint available =
+          (it->eager && it->sreq->done()) ? it->arrival : it->post_time;
+      return {MsgStatus{it->src_rank, it->tag, it->bytes}, available};
+    }
+    arrival_cv_.wait(lock);
+  }
+}
+
+std::optional<MsgStatus> Mailbox::iprobe(int src_rank, int tag, int context) {
+  std::lock_guard lock(mutex_);
+  PostedRecv probe;
+  probe.src_rank = src_rank;
+  probe.tag = tag;
+  probe.context = context;
+  auto it = std::find_if(unexpected_.begin(), unexpected_.end(),
+                         [&](const Envelope& env) { return matches(env, probe); });
+  if (it == unexpected_.end()) return std::nullopt;
+  return MsgStatus{it->src_rank, it->tag, it->bytes};
+}
+
+void Mailbox::deliver(Envelope& env, PostedRecv& pr) {
+  CLMPI_REQUIRE(env.bytes <= pr.buffer.size(),
+                "message truncation: received message larger than the posted buffer");
+  const MsgStatus st{env.src_rank, env.tag, env.bytes};
+
+  if (env.eager && env.sreq->done()) {
+    // Wire transfer already happened at send time; the receive completes at
+    // max(arrival, recv post time).
+    if (env.bytes > 0) {
+      std::memcpy(pr.buffer.data(), env.eager_copy.data(), env.bytes);
+    }
+    pr.rreq->complete(vt::max(env.arrival, pr.post_time), st);
+    return;
+  }
+
+  // Rendezvous: the transfer starts once both sides are ready; either
+  // endpoint's bandwidth cap limits the effective rate.
+  const vt::TimePoint ready = vt::max(env.post_time, pr.post_time);
+  const auto span = net_->transfer(env.src_node, node_, ready, env.bytes,
+                                   std::min(env.bw_cap, pr.bw_cap));
+  if (env.bytes > 0) {
+    const std::byte* src =
+        env.payload.empty() ? env.eager_copy.data() : env.payload.data();
+    std::memcpy(pr.buffer.data(), src, env.bytes);
+  }
+  env.sreq->complete(span.end, st);
+  pr.rreq->complete(span.end, st);
+}
+
+}  // namespace clmpi::mpi::detail

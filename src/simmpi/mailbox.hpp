@@ -1,0 +1,98 @@
+// Message matching engine (internal).
+//
+// One Mailbox per node holds the two classic MPI queues: posted receives and
+// unexpected sends, matched FIFO on (context, source, tag) with wildcard
+// support — which gives the MPI non-overtaking guarantee per (src,dst,tag)
+// pair. Small messages are sent eagerly (wire transfer at send time, payload
+// buffered at the receiver); large messages rendezvous with the posted
+// receive, so their wire transfer starts at max(send time, recv time).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "simmpi/datatype.hpp"
+#include "simmpi/network.hpp"
+#include "simmpi/request.hpp"
+
+namespace clmpi::mpi::detail {
+
+struct Envelope {
+  int src_rank{0};   ///< comm-relative sender rank (matching key)
+  int src_node{0};   ///< global node id (network timing)
+  int tag{0};
+  int context{0};
+  std::size_t bytes{0};
+  /// Rendezvous payload view: the sender's buffer, valid until sreq
+  /// completes (the MPI buffer-reuse contract).
+  std::span<const std::byte> payload;
+  /// Eager payload storage: bytes copied out at send time.
+  std::vector<std::byte> eager_copy;
+  bool eager{false};
+  vt::TimePoint post_time;  ///< sender-side ready time
+  vt::TimePoint arrival;    ///< eager only: wire arrival time
+  /// Effective wire bandwidth cap (bytes/s). Used by the mapped transfer
+  /// strategy, where the NIC streams directly from mapped device memory and
+  /// is limited by the mapped-access bandwidth.
+  double bw_cap{std::numeric_limits<double>::infinity()};
+  std::shared_ptr<RequestState> sreq;
+};
+
+struct PostedRecv {
+  int src_rank{any_source};  ///< expected comm-relative rank or any_source
+  int tag{any_tag};
+  int context{0};
+  std::span<std::byte> buffer;
+  vt::TimePoint post_time;
+  /// Receiver-side wire bandwidth cap (see Envelope::bw_cap).
+  double bw_cap{std::numeric_limits<double>::infinity()};
+  std::shared_ptr<RequestState> rreq;
+};
+
+class Mailbox {
+ public:
+  Mailbox(Network& net, int owner_node) : net_(&net), node_(owner_node) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Sender side: called by the source rank's thread (any thread, in fact —
+  /// the engine is MPI_THREAD_MULTIPLE-safe).
+  void post_send(Envelope env);
+
+  /// Receiver side.
+  void post_recv(PostedRecv pr);
+
+  /// MPI_Iprobe: peek at the unexpected queue without receiving.
+  [[nodiscard]] std::optional<MsgStatus> iprobe(int src_rank, int tag, int context);
+
+  /// MPI_Probe: block until a matching message is pending; returns its
+  /// status and the virtual time at which it became observable (eager:
+  /// wire arrival; rendezvous: the sender's post, when its envelope/header
+  /// reaches the receiver).
+  std::pair<MsgStatus, vt::TimePoint> probe(int src_rank, int tag, int context);
+
+ private:
+  static bool matches(const Envelope& env, const PostedRecv& pr);
+
+  /// Complete a matched pair: compute wire timing, copy bytes, fire both
+  /// requests. Called with the mailbox lock held.
+  void deliver(Envelope& env, PostedRecv& pr);
+
+  std::mutex mutex_;
+  std::condition_variable arrival_cv_;  ///< signalled on unexpected arrivals
+  std::deque<Envelope> unexpected_;
+  std::deque<PostedRecv> posted_;
+  Network* net_;
+  int node_;
+};
+
+}  // namespace clmpi::mpi::detail

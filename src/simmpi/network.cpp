@@ -1,0 +1,45 @@
+#include "simmpi/network.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace clmpi::mpi {
+
+Network::Network(const sys::NicModel& model, int nnodes, vt::Tracer* tracer)
+    : model_(model), tracer_(tracer) {
+  CLMPI_REQUIRE(nnodes > 0, "network needs at least one node");
+  tx_.reserve(static_cast<std::size_t>(nnodes));
+  rx_.reserve(static_cast<std::size_t>(nnodes));
+  for (int n = 0; n < nnodes; ++n) {
+    tx_.push_back(std::make_unique<vt::Resource>("nic" + std::to_string(n) + ".tx"));
+    rx_.push_back(std::make_unique<vt::Resource>("nic" + std::to_string(n) + ".rx"));
+  }
+}
+
+vt::Resource& Network::tx(int node) {
+  CLMPI_REQUIRE(node >= 0 && node < nodes(), "tx: node out of range");
+  return *tx_[static_cast<std::size_t>(node)];
+}
+
+vt::Resource& Network::rx(int node) {
+  CLMPI_REQUIRE(node >= 0 && node < nodes(), "rx: node out of range");
+  return *rx_[static_cast<std::size_t>(node)];
+}
+
+vt::Resource::Span Network::transfer(int src, int dst, vt::TimePoint ready,
+                                     std::size_t bytes, double bw_cap) {
+  CLMPI_REQUIRE(src >= 0 && src < nodes() && dst >= 0 && dst < nodes(),
+                "transfer: node out of range");
+  vt::LinearCost cost = (src == dst) ? model_.loopback : model_.wire;
+  cost.bytes_per_second = std::min(cost.bytes_per_second, bw_cap);
+  const auto span = vt::Resource::acquire_joint(tx(src), rx(dst), ready, cost.of(bytes));
+  if (tracer_ != nullptr) {
+    tracer_->record("net" + std::to_string(src) + "->" + std::to_string(dst),
+                    format_bytes(bytes), vt::SpanKind::wire, span.start, span.end);
+  }
+  return span;
+}
+
+}  // namespace clmpi::mpi

@@ -1,0 +1,49 @@
+// Interconnect model: one full-duplex NIC per node.
+//
+// A wire transfer from node s to node d occupies s's TX engine and d's RX
+// engine for latency + bytes/bandwidth; transfers in opposite directions
+// overlap (full duplex), transfers sharing a direction serialize. Same-node
+// transfers use the loopback cost on both engines.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "systems/profile.hpp"
+#include "vt/resource.hpp"
+#include "vt/tracer.hpp"
+
+namespace clmpi::mpi {
+
+class Network {
+ public:
+  Network(const sys::NicModel& model, int nnodes, vt::Tracer* tracer);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Move `bytes` from node src to node dst starting no earlier than `ready`.
+  /// Returns the occupied span on the virtual timeline (timing only; the
+  /// byte copy itself is the caller's job). `bw_cap` (bytes/s) bounds the
+  /// effective bandwidth below the NIC's own rate — used when an endpoint
+  /// streams through a slower path such as mapped device memory.
+  vt::Resource::Span transfer(int src, int dst, vt::TimePoint ready, std::size_t bytes,
+                              double bw_cap = std::numeric_limits<double>::infinity());
+
+  [[nodiscard]] const sys::NicModel& model() const noexcept { return model_; }
+  [[nodiscard]] int nodes() const noexcept { return static_cast<int>(tx_.size()); }
+
+  vt::Resource& tx(int node);
+  vt::Resource& rx(int node);
+
+ private:
+  sys::NicModel model_;
+  vt::Tracer* tracer_;
+  std::vector<std::unique_ptr<vt::Resource>> tx_;
+  std::vector<std::unique_ptr<vt::Resource>> rx_;
+};
+
+}  // namespace clmpi::mpi

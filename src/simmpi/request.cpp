@@ -1,0 +1,151 @@
+#include "simmpi/request.hpp"
+
+#include "support/error.hpp"
+
+namespace clmpi::mpi {
+
+bool Request::done() const { return state_ != nullptr && state_->done(); }
+
+bool Request::test(vt::Clock& clock) {
+  if (!state_) return true;
+  if (!state_->done()) return false;
+  clock.sync_to(state_->completion_time());
+  return true;
+}
+
+void Request::wait(vt::Clock& clock) {
+  if (!state_) return;
+  clock.sync_to(state_->block_until_done());
+}
+
+vt::TimePoint Request::wait() {
+  if (!state_) return {};
+  return state_->block_until_done();
+}
+
+MsgStatus Request::status() const {
+  CLMPI_REQUIRE(state_ != nullptr, "status() on a null request");
+  return state_->status();
+}
+
+vt::TimePoint Request::completion_time() const {
+  CLMPI_REQUIRE(state_ != nullptr, "completion_time() on a null request");
+  return state_->completion_time();
+}
+
+void Request::on_complete(std::function<void(vt::TimePoint, const MsgStatus&)> fn) {
+  CLMPI_REQUIRE(state_ != nullptr, "on_complete() on a null request");
+  state_->on_complete(std::move(fn));
+}
+
+void wait_all(std::initializer_list<Request*> requests, vt::Clock& clock) {
+  for (Request* r : requests) r->wait(clock);
+}
+
+void wait_all(std::span<Request> requests, vt::Clock& clock) {
+  for (Request& r : requests) r.wait(clock);
+}
+
+std::size_t wait_any(std::span<Request> requests, vt::Clock& clock) {
+  CLMPI_REQUIRE(!requests.empty(), "wait_any over zero requests");
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t winner{SIZE_MAX};
+  };
+  auto shared = std::make_shared<Shared>();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    CLMPI_REQUIRE(requests[i].valid(), "wait_any over a null request");
+    requests[i].on_complete([shared, i](vt::TimePoint, const MsgStatus&) {
+      {
+        std::lock_guard lock(shared->mutex);
+        if (shared->winner == SIZE_MAX) shared->winner = i;
+      }
+      shared->cv.notify_all();
+    });
+  }
+  std::size_t winner;
+  {
+    std::unique_lock lock(shared->mutex);
+    shared->cv.wait(lock, [&] { return shared->winner != SIZE_MAX; });
+    winner = shared->winner;
+  }
+  requests[winner].wait(clock);
+  return winner;
+}
+
+bool test_all(std::span<Request> requests, vt::Clock& clock) {
+  for (const Request& r : requests) {
+    if (r.valid() && !r.done()) return false;
+  }
+  for (Request& r : requests) r.wait(clock);
+  return true;
+}
+
+namespace detail {
+
+void RequestState::complete(vt::TimePoint when, const MsgStatus& st) {
+  std::vector<std::function<void(vt::TimePoint, const MsgStatus&)>> to_run;
+  {
+    std::lock_guard lock(mutex_);
+    CLMPI_REQUIRE(!done_, "request completed twice");
+    done_ = true;
+    completion_ = when;
+    status_ = st;
+    to_run.swap(callbacks_);
+  }
+  cv_.notify_all();
+  for (auto& fn : to_run) fn(when, st);
+}
+
+bool RequestState::done() const {
+  std::lock_guard lock(mutex_);
+  return done_;
+}
+
+void RequestState::fail(vt::TimePoint when, std::exception_ptr error) {
+  {
+    std::lock_guard lock(mutex_);
+    error_ = std::move(error);
+  }
+  complete(when, MsgStatus{});
+}
+
+vt::TimePoint RequestState::block_until_done() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return done_; });
+  if (error_) std::rethrow_exception(error_);
+  return completion_;
+}
+
+MsgStatus RequestState::status() const {
+  std::lock_guard lock(mutex_);
+  CLMPI_REQUIRE(done_, "status of an incomplete request");
+  return status_;
+}
+
+vt::TimePoint RequestState::completion_time() const {
+  std::lock_guard lock(mutex_);
+  CLMPI_REQUIRE(done_, "completion_time of an incomplete request");
+  return completion_;
+}
+
+void RequestState::on_complete(std::function<void(vt::TimePoint, const MsgStatus&)> fn) {
+  bool run_now = false;
+  vt::TimePoint when;
+  MsgStatus st;
+  {
+    std::lock_guard lock(mutex_);
+    if (done_) {
+      run_now = true;
+      when = completion_;
+      st = status_;
+    } else {
+      callbacks_.push_back(std::move(fn));
+    }
+  }
+  if (run_now) fn(when, st);
+}
+
+}  // namespace detail
+}  // namespace clmpi::mpi

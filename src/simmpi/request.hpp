@@ -1,0 +1,116 @@
+// Non-blocking operation handles, the analogue of MPI_Request.
+//
+// A Request is a shared handle to the completion state of one Isend/Irecv.
+// Completion carries a *virtual* timestamp; waiting synchronizes the waiting
+// thread's virtual clock forward to it. Completion callbacks are the hook
+// clMPI uses to implement clCreateEventFromMPIRequest without polling.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "vt/clock.hpp"
+#include "vt/time.hpp"
+
+namespace clmpi::mpi {
+
+/// Matched-message metadata, the analogue of MPI_Status.
+struct MsgStatus {
+  int source{-1};
+  int tag{-1};
+  std::size_t bytes{0};
+};
+
+namespace detail {
+class RequestState;
+}  // namespace detail
+
+class Request {
+ public:
+  /// A default-constructed Request is null; waiting on it is a no-op.
+  Request() = default;
+
+  explicit Request(std::shared_ptr<detail::RequestState> state) : state_(std::move(state)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Non-blocking completion peek (no clock synchronization).
+  [[nodiscard]] bool done() const;
+
+  /// MPI_Test: if complete, synchronize `clock` to the completion time and
+  /// return true; otherwise return false without blocking.
+  bool test(vt::Clock& clock);
+
+  /// MPI_Wait: block (in real time) until complete, then synchronize `clock`.
+  void wait(vt::Clock& clock);
+
+  /// Wait without a clock; returns the virtual completion time. Used by
+  /// runtime threads that do not own a timeline of their own.
+  vt::TimePoint wait();
+
+  /// Valid only after completion.
+  [[nodiscard]] MsgStatus status() const;
+  [[nodiscard]] vt::TimePoint completion_time() const;
+
+  /// Invoke `fn(completion_time, status)` when the request completes (or
+  /// immediately if it already has). Callbacks run on the completing thread.
+  void on_complete(std::function<void(vt::TimePoint, const MsgStatus&)> fn);
+
+  /// Internal: runtime-side access to the shared state.
+  [[nodiscard]] const std::shared_ptr<detail::RequestState>& state() const noexcept {
+    return state_;
+  }
+
+ private:
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+/// MPI_Waitall over an arbitrary set of requests.
+void wait_all(std::initializer_list<Request*> requests, vt::Clock& clock);
+void wait_all(std::span<Request> requests, vt::Clock& clock);
+
+/// MPI_Waitany: block until at least one request completes; synchronize
+/// `clock` to that completion and return its index.
+std::size_t wait_any(std::span<Request> requests, vt::Clock& clock);
+
+/// MPI_Testall: true (and clock synchronized to the latest completion) iff
+/// every request is complete; false without blocking otherwise.
+bool test_all(std::span<Request> requests, vt::Clock& clock);
+
+namespace detail {
+
+/// Shared completion state; created pending, completed exactly once.
+class RequestState {
+ public:
+  void complete(vt::TimePoint when, const MsgStatus& st);
+
+  /// Complete carrying a failure: waiters rethrow `error` (used by
+  /// non-blocking collective progression when the algorithm throws).
+  void fail(vt::TimePoint when, std::exception_ptr error);
+
+  [[nodiscard]] bool done() const;
+  /// Blocks until complete; rethrows the operation's exception on failure.
+  vt::TimePoint block_until_done();
+  [[nodiscard]] MsgStatus status() const;
+  [[nodiscard]] vt::TimePoint completion_time() const;
+  void on_complete(std::function<void(vt::TimePoint, const MsgStatus&)> fn);
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_{false};
+  vt::TimePoint completion_{};
+  MsgStatus status_{};
+  std::exception_ptr error_;
+  std::vector<std::function<void(vt::TimePoint, const MsgStatus&)>> callbacks_;
+};
+
+}  // namespace detail
+}  // namespace clmpi::mpi

@@ -1,0 +1,75 @@
+// Error handling primitives shared by every clmpi module.
+//
+// Two regimes, following the C++ Core Guidelines (E.2, I.10):
+//  * programming errors (precondition violations) -> Error exceptions,
+//    raised through CLMPI_REQUIRE so the message carries location info;
+//  * expected runtime failures at the C API boundary -> Status codes,
+//    mirroring OpenCL's cl_int convention (see clmpi/clmpi_c.h).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace clmpi {
+
+/// Status codes returned by the C-style API layer. Values chosen to match
+/// the corresponding OpenCL error codes where one exists.
+enum class Status : int {
+  success = 0,
+  invalid_value = -30,
+  invalid_event_wait_list = -57,
+  invalid_command_queue = -36,
+  invalid_context = -34,
+  invalid_mem_object = -38,
+  invalid_operation = -59,
+  out_of_resources = -5,
+  // clMPI extension error space (outside the OpenCL reserved range).
+  invalid_rank = -1001,
+  invalid_tag = -1002,
+  invalid_communicator = -1003,
+  invalid_request = -1004,
+  runtime_shutdown = -1005,
+};
+
+/// Human-readable name of a status code ("CL_SUCCESS", ...).
+const char* to_string(Status s) noexcept;
+
+/// Base class of all exceptions thrown by clmpi libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what_arg, Status status = Status::invalid_operation)
+      : std::runtime_error(what_arg), status_(status) {}
+
+  [[nodiscard]] Status status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Precondition violation (misuse of an API).
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised when an operation is attempted on a shut-down runtime.
+class ShutdownError : public Error {
+ public:
+  explicit ShutdownError(const std::string& what_arg)
+      : Error(what_arg, Status::runtime_shutdown) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file, int line,
+                                     const std::string& msg);
+}  // namespace detail
+
+}  // namespace clmpi
+
+/// Check a precondition; throws clmpi::PreconditionError with location info.
+#define CLMPI_REQUIRE(expr, msg)                                              \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::clmpi::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                         \
+  } while (false)

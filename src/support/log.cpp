@@ -1,0 +1,40 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace clmpi::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::warn)};
+std::mutex g_emit_mutex;
+
+thread_local std::string t_label = "-";
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::trace: return "TRACE";
+    case Level::debug: return "DEBUG";
+    case Level::info: return "INFO ";
+    case Level::warn: return "WARN ";
+    case Level::error: return "ERROR";
+    case Level::off: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level lvl) noexcept { g_level.store(static_cast<int>(lvl)); }
+
+Level level() noexcept { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+void set_thread_label(std::string label) { t_label = std::move(label); }
+
+void emit(Level lvl, const std::string& message) {
+  std::lock_guard lock(g_emit_mutex);
+  std::cerr << '[' << level_name(lvl) << "][" << t_label << "] " << message << '\n';
+}
+
+}  // namespace clmpi::log

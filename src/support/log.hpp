@@ -1,0 +1,40 @@
+// Minimal thread-safe leveled logger.
+//
+// The clmpi runtime runs many threads (ranks, device workers, comm threads);
+// log lines are serialized and tagged with the emitting thread's label so
+// interleaved traces stay readable. Logging is off (warn level) by default —
+// benches must stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace clmpi::log {
+
+enum class Level : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+/// Global threshold; messages below it are discarded cheaply.
+void set_level(Level lvl) noexcept;
+Level level() noexcept;
+
+/// Label the calling thread for subsequent log lines (e.g. "rank 3", "dev0").
+void set_thread_label(std::string label);
+
+/// Emit one line (already formatted). Prefer the CLMPI_LOG macro.
+void emit(Level lvl, const std::string& message);
+
+}  // namespace clmpi::log
+
+#define CLMPI_LOG(lvl, expr)                                     \
+  do {                                                           \
+    if (static_cast<int>(lvl) >= static_cast<int>(::clmpi::log::level())) { \
+      std::ostringstream os_;                                    \
+      os_ << expr;                                               \
+      ::clmpi::log::emit((lvl), os_.str());                      \
+    }                                                            \
+  } while (false)
+
+#define CLMPI_TRACE(expr) CLMPI_LOG(::clmpi::log::Level::trace, expr)
+#define CLMPI_DEBUG(expr) CLMPI_LOG(::clmpi::log::Level::debug, expr)
+#define CLMPI_INFO(expr) CLMPI_LOG(::clmpi::log::Level::info, expr)
+#define CLMPI_WARN(expr) CLMPI_LOG(::clmpi::log::Level::warn, expr)

@@ -1,0 +1,86 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace clmpi {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  return std::isdigit(static_cast<unsigned char>(s.front())) != 0 || s.front() == '-' ||
+         s.front() == '+';
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CLMPI_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  CLMPI_REQUIRE(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row, bool right_align_numeric) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      const bool right = right_align_numeric && looks_numeric(row[c]);
+      os << (right ? std::right : std::left) << std::setw(static_cast<int>(width[c])) << row[c];
+    }
+    os << " |\n";
+  };
+  emit_row(headers_, false);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit_row(row, true);
+  return os.str();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string format_bytes(std::size_t bytes) {
+  constexpr std::size_t kib = 1024, mib = kib * 1024, gib = mib * 1024;
+  std::ostringstream os;
+  os << std::fixed;
+  if (bytes >= gib && bytes % gib == 0) {
+    os << bytes / gib << " GiB";
+  } else if (bytes >= mib) {
+    if (bytes % mib == 0)
+      os << bytes / mib << " MiB";
+    else
+      os << std::setprecision(1) << static_cast<double>(bytes) / static_cast<double>(mib)
+         << " MiB";
+  } else if (bytes >= kib) {
+    if (bytes % kib == 0)
+      os << bytes / kib << " KiB";
+    else
+      os << std::setprecision(1) << static_cast<double>(bytes) / static_cast<double>(kib)
+         << " KiB";
+  } else {
+    os << bytes << " B";
+  }
+  return os.str();
+}
+
+}  // namespace clmpi

@@ -1,0 +1,37 @@
+// ASCII table rendering for bench output.
+//
+// Every bench binary regenerates one of the paper's tables/figures as rows of
+// text; this helper keeps the column alignment consistent across all of them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace clmpi {
+
+/// Builds and prints a fixed-column ASCII table.
+///
+///   Table t({"nodes", "serial", "clMPI"});
+///   t.add_row({"2", "11.3", "21.9"});
+///   std::cout << t.str();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule; numeric-looking cells are right-aligned.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given precision (fixed notation).
+std::string fmt(double value, int precision = 2);
+
+}  // namespace clmpi

@@ -1,0 +1,191 @@
+#include "transfer/async.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "simmpi/datatype.hpp"
+#include "support/error.hpp"
+
+namespace clmpi::xfer {
+
+namespace {
+
+std::size_t block_bytes(std::size_t size, std::size_t block, std::size_t k) {
+  return std::min(block, size - k * block);
+}
+
+/// Shared countdown for multi-request transfers: fires `done` with the
+/// latest completion time once `remaining` hits zero.
+struct Countdown {
+  Countdown(std::size_t n, DoneFn fn) : remaining(n), done(std::move(fn)) {}
+
+  void arrive(vt::TimePoint when) {
+    bool last = false;
+    vt::TimePoint final_time;
+    {
+      std::lock_guard lock(mutex);
+      latest = vt::max(latest, when);
+      final_time = latest;
+      last = (--remaining == 0);
+    }
+    if (last) done(final_time);
+  }
+
+  std::mutex mutex;
+  std::size_t remaining;
+  vt::TimePoint latest;
+  DoneFn done;
+};
+
+void check(const DeviceEndpoint& ep) {
+  CLMPI_REQUIRE(ep.comm != nullptr && ep.dev != nullptr && ep.buf != nullptr,
+                "device endpoint is missing a component");
+  CLMPI_REQUIRE(ep.offset + ep.size <= ep.buf->size(),
+                "transfer region outside the device buffer");
+  CLMPI_REQUIRE(ep.size > 0, "empty transfer");
+}
+
+}  // namespace
+
+void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
+                       vt::TimePoint ready, DoneFn done) {
+  check(ep);
+  auto& dev = *ep.dev;
+  auto& prof = dev.profile();
+
+  switch (strategy.kind) {
+    case StrategyKind::pinned: {
+      const auto setup = dev.copy_engine().acquire(ready, prof.pcie.pin_setup);
+      const auto d2h =
+          dev.charge_dma(setup.end, ep.size, /*to_device=*/false, /*pinned_host=*/true);
+      auto bounce = std::make_shared<std::vector<std::byte>>(ep.size);
+      std::memcpy(bounce->data(), ep.buf->storage().data() + ep.offset, ep.size);
+      mpi::Request req = ep.comm->isend(*bounce, ep.peer, ep.tag, d2h.end);
+      req.on_complete([bounce, done](vt::TimePoint t, const mpi::MsgStatus&) { done(t); });
+      return;
+    }
+
+    case StrategyKind::mapped: {
+      // Host-side map latency only; unmap likewise (no DMA engine).
+      const vt::TimePoint mapped_at = ready + prof.pcie.map_setup;
+      mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second};
+      auto region = ep.buf->storage().subspan(ep.offset, ep.size);
+      mpi::Request req = ep.comm->isend(region, ep.peer, ep.tag, mapped_at, opts);
+      const vt::Duration unmap_cost = prof.pcie.map_setup;
+      req.on_complete([unmap_cost, done](vt::TimePoint t, const mpi::MsgStatus&) {
+        done(t + unmap_cost);
+      });
+      return;
+    }
+
+    case StrategyKind::pipelined: {
+      const std::size_t nblocks = pipeline_block_count(ep.size, strategy.block);
+      const auto setup = dev.copy_engine().acquire(ready, prof.pcie.pin_setup);
+      auto countdown = std::make_shared<Countdown>(nblocks, std::move(done));
+      for (std::size_t k = 0; k < nblocks; ++k) {
+        const std::size_t n = block_bytes(ep.size, strategy.block, k);
+        const auto dma =
+            dev.charge_dma(setup.end, n, /*to_device=*/false, /*pinned_host=*/true);
+        auto bounce = std::make_shared<std::vector<std::byte>>(n);
+        std::memcpy(bounce->data(),
+                    ep.buf->storage().data() + ep.offset + k * strategy.block, n);
+        mpi::Request req = ep.comm->isend(
+            *bounce, ep.peer, mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
+            dma.end);
+        req.on_complete([bounce, countdown](vt::TimePoint t, const mpi::MsgStatus&) {
+          countdown->arrive(t);
+        });
+      }
+      return;
+    }
+
+    case StrategyKind::gpudirect: {
+      CLMPI_REQUIRE(prof.nic.rdma_direct,
+                    "GPUDirect RDMA is not available on this system");
+      auto region = ep.buf->storage().subspan(ep.offset, ep.size);
+      mpi::Request req =
+          ep.comm->isend(region, ep.peer, ep.tag, ready + prof.nic.rdma_setup);
+      req.on_complete([done](vt::TimePoint t, const mpi::MsgStatus&) { done(t); });
+      return;
+    }
+  }
+  throw PreconditionError("unknown transfer strategy");
+}
+
+void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
+                       vt::TimePoint ready, DoneFn done) {
+  check(ep);
+  auto& dev = *ep.dev;
+  auto& prof = dev.profile();
+
+  switch (strategy.kind) {
+    case StrategyKind::pinned: {
+      const auto setup = dev.copy_engine().acquire(ready, prof.pcie.pin_setup);
+      auto bounce = std::make_shared<std::vector<std::byte>>(ep.size);
+      mpi::Request req = ep.comm->irecv(*bounce, ep.peer, ep.tag, setup.end);
+      auto* devp = ep.dev;
+      auto* buf = ep.buf;
+      const std::size_t offset = ep.offset;
+      const std::size_t size = ep.size;
+      req.on_complete(
+          [devp, buf, offset, size, bounce, done](vt::TimePoint t, const mpi::MsgStatus&) {
+            const auto h2d =
+                devp->charge_dma(t, size, /*to_device=*/true, /*pinned_host=*/true);
+            std::memcpy(buf->storage().data() + offset, bounce->data(), size);
+            done(h2d.end);
+          });
+      return;
+    }
+
+    case StrategyKind::mapped: {
+      const vt::TimePoint mapped_at = ready + prof.pcie.map_setup;
+      mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second};
+      auto region = ep.buf->storage().subspan(ep.offset, ep.size);
+      mpi::Request req = ep.comm->irecv(region, ep.peer, ep.tag, mapped_at, opts);
+      const vt::Duration unmap_cost = prof.pcie.map_setup;
+      req.on_complete([unmap_cost, done](vt::TimePoint t, const mpi::MsgStatus&) {
+        done(t + unmap_cost);
+      });
+      return;
+    }
+
+    case StrategyKind::pipelined: {
+      const std::size_t nblocks = pipeline_block_count(ep.size, strategy.block);
+      const auto setup = dev.copy_engine().acquire(ready, prof.pcie.pin_setup);
+      auto countdown = std::make_shared<Countdown>(nblocks, std::move(done));
+      auto* devp = ep.dev;
+      auto* buf = ep.buf;
+      for (std::size_t k = 0; k < nblocks; ++k) {
+        const std::size_t n = block_bytes(ep.size, strategy.block, k);
+        auto bounce = std::make_shared<std::vector<std::byte>>(n);
+        mpi::Request req = ep.comm->irecv(
+            *bounce, ep.peer, mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
+            setup.end);
+        const std::size_t offset = ep.offset + k * strategy.block;
+        req.on_complete([devp, buf, offset, n, bounce, countdown](vt::TimePoint t,
+                                                                  const mpi::MsgStatus&) {
+          const auto h2d = devp->charge_dma(t, n, /*to_device=*/true, /*pinned_host=*/true);
+          std::memcpy(buf->storage().data() + offset, bounce->data(), n);
+          countdown->arrive(h2d.end);
+        });
+      }
+      return;
+    }
+
+    case StrategyKind::gpudirect: {
+      CLMPI_REQUIRE(prof.nic.rdma_direct,
+                    "GPUDirect RDMA is not available on this system");
+      auto region = ep.buf->storage().subspan(ep.offset, ep.size);
+      mpi::Request req =
+          ep.comm->irecv(region, ep.peer, ep.tag, ready + prof.nic.rdma_setup);
+      req.on_complete([done](vt::TimePoint t, const mpi::MsgStatus&) { done(t); });
+      return;
+    }
+  }
+  throw PreconditionError("unknown transfer strategy");
+}
+
+}  // namespace clmpi::xfer

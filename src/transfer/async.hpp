@@ -1,0 +1,32 @@
+// Asynchronous (post + callback) form of the transfer strategies.
+//
+// The clMPI runtime's communication thread must never block: it *posts*
+// non-blocking MPI operations the moment a command's wait list fires, and
+// the completion side (PCIe up-staging, unmap accounting, event completion)
+// runs from the MPI completion callbacks. This is what lets independent
+// clMPI commands' transfers overlap each other and device compute — the
+// Figure 4(c) behaviour — instead of serializing per queue.
+//
+// The synchronous strategy.hpp entry points remain for host-driven baselines
+// (the paper's hand-optimized code blocks its host thread; that is the
+// point).
+#pragma once
+
+#include <functional>
+
+#include "transfer/strategy.hpp"
+
+namespace clmpi::xfer {
+
+/// Called exactly once with the transfer's virtual completion time.
+using DoneFn = std::function<void(vt::TimePoint)>;
+
+/// Post the send/receive of a device buffer region; returns immediately.
+/// `done` fires (possibly on an MPI progress thread) when the last stage of
+/// the transfer completes.
+void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
+                       vt::TimePoint ready, DoneFn done);
+void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
+                       vt::TimePoint ready, DoneFn done);
+
+}  // namespace clmpi::xfer

@@ -1,0 +1,443 @@
+#include "transfer/strategy.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "simmpi/datatype.hpp"
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace clmpi::xfer {
+
+namespace {
+
+void check_endpoint(const DeviceEndpoint& ep) {
+  CLMPI_REQUIRE(ep.comm != nullptr && ep.dev != nullptr && ep.buf != nullptr,
+                "device endpoint is missing a component");
+  CLMPI_REQUIRE(ep.offset + ep.size <= ep.buf->size(),
+                "transfer region outside the device buffer");
+  CLMPI_REQUIRE(ep.size > 0, "empty transfer");
+  CLMPI_REQUIRE(ep.tag >= 0 && ep.tag <= mpi::max_user_tag,
+                "transfer tag outside the user tag space");
+}
+
+std::size_t block_bytes(std::size_t size, std::size_t block, std::size_t k) {
+  const std::size_t begin = k * block;
+  return std::min(block, size - begin);
+}
+
+// --- pinned ---------------------------------------------------------------
+
+vt::TimePoint send_pinned(const DeviceEndpoint& ep, vt::TimePoint ready) {
+  auto& prof = ep.dev->profile();
+  // Stage the region into a page-locked bounce buffer: per-operation bounce
+  // management, then one DMA.
+  const auto setup = ep.dev->copy_engine().acquire(ready, prof.pcie.pin_setup);
+  const auto dma =
+      ep.dev->charge_dma(setup.end, ep.size, /*to_device=*/false, /*pinned_host=*/true);
+  std::vector<std::byte> bounce(ep.size);
+  std::memcpy(bounce.data(), ep.buf->storage().data() + ep.offset, ep.size);
+
+  mpi::Request req = ep.comm->isend(bounce, ep.peer, ep.tag, dma.end);
+  return req.wait();
+}
+
+vt::TimePoint recv_pinned(const DeviceEndpoint& ep, vt::TimePoint ready) {
+  auto& prof = ep.dev->profile();
+  std::vector<std::byte> bounce(ep.size);
+  mpi::Request req = ep.comm->irecv(bounce, ep.peer, ep.tag, ready);
+  const vt::TimePoint arrival = req.wait();
+
+  const auto setup = ep.dev->copy_engine().acquire(arrival, prof.pcie.pin_setup);
+  const auto dma =
+      ep.dev->charge_dma(setup.end, ep.size, /*to_device=*/true, /*pinned_host=*/true);
+  std::memcpy(ep.buf->storage().data() + ep.offset, bounce.data(), ep.size);
+  return dma.end;
+}
+
+// --- mapped ---------------------------------------------------------------
+
+vt::TimePoint send_mapped(const DeviceEndpoint& ep, vt::TimePoint ready) {
+  auto& prof = ep.dev->profile();
+  // Mapping is a host/driver VM operation: pure latency, it does not occupy
+  // the DMA copy engine (zero-copy is the whole point of this strategy).
+  const vt::TimePoint mapped_at = ready + prof.pcie.map_setup;
+
+  // The NIC streams straight out of the mapped device memory; the effective
+  // wire rate is capped by the mapped-access bandwidth.
+  mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second};
+  auto region = ep.buf->storage().subspan(ep.offset, ep.size);
+  mpi::Request req = ep.comm->isend(region, ep.peer, ep.tag, mapped_at, opts);
+  const vt::TimePoint sent = req.wait();
+  return sent + prof.pcie.map_setup;
+}
+
+vt::TimePoint recv_mapped(const DeviceEndpoint& ep, vt::TimePoint ready) {
+  auto& prof = ep.dev->profile();
+  const vt::TimePoint mapped_at = ready + prof.pcie.map_setup;
+
+  mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second};
+  auto region = ep.buf->storage().subspan(ep.offset, ep.size);
+  mpi::Request req = ep.comm->irecv(region, ep.peer, ep.tag, mapped_at, opts);
+  const vt::TimePoint arrived = req.wait();
+  return arrived + prof.pcie.map_setup;
+}
+
+// --- pipelined --------------------------------------------------------------
+
+vt::TimePoint send_pipelined(const DeviceEndpoint& ep, std::size_t block,
+                             vt::TimePoint ready) {
+  auto& prof = ep.dev->profile();
+  const std::size_t nblocks = pipeline_block_count(ep.size, block);
+
+  // The pipeline ring of pinned bounce buffers is set up once.
+  const auto setup = ep.dev->copy_engine().acquire(ready, prof.pcie.pin_setup);
+
+  // Stage block k down over PCIe, then put it on the wire; the copy engine
+  // and the NIC serialize their own work, so D2H of block k overlaps the
+  // wire transfer of block k-1.
+  std::vector<std::vector<std::byte>> bounces(nblocks);
+  std::vector<mpi::Request> reqs;
+  reqs.reserve(nblocks);
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    const std::size_t n = block_bytes(ep.size, block, k);
+    const auto dma =
+        ep.dev->charge_dma(setup.end, n, /*to_device=*/false, /*pinned_host=*/true);
+    bounces[k].resize(n);
+    std::memcpy(bounces[k].data(), ep.buf->storage().data() + ep.offset + k * block, n);
+    reqs.push_back(ep.comm->isend(bounces[k], ep.peer,
+                                  mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
+                                  dma.end));
+  }
+  vt::TimePoint done{};
+  for (auto& r : reqs) done = vt::max(done, r.wait());
+  return done;
+}
+
+vt::TimePoint recv_pipelined(const DeviceEndpoint& ep, std::size_t block,
+                             vt::TimePoint ready) {
+  auto& prof = ep.dev->profile();
+  const std::size_t nblocks = pipeline_block_count(ep.size, block);
+
+  const auto setup = ep.dev->copy_engine().acquire(ready, prof.pcie.pin_setup);
+
+  std::vector<std::vector<std::byte>> bounces(nblocks);
+  std::vector<mpi::Request> reqs;
+  reqs.reserve(nblocks);
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    bounces[k].resize(block_bytes(ep.size, block, k));
+    reqs.push_back(ep.comm->irecv(bounces[k], ep.peer,
+                                  mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
+                                  setup.end));
+  }
+  vt::TimePoint done{};
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    const vt::TimePoint arrival = reqs[k].wait();
+    const std::size_t n = bounces[k].size();
+    const auto dma =
+        ep.dev->charge_dma(arrival, n, /*to_device=*/true, /*pinned_host=*/true);
+    std::memcpy(ep.buf->storage().data() + ep.offset + k * block, bounces[k].data(), n);
+    done = vt::max(done, dma.end);
+  }
+  return done;
+}
+
+// --- gpudirect ----------------------------------------------------------------
+
+void require_rdma(const DeviceEndpoint& ep) {
+  CLMPI_REQUIRE(ep.dev->profile().nic.rdma_direct,
+                "GPUDirect RDMA is not available on this system");
+}
+
+vt::TimePoint send_gpudirect(const DeviceEndpoint& ep, vt::TimePoint ready) {
+  require_rdma(ep);
+  auto& prof = ep.dev->profile();
+  // The HCA reads device memory directly: registration latency, then the
+  // wire at full rate; no bounce buffer, no copy engine.
+  auto region = ep.buf->storage().subspan(ep.offset, ep.size);
+  mpi::Request req =
+      ep.comm->isend(region, ep.peer, ep.tag, ready + prof.nic.rdma_setup);
+  return req.wait();
+}
+
+vt::TimePoint recv_gpudirect(const DeviceEndpoint& ep, vt::TimePoint ready) {
+  require_rdma(ep);
+  auto& prof = ep.dev->profile();
+  auto region = ep.buf->storage().subspan(ep.offset, ep.size);
+  mpi::Request req =
+      ep.comm->irecv(region, ep.peer, ep.tag, ready + prof.nic.rdma_setup);
+  return req.wait();
+}
+
+}  // namespace
+
+const char* to_string(StrategyKind kind) noexcept {
+  switch (kind) {
+    case StrategyKind::pinned: return "pinned";
+    case StrategyKind::mapped: return "mapped";
+    case StrategyKind::pipelined: return "pipelined";
+    case StrategyKind::gpudirect: return "gpudirect";
+  }
+  return "?";
+}
+
+std::size_t pipeline_block_count(std::size_t size, std::size_t block) {
+  CLMPI_REQUIRE(block > 0, "pipeline block size must be positive");
+  return (size + block - 1) / block;
+}
+
+vt::TimePoint send_device(const DeviceEndpoint& ep, const Strategy& strategy,
+                          vt::TimePoint ready) {
+  check_endpoint(ep);
+  switch (strategy.kind) {
+    case StrategyKind::pinned: return send_pinned(ep, ready);
+    case StrategyKind::mapped: return send_mapped(ep, ready);
+    case StrategyKind::pipelined: return send_pipelined(ep, strategy.block, ready);
+    case StrategyKind::gpudirect: return send_gpudirect(ep, ready);
+  }
+  throw PreconditionError("unknown transfer strategy");
+}
+
+vt::TimePoint recv_device(const DeviceEndpoint& ep, const Strategy& strategy,
+                          vt::TimePoint ready) {
+  check_endpoint(ep);
+  switch (strategy.kind) {
+    case StrategyKind::pinned: return recv_pinned(ep, ready);
+    case StrategyKind::mapped: return recv_mapped(ep, ready);
+    case StrategyKind::pipelined: return recv_pipelined(ep, strategy.block, ready);
+    case StrategyKind::gpudirect: return recv_gpudirect(ep, ready);
+  }
+  throw PreconditionError("unknown transfer strategy");
+}
+
+vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoint& recv_ep,
+                              const Strategy& strategy, vt::TimePoint ready) {
+  check_endpoint(send_ep);
+  check_endpoint(recv_ep);
+  auto& dev = *send_ep.dev;
+  auto& prof = dev.profile();
+
+  switch (strategy.kind) {
+    case StrategyKind::pinned: {
+      const auto setup = dev.copy_engine().acquire(ready, prof.pcie.pin_setup);
+
+      // Outbound: stage down, then send.
+      const auto d2h = dev.charge_dma(setup.end, send_ep.size, /*to_device=*/false,
+                                      /*pinned_host=*/true);
+      std::vector<std::byte> out(send_ep.size);
+      std::memcpy(out.data(), send_ep.buf->storage().data() + send_ep.offset, send_ep.size);
+      mpi::Request sreq = send_ep.comm->isend(out, send_ep.peer, send_ep.tag, d2h.end);
+
+      // Inbound: receive into a bounce buffer posted right away, stage up on
+      // arrival.
+      std::vector<std::byte> in(recv_ep.size);
+      mpi::Request rreq = recv_ep.comm->irecv(in, recv_ep.peer, recv_ep.tag, setup.end);
+      const vt::TimePoint arrival = rreq.wait();
+      const auto h2d =
+          dev.charge_dma(arrival, recv_ep.size, /*to_device=*/true, /*pinned_host=*/true);
+      std::memcpy(recv_ep.buf->storage().data() + recv_ep.offset, in.data(), recv_ep.size);
+
+      return vt::max(h2d.end, sreq.wait());
+    }
+
+    case StrategyKind::mapped: {
+      // Mapping both regions is host-side latency only (no DMA engine).
+      const vt::TimePoint mapped_at =
+          ready + prof.pcie.map_setup + prof.pcie.map_setup;
+      mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second};
+      auto out = send_ep.buf->storage().subspan(send_ep.offset, send_ep.size);
+      auto in = recv_ep.buf->storage().subspan(recv_ep.offset, recv_ep.size);
+      mpi::Request sreq =
+          send_ep.comm->isend(out, send_ep.peer, send_ep.tag, mapped_at, opts);
+      mpi::Request rreq =
+          recv_ep.comm->irecv(in, recv_ep.peer, recv_ep.tag, mapped_at, opts);
+      const vt::TimePoint done = vt::max(sreq.wait(), rreq.wait());
+      return done + prof.pcie.map_setup + prof.pcie.map_setup;
+    }
+
+    case StrategyKind::pipelined: {
+      const std::size_t block = strategy.block;
+      const std::size_t out_blocks = pipeline_block_count(send_ep.size, block);
+      const std::size_t in_blocks = pipeline_block_count(recv_ep.size, block);
+      const auto setup = dev.copy_engine().acquire(ready, prof.pcie.pin_setup);
+
+      // Post every inbound block receive up front.
+      std::vector<std::vector<std::byte>> in(in_blocks);
+      std::vector<mpi::Request> rreqs;
+      rreqs.reserve(in_blocks);
+      for (std::size_t k = 0; k < in_blocks; ++k) {
+        in[k].resize(block_bytes(recv_ep.size, block, k));
+        rreqs.push_back(recv_ep.comm->irecv(
+            in[k], recv_ep.peer,
+            mpi::detail::pipeline_subtag(recv_ep.tag, static_cast<int>(k)), setup.end));
+      }
+
+      // Stream the outbound blocks down and onto the wire.
+      std::vector<std::vector<std::byte>> out(out_blocks);
+      std::vector<mpi::Request> sreqs;
+      sreqs.reserve(out_blocks);
+      for (std::size_t k = 0; k < out_blocks; ++k) {
+        const std::size_t n = block_bytes(send_ep.size, block, k);
+        const auto dma =
+            dev.charge_dma(setup.end, n, /*to_device=*/false, /*pinned_host=*/true);
+        out[k].resize(n);
+        std::memcpy(out[k].data(),
+                    send_ep.buf->storage().data() + send_ep.offset + k * block, n);
+        sreqs.push_back(send_ep.comm->isend(
+            out[k], send_ep.peer,
+            mpi::detail::pipeline_subtag(send_ep.tag, static_cast<int>(k)), dma.end));
+      }
+
+      // Stage inbound blocks up as they arrive.
+      vt::TimePoint done{};
+      for (std::size_t k = 0; k < in_blocks; ++k) {
+        const vt::TimePoint arrival = rreqs[k].wait();
+        const std::size_t n = in[k].size();
+        const auto h2d =
+            dev.charge_dma(arrival, n, /*to_device=*/true, /*pinned_host=*/true);
+        std::memcpy(recv_ep.buf->storage().data() + recv_ep.offset + k * block,
+                    in[k].data(), n);
+        done = vt::max(done, h2d.end);
+      }
+      for (auto& s : sreqs) done = vt::max(done, s.wait());
+      return done;
+    }
+
+    case StrategyKind::gpudirect: {
+      require_rdma(send_ep);
+      const vt::TimePoint at = ready + prof.nic.rdma_setup;
+      auto out = send_ep.buf->storage().subspan(send_ep.offset, send_ep.size);
+      auto in = recv_ep.buf->storage().subspan(recv_ep.offset, recv_ep.size);
+      mpi::Request sreq = send_ep.comm->isend(out, send_ep.peer, send_ep.tag, at);
+      mpi::Request rreq = recv_ep.comm->irecv(in, recv_ep.peer, recv_ep.tag, at);
+      return vt::max(sreq.wait(), rreq.wait());
+    }
+  }
+  throw PreconditionError("unknown transfer strategy");
+}
+
+vt::TimePoint send_host(mpi::Comm& comm, std::span<const std::byte> data, int peer, int tag,
+                        const Strategy& strategy, vt::TimePoint ready) {
+  CLMPI_REQUIRE(!data.empty(), "empty transfer");
+  if (strategy.kind != StrategyKind::pipelined) {
+    mpi::Request req = comm.isend(data, peer, tag, ready);
+    return req.wait();
+  }
+  const std::size_t nblocks = pipeline_block_count(data.size(), strategy.block);
+  std::vector<mpi::Request> reqs;
+  reqs.reserve(nblocks);
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    const std::size_t n = block_bytes(data.size(), strategy.block, k);
+    reqs.push_back(comm.isend(data.subspan(k * strategy.block, n), peer,
+                              mpi::detail::pipeline_subtag(tag, static_cast<int>(k)),
+                              ready));
+  }
+  vt::TimePoint done{};
+  for (auto& r : reqs) done = vt::max(done, r.wait());
+  return done;
+}
+
+vt::TimePoint recv_host(mpi::Comm& comm, std::span<std::byte> data, int peer, int tag,
+                        const Strategy& strategy, vt::TimePoint ready) {
+  CLMPI_REQUIRE(!data.empty(), "empty transfer");
+  if (strategy.kind != StrategyKind::pipelined) {
+    mpi::Request req = comm.irecv(data, peer, tag, ready);
+    return req.wait();
+  }
+  const std::size_t nblocks = pipeline_block_count(data.size(), strategy.block);
+  std::vector<mpi::Request> reqs;
+  reqs.reserve(nblocks);
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    const std::size_t n = block_bytes(data.size(), strategy.block, k);
+    reqs.push_back(comm.irecv(data.subspan(k * strategy.block, n), peer,
+                              mpi::detail::pipeline_subtag(tag, static_cast<int>(k)),
+                              ready));
+  }
+  vt::TimePoint done{};
+  for (auto& r : reqs) done = vt::max(done, r.wait());
+  return done;
+}
+
+vt::Duration predict_transfer(const sys::SystemProfile& profile, std::size_t size,
+                              const Strategy& strategy) {
+  const auto& pcie = profile.pcie;
+  const auto& wire = profile.nic.wire;
+  switch (strategy.kind) {
+    case StrategyKind::pinned:
+      // setup + D2H, one wire message, setup + H2D — fully serialized.
+      return pcie.pin_setup + pcie.pinned.of(size) + wire.of(size) + pcie.pin_setup +
+             pcie.pinned.of(size);
+    case StrategyKind::mapped: {
+      // NIC streams through the mapping at the capped rate; map/unmap on
+      // both ends are pure latency.
+      vt::LinearCost effective = wire;
+      effective.bytes_per_second =
+          std::min(effective.bytes_per_second, pcie.mapped.bytes_per_second);
+      return pcie.map_setup * 4.0 + effective.of(size);
+    }
+    case StrategyKind::gpudirect:
+      CLMPI_REQUIRE(profile.nic.rdma_direct,
+                    "GPUDirect RDMA is not available on this system");
+      return profile.nic.rdma_setup + wire.of(size);
+    case StrategyKind::pipelined: {
+      // Classic pipeline bound: fill (first block down) + N stages at the
+      // slowest stage rate + drain (last block up).
+      const std::size_t nblocks = pipeline_block_count(size, strategy.block);
+      const std::size_t last = size - (nblocks - 1) * strategy.block;
+      const vt::Duration d2h = pcie.pinned.of(strategy.block);
+      const vt::Duration h2d = d2h;
+      const vt::Duration stage = vt::max(wire.of(strategy.block), d2h);
+      return pcie.pin_setup + pcie.pinned.of(std::min(strategy.block, size)) +
+             stage * static_cast<double>(nblocks - 1) + wire.of(last) + pcie.pin_setup +
+             h2d;
+    }
+  }
+  throw PreconditionError("unknown transfer strategy");
+}
+
+Strategy select(const sys::SystemProfile& profile, std::size_t size, SelectionMode mode) {
+  // GPUDirect-capable hardware short-circuits both policies: the direct
+  // path dominates every staged one (§VI: applications benefit from new
+  // hardware without a code change).
+  if (profile.nic.rdma_direct) return Strategy::gpudirect();
+
+  if (mode == SelectionMode::heuristic) {
+    if (size >= profile.pipeline_threshold) {
+      return Strategy::pipelined(default_pipeline_block(profile, size));
+    }
+    return profile.small_preference == sys::SmallTransferPreference::mapped
+               ? Strategy::mapped()
+               : Strategy::pinned();
+  }
+
+  // Predictive: argmin of the analytic model over the candidate set.
+  Strategy best = Strategy::pinned();
+  vt::Duration best_cost = predict_transfer(profile, size, best);
+  auto consider = [&](const Strategy& candidate) {
+    const vt::Duration cost = predict_transfer(profile, size, candidate);
+    if (cost < best_cost) {
+      best = candidate;
+      best_cost = cost;
+    }
+  };
+  consider(Strategy::mapped());
+  for (std::size_t block = 64_KiB; block <= 16_MiB; block *= 2) {
+    if (block >= size) break;
+    consider(Strategy::pipelined(block));
+  }
+  return best;
+}
+
+std::size_t default_pipeline_block(const sys::SystemProfile& /*profile*/, std::size_t size) {
+  // Block ~ size/8, clamped to [256 KiB, 16 MiB] and rounded down to a power
+  // of two. Figure 8(b): the optimal block grows with the message size.
+  const std::size_t lo = 256_KiB;
+  const std::size_t hi = 16_MiB;
+  std::size_t target = std::clamp(size / 8, lo, hi);
+  std::size_t block = lo;
+  while (block * 2 <= target) block *= 2;
+  return block;
+}
+
+}  // namespace clmpi::xfer

@@ -1,0 +1,128 @@
+// Inter-node data transfer strategies for device memory endpoints.
+//
+// Section III of the paper identifies three implementations of the same
+// logical operation "move a device buffer to/from a remote peer":
+//
+//  * pinned    — stage through a page-locked host bounce buffer (fast DMA),
+//                then one MPI message; DMA and wire are serialized.
+//  * mapped    — map the device buffer into the host address space and hand
+//                the mapping straight to MPI; lowest setup cost, but the NIC
+//                streams at the mapped-access bandwidth.
+//  * pipelined — split into fixed-size blocks; the PCIe stage of block k
+//                overlaps the wire transfer of block k-1 (MVAPICH2-GPU
+//                style [7]).
+//
+// Which one wins depends on the system and the message size (Figure 8); the
+// clMPI runtime hides the choice behind `select()` (§V-B). These functions
+// are synchronous: they are called on a command-queue worker or on the clMPI
+// communication thread, never on the application's host thread.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "ocl/buffer.hpp"
+#include "ocl/device.hpp"
+#include "simmpi/comm.hpp"
+#include "vt/time.hpp"
+
+namespace clmpi::xfer {
+
+enum class StrategyKind {
+  pinned,
+  mapped,
+  pipelined,
+  /// GPUDirect RDMA: the NIC moves device memory directly, no host staging
+  /// and no PCIe copy-engine involvement (requires NicModel::rdma_direct).
+  gpudirect,
+};
+
+const char* to_string(StrategyKind kind) noexcept;
+
+struct Strategy {
+  StrategyKind kind{StrategyKind::pinned};
+  /// Pipeline block size in bytes (pipelined only).
+  std::size_t block{0};
+
+  static Strategy pinned() { return {StrategyKind::pinned, 0}; }
+  static Strategy mapped() { return {StrategyKind::mapped, 0}; }
+  static Strategy pipelined(std::size_t block_bytes) {
+    return {StrategyKind::pipelined, block_bytes};
+  }
+  static Strategy gpudirect() { return {StrategyKind::gpudirect, 0}; }
+};
+
+/// One device-buffer communication endpoint.
+struct DeviceEndpoint {
+  mpi::Comm* comm{nullptr};
+  ocl::Device* dev{nullptr};
+  ocl::Buffer* buf{nullptr};
+  std::size_t offset{0};
+  std::size_t size{0};
+  int peer{0};
+  int tag{0};
+};
+
+/// Send/receive the device buffer region with the given strategy, starting
+/// no earlier than `ready`. Blocks (in real time) until the transfer is
+/// done; returns its virtual completion time.
+///
+/// Both endpoints of one logical message must use strategies with the same
+/// wire decomposition (pipelined block size); the `select()` policy
+/// guarantees this on homogeneous clusters, since it is a pure function of
+/// (profile, size).
+vt::TimePoint send_device(const DeviceEndpoint& ep, const Strategy& strategy,
+                          vt::TimePoint ready);
+vt::TimePoint recv_device(const DeviceEndpoint& ep, const Strategy& strategy,
+                          vt::TimePoint ready);
+
+/// Bidirectional halo exchange: send `send_ep` and receive `recv_ep` with
+/// the same peer concurrently (full-duplex wire; the single PCIe copy engine
+/// serializes the staging of the two directions, as on the paper's
+/// single-copy-engine Tesla hardware). Both sides of the exchange must use
+/// the same strategy. Returns the completion time of the later direction.
+vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoint& recv_ep,
+                              const Strategy& strategy, vt::TimePoint ready);
+
+/// Host-memory endpoint of an MPI_CL_MEM message (the paper's Figure 7
+/// pattern: a host thread exchanging with a remote communicator device).
+/// For the host side, "pipelined" means the message is carried as the same
+/// block sub-messages the device side expects; pinned/mapped degrade to a
+/// single plain message.
+vt::TimePoint send_host(mpi::Comm& comm, std::span<const std::byte> data, int peer, int tag,
+                        const Strategy& strategy, vt::TimePoint ready);
+vt::TimePoint recv_host(mpi::Comm& comm, std::span<std::byte> data, int peer, int tag,
+                        const Strategy& strategy, vt::TimePoint ready);
+
+/// How the runtime picks a strategy (§V-B's "automatic selection mechanism
+/// can be adopted behind the interfaces").
+enum class SelectionMode {
+  /// The static per-system policy of the paper's evaluation: the profile's
+  /// small-message preference below the pipeline threshold, pipelined above.
+  heuristic,
+  /// Model-predictive: evaluate the analytic cost of every strategy (and a
+  /// range of pipeline blocks) for this exact size and take the argmin.
+  predictive,
+};
+
+/// Analytic end-to-end one-way cost of moving `size` device bytes to a
+/// remote device with `strategy` on an idle system — the model the
+/// predictive selector minimizes.
+vt::Duration predict_transfer(const sys::SystemProfile& profile, std::size_t size,
+                              const Strategy& strategy);
+
+/// The clMPI runtime's automatic strategy selection (§V-B). Pure function of
+/// (profile, size, mode), so both endpoints of a message derive the same
+/// wire decomposition.
+Strategy select(const sys::SystemProfile& profile, std::size_t size,
+                SelectionMode mode = SelectionMode::heuristic);
+
+/// Pipeline block size heuristic: grows with the message (Figure 8(b):
+/// small blocks win for small messages, large blocks for large ones).
+std::size_t default_pipeline_block(const sys::SystemProfile& profile, std::size_t size);
+
+/// Number of blocks a pipelined transfer of `size` with block `block` uses.
+std::size_t pipeline_block_count(std::size_t size, std::size_t block);
+
+}  // namespace clmpi::xfer

@@ -1,0 +1,44 @@
+// Per-entity virtual clocks.
+//
+// Each host thread (MPI rank) owns a Clock. Local compute advances it;
+// blocking on an event/request synchronizes it forward to the completion
+// time of the awaited operation (never backward). The maximum clock value
+// across all entities at the end of a run is the run's makespan.
+#pragma once
+
+#include <atomic>
+
+#include "vt/time.hpp"
+
+namespace clmpi::vt {
+
+class Clock {
+ public:
+  Clock() = default;
+  explicit Clock(TimePoint start) : now_(start.s) {}
+
+  [[nodiscard]] TimePoint now() const noexcept {
+    return TimePoint{now_.load(std::memory_order_acquire)};
+  }
+
+  /// Local work: now += d.
+  void advance(Duration d) noexcept {
+    now_.store(now_.load(std::memory_order_relaxed) + d.s, std::memory_order_release);
+  }
+
+  /// Blocking wait semantics: now = max(now, t).
+  void sync_to(TimePoint t) noexcept {
+    double cur = now_.load(std::memory_order_relaxed);
+    while (cur < t.s &&
+           !now_.compare_exchange_weak(cur, t.s, std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  void reset(TimePoint t = {}) noexcept { now_.store(t.s, std::memory_order_release); }
+
+ private:
+  std::atomic<double> now_{0.0};
+};
+
+}  // namespace clmpi::vt

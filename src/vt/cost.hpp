@@ -1,0 +1,32 @@
+// Cost models translating operation sizes into virtual durations.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "vt/time.hpp"
+
+namespace clmpi::vt {
+
+/// The ubiquitous latency + size/bandwidth model (alpha-beta model).
+///
+/// A bandwidth of +inf yields pure-latency costs; latency 0 and bandwidth
+/// +inf yields free operations (useful to disable a stage in ablations).
+struct LinearCost {
+  Duration latency{0.0};
+  double bytes_per_second{std::numeric_limits<double>::infinity()};
+
+  [[nodiscard]] constexpr Duration of(std::size_t bytes) const {
+    return latency + seconds(static_cast<double>(bytes) / bytes_per_second);
+  }
+
+  /// Sustained bandwidth this model achieves for a given transfer size.
+  [[nodiscard]] constexpr double sustained_bw(std::size_t bytes) const {
+    const Duration d = of(bytes);
+    return d.s > 0.0 ? static_cast<double>(bytes) / d.s : bytes_per_second;
+  }
+
+  static constexpr LinearCost free() { return {}; }
+};
+
+}  // namespace clmpi::vt

@@ -1,0 +1,94 @@
+#include "vt/resource.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace clmpi::vt {
+
+TimePoint Resource::earliest_fit(TimePoint t, Duration cost) const {
+  // busy_ is sorted; skip past every interval that would collide with
+  // [t, t+cost).
+  for (const Span& iv : busy_) {
+    if (iv.end <= t) continue;             // entirely in the past of t
+    if (iv.start >= t + cost) break;       // gap before iv fits
+    t = iv.end;                            // collide: try right after iv
+  }
+  return t;
+}
+
+void Resource::insert(TimePoint start, Duration cost) {
+  total_busy_ += cost;
+  if (cost <= Duration{0.0}) return;  // zero-length ops occupy nothing
+  const Span span{start, start + cost};
+  auto it = std::lower_bound(
+      busy_.begin(), busy_.end(), span,
+      [](const Span& a, const Span& b) { return a.start < b.start; });
+  it = busy_.insert(it, span);
+  // Coalesce with neighbours that touch exactly (keeps the list small).
+  if (it != busy_.begin()) {
+    auto prev = it - 1;
+    if (prev->end == it->start) {
+      prev->end = it->end;
+      it = busy_.erase(it);
+      --it;
+    }
+  }
+  if (it + 1 != busy_.end() && it->end == (it + 1)->start) {
+    it->end = (it + 1)->end;
+    busy_.erase(it + 1);
+  }
+}
+
+Resource::Span Resource::acquire(TimePoint ready, Duration cost) {
+  CLMPI_REQUIRE(cost >= Duration{0.0}, "negative-cost acquire");
+  std::lock_guard lock(mutex_);
+  const TimePoint start = earliest_fit(ready, cost);
+  insert(start, cost);
+  return {start, start + cost};
+}
+
+Resource::Span Resource::acquire_joint(Resource& a, Resource& b, TimePoint ready,
+                                       Duration cost) {
+  if (&a == &b) return a.acquire(ready, cost);
+  CLMPI_REQUIRE(cost >= Duration{0.0}, "negative-cost acquire");
+  Resource* first = &a;
+  Resource* second = &b;
+  if (second < first) std::swap(first, second);
+  std::scoped_lock lock(first->mutex_, second->mutex_);
+
+  // Fixed point: the earliest instant both resources have the gap free.
+  TimePoint t = ready;
+  for (;;) {
+    const TimePoint ta = a.earliest_fit(t, cost);
+    const TimePoint tb = b.earliest_fit(ta, cost);
+    if (tb == ta) {
+      t = ta;
+      break;
+    }
+    t = tb;
+  }
+  a.insert(t, cost);
+  b.insert(t, cost);
+  return {t, t + cost};
+}
+
+TimePoint Resource::free_time() const {
+  std::lock_guard lock(mutex_);
+  return busy_.empty() ? TimePoint{} : busy_.back().end;
+}
+
+Duration Resource::busy_time() const {
+  std::lock_guard lock(mutex_);
+  return total_busy_;
+}
+
+void Resource::reset() {
+  std::lock_guard lock(mutex_);
+  busy_.clear();
+  total_busy_ = Duration{};
+}
+
+}  // namespace clmpi::vt

@@ -1,0 +1,56 @@
+// Virtual time: strong TimePoint/Duration types over double seconds.
+//
+// The simulation never sleeps: data movement really copies bytes, but its
+// *cost* is accounted on virtual clocks. All of the paper's measurements
+// (bandwidth, sustained GFLOPS, time per step) are derived from these
+// timestamps, which makes benches deterministic and instant.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+
+namespace clmpi::vt {
+
+/// A span of virtual time, in seconds. Non-negative by construction in all
+/// cost models, but subtraction of TimePoints may produce any value.
+struct Duration {
+  double s{0.0};
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return {a.s + b.s}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return {a.s - b.s}; }
+  friend constexpr Duration operator*(Duration a, double k) { return {a.s * k}; }
+  friend constexpr Duration operator*(double k, Duration a) { return {a.s * k}; }
+  friend constexpr Duration operator/(Duration a, double k) { return {a.s / k}; }
+  friend constexpr double operator/(Duration a, Duration b) { return a.s / b.s; }
+  constexpr Duration& operator+=(Duration o) {
+    s += o.s;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+};
+
+constexpr Duration seconds(double s) { return {s}; }
+constexpr Duration milliseconds(double ms) { return {ms * 1e-3}; }
+constexpr Duration microseconds(double us) { return {us * 1e-6}; }
+
+/// An instant on the virtual timeline. Time zero is the start of a run.
+struct TimePoint {
+  double s{0.0};
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) { return {t.s + d.s}; }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return {t.s + d.s}; }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) { return {a.s - b.s}; }
+  constexpr TimePoint& operator+=(Duration d) {
+    s += d.s;
+    return *this;
+  }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+};
+
+constexpr TimePoint origin() { return {0.0}; }
+
+constexpr TimePoint max(TimePoint a, TimePoint b) { return a.s >= b.s ? a : b; }
+constexpr TimePoint min(TimePoint a, TimePoint b) { return a.s <= b.s ? a : b; }
+constexpr Duration max(Duration a, Duration b) { return a.s >= b.s ? a : b; }
+
+}  // namespace clmpi::vt

@@ -1,0 +1,128 @@
+#include "vt/tracer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace clmpi::vt {
+
+char glyph_for(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::compute: return '#';
+    case SpanKind::host_to_device: return '>';
+    case SpanKind::device_to_host: return '<';
+    case SpanKind::wire: return '=';
+    case SpanKind::wait: return '.';
+    case SpanKind::other: return '+';
+  }
+  return '?';
+}
+
+void Tracer::record(std::string lane, std::string label, SpanKind kind, TimePoint start,
+                    TimePoint end) {
+  std::lock_guard lock(mutex_);
+  spans_.push_back({std::move(lane), std::move(label), kind, start, end});
+}
+
+std::vector<TraceSpan> Tracer::spans() const {
+  std::lock_guard lock(mutex_);
+  return spans_;
+}
+
+TimePoint Tracer::horizon() const {
+  std::lock_guard lock(mutex_);
+  TimePoint h{};
+  for (const auto& s : spans_) h = max(h, s.end);
+  return h;
+}
+
+std::string Tracer::gantt(std::size_t width) const {
+  const auto all = spans();
+  if (all.empty()) return "(empty trace)\n";
+
+  TimePoint t0 = all.front().start, t1 = all.front().end;
+  for (const auto& s : all) {
+    t0 = min(t0, s.start);
+    t1 = max(t1, s.end);
+  }
+  const double range = std::max(1e-12, (t1 - t0).s);
+
+  // Preserve lane discovery order.
+  std::vector<std::string> lane_order;
+  std::map<std::string, std::string> rows;
+  std::size_t lane_width = 0;
+  for (const auto& s : all) {
+    if (rows.find(s.lane) == rows.end()) {
+      rows[s.lane] = std::string(width, ' ');
+      lane_order.push_back(s.lane);
+      lane_width = std::max(lane_width, s.lane.size());
+    }
+    auto& row = rows[s.lane];
+    const double f0 = (s.start - t0).s / range;
+    const double f1 = (s.end - t0).s / range;
+    auto c0 = static_cast<std::size_t>(f0 * static_cast<double>(width - 1));
+    auto c1 = static_cast<std::size_t>(f1 * static_cast<double>(width - 1));
+    c1 = std::max(c1, c0);  // zero-length spans still get one cell
+    for (std::size_t c = c0; c <= c1 && c < width; ++c) row[c] = glyph_for(s.kind);
+  }
+
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  os << "timeline " << t0.s * 1e3 << " ms .. " << t1.s * 1e3 << " ms"
+     << "   (# compute, > H2D, < D2H, = wire, . wait)\n";
+  for (const auto& lane : lane_order)
+    os << std::left << std::setw(static_cast<int>(lane_width)) << lane << " |" << rows[lane]
+       << "|\n";
+  return os.str();
+}
+
+std::string Tracer::csv() const {
+  std::ostringstream os;
+  os << "lane,label,kind,start_s,end_s\n" << std::setprecision(9);
+  for (const auto& s : spans()) {
+    os << s.lane << ',' << s.label << ',' << static_cast<int>(s.kind) << ',' << s.start.s << ','
+       << s.end.s << '\n';
+  }
+  return os.str();
+}
+
+std::string Tracer::chrome_json() const {
+  const auto all = spans();
+  // Stable lane -> tid mapping in discovery order, emitted as thread-name
+  // metadata so the viewer shows lane labels.
+  std::map<std::string, int> tids;
+  std::vector<std::string> lanes;
+  for (const auto& s : all) {
+    if (tids.emplace(s.lane, static_cast<int>(lanes.size())).second) lanes.push_back(s.lane);
+  }
+
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    sep();
+    os << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << i
+       << R"(,"args":{"name":")" << lanes[i] << R"("}})";
+  }
+  os << std::fixed << std::setprecision(3);
+  for (const auto& s : all) {
+    sep();
+    os << R"({"name":")" << s.label << R"(","cat":")" << glyph_for(s.kind)
+       << R"(","ph":"X","pid":0,"tid":)" << tids[s.lane] << R"(,"ts":)" << s.start.s * 1e6
+       << R"(,"dur":)" << (s.end - s.start).s * 1e6 << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  spans_.clear();
+}
+
+}  // namespace clmpi::vt

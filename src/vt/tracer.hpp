@@ -1,0 +1,60 @@
+// Span tracing on the virtual timeline, with an ASCII Gantt renderer.
+//
+// Reproduces the paper's Figure 4 execution-timeline diagrams: each lane is
+// an entity (host thread, device queue, network), each span an operation.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "vt/time.hpp"
+
+namespace clmpi::vt {
+
+/// Categories map to single glyphs in the Gantt rendering.
+enum class SpanKind { compute, host_to_device, device_to_host, wire, wait, other };
+
+char glyph_for(SpanKind kind) noexcept;
+
+struct TraceSpan {
+  std::string lane;
+  std::string label;
+  SpanKind kind{SpanKind::other};
+  TimePoint start;
+  TimePoint end;
+};
+
+/// Thread-safe trace sink. Pass a Tracer* to runtime components that should
+/// record their activity; nullptr disables tracing at near-zero cost.
+class Tracer {
+ public:
+  void record(std::string lane, std::string label, SpanKind kind, TimePoint start,
+              TimePoint end);
+
+  [[nodiscard]] std::vector<TraceSpan> spans() const;
+
+  /// End of the latest span (the traced makespan).
+  [[nodiscard]] TimePoint horizon() const;
+
+  /// ASCII Gantt chart: one row per lane, `width` characters of timeline.
+  /// Lanes appear in first-recorded order.
+  [[nodiscard]] std::string gantt(std::size_t width = 96) const;
+
+  /// Comma-separated values (lane,label,kind,start,end) for offline plotting.
+  [[nodiscard]] std::string csv() const;
+
+  /// Chrome trace-event JSON (load in chrome://tracing or Perfetto): one
+  /// complete event per span, one track per lane, timestamps in virtual
+  /// microseconds.
+  [[nodiscard]] std::string chrome_json() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace clmpi::vt

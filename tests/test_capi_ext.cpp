@@ -1,0 +1,177 @@
+// C API coverage for the extension commands (collective broadcast, file
+// I/O) and the remaining MPI wrapper surface.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "clmpi/capi.h"
+#include "ocl/platform.hpp"
+#include "support/rng.hpp"
+#include "support/units.hpp"
+
+namespace clmpi {
+namespace {
+
+mpi::Cluster::Options opts(int nranks) {
+  mpi::Cluster::Options o;
+  o.nranks = nranks;
+  o.profile = &sys::ricc();
+  o.watchdog_seconds = 30.0;
+  return o;
+}
+
+/// Per-rank C-API session: platform + runtime + bound thread + context/queue.
+struct Session {
+  explicit Session(mpi::Rank& rank)
+      : platform(rank.profile(), rank.rank(), rank.tracer()),
+        cxx_ctx(platform.device()),
+        runtime(rank, platform.device()),
+        binding(rank, runtime) {
+    ctx = clmpiCreateContext(cxx_ctx);
+    cl_int err = CL_SUCCESS;
+    cmd = clCreateCommandQueue(ctx, &err);
+    EXPECT_EQ(err, CL_SUCCESS);
+  }
+  ~Session() {
+    clReleaseCommandQueue(cmd);
+    clReleaseContext(ctx);
+  }
+
+  ocl::Platform platform;
+  ocl::Context cxx_ctx;
+  rt::Runtime runtime;
+  capi::ThreadBinding binding;
+  cl_context ctx{nullptr};
+  cl_command_queue cmd{nullptr};
+};
+
+TEST(CApiExt, BcastBufferAcrossThreeRanks) {
+  constexpr std::size_t size = 1_MiB;
+  mpi::Cluster::run(opts(3), [&](mpi::Rank& rank) {
+    Session s(rank);
+    cl_int err = CL_SUCCESS;
+    cl_mem buf = clCreateBuffer(s.ctx, size, &err);
+    if (rank.rank() == 1) fill_pattern(clmpiGetBuffer(buf)->storage(), 3);
+
+    cl_event evt = nullptr;
+    EXPECT_EQ(clEnqueueBcastBuffer(s.cmd, buf, CL_TRUE, 0, size, /*root=*/1,
+                                   MPI_COMM_WORLD, 0, nullptr, &evt),
+              CL_SUCCESS);
+    EXPECT_TRUE(check_pattern(clmpiGetBuffer(buf)->storage(), 3));
+    clReleaseEvent(evt);
+    clReleaseMemObject(buf);
+  });
+}
+
+TEST(CApiExt, FileRoundTripWithEventChain) {
+  const std::string path = testing::TempDir() + "clmpi_capi_file.bin";
+  constexpr std::size_t size = 512_KiB;
+  mpi::Cluster::run(opts(1), [&](mpi::Rank& rank) {
+    Session s(rank);
+    cl_int err = CL_SUCCESS;
+    cl_mem src = clCreateBuffer(s.ctx, size, &err);
+    cl_mem dst = clCreateBuffer(s.ctx, size, &err);
+    fill_pattern(clmpiGetBuffer(src)->storage(), 9);
+
+    cl_event written = nullptr;
+    EXPECT_EQ(clEnqueueWriteFile(s.cmd, src, CL_FALSE, 0, size, path.c_str(), 0, nullptr,
+                                 &written),
+              CL_SUCCESS);
+    EXPECT_EQ(clEnqueueReadFile(s.cmd, dst, CL_TRUE, 0, size, path.c_str(), 1, &written,
+                                nullptr),
+              CL_SUCCESS);
+    EXPECT_TRUE(check_pattern(clmpiGetBuffer(dst)->storage(), 9));
+    clReleaseEvent(written);
+    clReleaseMemObject(src);
+    clReleaseMemObject(dst);
+  });
+}
+
+TEST(CApiExt, FileWithNullPathRejected) {
+  mpi::Cluster::run(opts(1), [&](mpi::Rank& rank) {
+    Session s(rank);
+    cl_int err = CL_SUCCESS;
+    cl_mem buf = clCreateBuffer(s.ctx, 64, &err);
+    EXPECT_EQ(clEnqueueWriteFile(s.cmd, buf, CL_TRUE, 0, 64, nullptr, 0, nullptr, nullptr),
+              CL_INVALID_VALUE);
+    clReleaseMemObject(buf);
+  });
+}
+
+TEST(CApiExt, MpiSendrecvAndBarrier) {
+  mpi::Cluster::run(opts(2), [&](mpi::Rank& rank) {
+    Session s(rank);
+    int self = -1, size = 0;
+    MPI_Comm_rank(MPI_COMM_WORLD, &self);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    EXPECT_EQ(size, 2);
+
+    double out = 10.0 * self, in = -1.0;
+    const int peer = 1 - self;
+    EXPECT_EQ(MPI_Sendrecv(&out, 1, MPI_DOUBLE, peer, 4, &in, 1, MPI_DOUBLE, peer, 4,
+                           MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    EXPECT_DOUBLE_EQ(in, 10.0 * peer);
+    EXPECT_EQ(MPI_Barrier(MPI_COMM_WORLD), MPI_SUCCESS);
+  });
+}
+
+TEST(CApiExt, MpiWaitallOverMixedRequests) {
+  mpi::Cluster::run(opts(2), [&](mpi::Rank& rank) {
+    Session s(rank);
+    int self = -1;
+    MPI_Comm_rank(MPI_COMM_WORLD, &self);
+    const int peer = 1 - self;
+    std::vector<float> out(1024, static_cast<float>(self));
+    std::vector<float> in(1024, -1.0f);
+    MPI_Request reqs[2];
+    MPI_Irecv(in.data(), 1024, MPI_FLOAT, peer, 1, MPI_COMM_WORLD, &reqs[0]);
+    MPI_Isend(out.data(), 1024, MPI_FLOAT, peer, 1, MPI_COMM_WORLD, &reqs[1]);
+    EXPECT_EQ(MPI_Waitall(2, reqs), MPI_SUCCESS);
+    EXPECT_FLOAT_EQ(in[0], static_cast<float>(peer));
+  });
+}
+
+TEST(CApiExt, EventRetainReleaseRefcount) {
+  mpi::Cluster::run(opts(1), [&](mpi::Rank& rank) {
+    Session s(rank);
+    cl_int err = CL_SUCCESS;
+    cl_mem buf = clCreateBuffer(s.ctx, 64, &err);
+    std::vector<std::byte> host(64);
+    cl_event evt = nullptr;
+    clEnqueueWriteBuffer(s.cmd, buf, CL_TRUE, 0, 64, host.data(), 0, nullptr, &evt);
+    ASSERT_NE(evt, nullptr);
+    EXPECT_EQ(clRetainEvent(evt), CL_SUCCESS);
+    EXPECT_EQ(clReleaseEvent(evt), CL_SUCCESS);  // refcount 2 -> 1
+    EXPECT_EQ(clWaitForEvents(1, &evt), CL_SUCCESS);  // still alive
+    EXPECT_EQ(clReleaseEvent(evt), CL_SUCCESS);  // destroys
+    clReleaseMemObject(buf);
+  });
+}
+
+TEST(CApiExt, SendBufferThroughCapiUsesRuntimePolicy) {
+  constexpr std::size_t size = 16_MiB;  // pipelined on RICC
+  mpi::Cluster::run(opts(2), [&](mpi::Rank& rank) {
+    Session s(rank);
+    cl_int err = CL_SUCCESS;
+    cl_mem buf = clCreateBuffer(s.ctx, size, &err);
+    int self = -1;
+    MPI_Comm_rank(MPI_COMM_WORLD, &self);
+    if (self == 0) {
+      fill_pattern(clmpiGetBuffer(buf)->storage(), 51);
+      EXPECT_EQ(clEnqueueSendBuffer(s.cmd, buf, CL_TRUE, 0, size, 1, 0, MPI_COMM_WORLD, 0,
+                                    nullptr, nullptr),
+                CL_SUCCESS);
+    } else {
+      EXPECT_EQ(clEnqueueRecvBuffer(s.cmd, buf, CL_TRUE, 0, size, 0, 0, MPI_COMM_WORLD, 0,
+                                    nullptr, nullptr),
+                CL_SUCCESS);
+      EXPECT_TRUE(check_pattern(clmpiGetBuffer(buf)->storage(), 51));
+    }
+    clReleaseMemObject(buf);
+  });
+}
+
+}  // namespace
+}  // namespace clmpi

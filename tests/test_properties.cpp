@@ -1,0 +1,224 @@
+// Property-based tests: randomized (seeded, reproducible) workloads checking
+// the invariants the simulation must uphold regardless of configuration —
+// byte-exact delivery, event ordering, in-order queue semantics, and
+// virtual-time causality.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "clmpi/runtime.hpp"
+#include "ocl/context.hpp"
+#include "ocl/platform.hpp"
+#include "ocl/queue.hpp"
+#include "simmpi/cluster.hpp"
+#include "support/rng.hpp"
+#include "support/units.hpp"
+#include "transfer/strategy.hpp"
+
+namespace clmpi {
+namespace {
+
+mpi::Cluster::Options opts(int nranks, const sys::SystemProfile& prof) {
+  mpi::Cluster::Options o;
+  o.nranks = nranks;
+  o.profile = &prof;
+  o.watchdog_seconds = 60.0;
+  return o;
+}
+
+// --- message storm: all-to-all random traffic stays byte-exact ---------------
+
+class MessageStorm : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MessageStorm, RandomTrafficDeliversExactly) {
+  const std::uint64_t seed = GetParam();
+  constexpr int kRanks = 4;
+  constexpr int kRounds = 8;
+
+  mpi::Cluster::run(opts(kRanks, sys::cichlid()), [seed](mpi::Rank& rank) {
+    // Every (sender, receiver, round) triple derives the same size and
+    // pattern seed on both sides — no metadata exchange needed.
+    auto size_of = [seed](int src, int dst, int round) {
+      const std::uint64_t s =
+          derive_seed(seed, static_cast<std::uint64_t>(src * 1000 + dst * 10 + round));
+      return 1 + static_cast<std::size_t>(s % (200 * 1024));  // 1 B .. 200 KiB
+    };
+    auto pattern_of = [seed](int src, int dst, int round) {
+      return derive_seed(seed ^ 0xabcdef, static_cast<std::uint64_t>(src * 1000 + dst * 10 + round));
+    };
+
+    std::vector<mpi::Request> pending;
+    std::vector<std::vector<std::byte>> live_sends;
+    std::vector<std::vector<std::byte>> live_recvs;
+    struct Check {
+      std::size_t index;
+      std::uint64_t pattern;
+    };
+    std::vector<Check> checks;
+
+    for (int round = 0; round < kRounds; ++round) {
+      for (int peer = 0; peer < rank.size(); ++peer) {
+        if (peer == rank.rank()) continue;
+        // Outbound.
+        live_sends.emplace_back(size_of(rank.rank(), peer, round));
+        fill_pattern(live_sends.back(), pattern_of(rank.rank(), peer, round));
+        pending.push_back(
+            rank.world().isend(live_sends.back(), peer, round, rank.clock()));
+        // Inbound.
+        live_recvs.emplace_back(size_of(peer, rank.rank(), round));
+        checks.push_back({live_recvs.size() - 1, pattern_of(peer, rank.rank(), round)});
+        pending.push_back(
+            rank.world().irecv(live_recvs.back(), peer, round, rank.clock()));
+      }
+    }
+    mpi::wait_all(std::span(pending), rank.clock());
+    for (const Check& c : checks) {
+      EXPECT_TRUE(check_pattern(live_recvs[c.index], c.pattern));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MessageStorm, ::testing::Values(1u, 17u, 42u, 1234u));
+
+// --- random transfer regions through every strategy ---------------------------
+
+class RandomRegions : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomRegions, SubRegionTransfersStayExact) {
+  const std::uint64_t seed = GetParam();
+  mpi::Cluster::run(opts(2, sys::ricc()), [seed](mpi::Rank& rank) {
+    ocl::Platform platform(rank.profile(), rank.rank(), rank.tracer());
+    ocl::Context ctx(platform.device());
+    constexpr std::size_t buf_size = 4_MiB;
+    ocl::BufferPtr buf = ctx.create_buffer(buf_size);
+
+    Rng rng(seed);
+    for (int i = 0; i < 12; ++i) {
+      const std::size_t size = 1 + rng.below(1_MiB);
+      const std::size_t offset = rng.below(buf_size - size);
+      const xfer::Strategy strategy = [&] {
+        switch (rng.below(3)) {
+          case 0: return xfer::Strategy::pinned();
+          case 1: return xfer::Strategy::mapped();
+          default: return xfer::Strategy::pipelined(1 + rng.below(256_KiB));
+        }
+      }();
+      xfer::DeviceEndpoint ep{&rank.world(), &platform.device(), buf.get(), offset, size,
+                              1 - rank.rank(), i};
+      if (rank.rank() == 0) {
+        fill_pattern(buf->storage().subspan(offset, size), seed + static_cast<std::uint64_t>(i));
+        (void)xfer::send_device(ep, strategy, rank.clock().now());
+      } else {
+        const vt::TimePoint done = xfer::recv_device(ep, strategy, rank.clock().now());
+        rank.clock().sync_to(done);
+        EXPECT_TRUE(check_pattern(buf->storage().subspan(offset, size),
+                                  seed + static_cast<std::uint64_t>(i)));
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRegions, ::testing::Values(3u, 99u, 777u));
+
+// --- random command DAGs keep event-ordering invariants ------------------------
+
+class RandomDag : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDag, EventTimestampsRespectDependencies) {
+  const std::uint64_t seed = GetParam();
+  ocl::Platform platform(sys::cichlid(), 0, nullptr);
+  ocl::Context ctx(platform.device());
+  auto q0 = ctx.create_queue("q0");
+  auto q1 = ctx.create_queue("q1");
+  vt::Clock clock;
+
+  ocl::Program prog;
+  prog.define("work", [](const ocl::NDRange&, const ocl::KernelArgs&) {},
+              ocl::flops_per_item(100.0));
+
+  Rng rng(seed);
+  std::vector<ocl::EventPtr> events;
+  std::vector<std::vector<std::size_t>> deps;
+  for (int i = 0; i < 40; ++i) {
+    // Pick up to 3 random earlier events as the wait list.
+    std::vector<ocl::EventPtr> waits;
+    std::vector<std::size_t> dep_idx;
+    if (!events.empty()) {
+      for (std::uint64_t d = rng.below(4); d > 0; --d) {
+        const std::size_t pick = rng.below(events.size());
+        waits.push_back(events[pick]);
+        dep_idx.push_back(pick);
+      }
+    }
+    auto& queue = rng.below(2) == 0 ? q0 : q1;
+    auto kernel = prog.create_kernel("work");
+    events.push_back(queue->enqueue_ndrange(
+        kernel, ocl::NDRange::linear(1 + rng.below(4096)), waits, clock));
+    deps.push_back(std::move(dep_idx));
+  }
+  q0->finish(clock);
+  q1->finish(clock);
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto p = events[i]->profiling();
+    EXPECT_LE(p.queued.s, p.submitted.s);
+    EXPECT_LE(p.submitted.s, p.started.s);
+    EXPECT_LE(p.started.s, p.ended.s);
+    for (std::size_t d : deps[i]) {
+      // A command never starts before its wait-list dependencies end.
+      EXPECT_GE(p.started.s, events[d]->profiling().ended.s);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDag, ::testing::Values(5u, 21u, 404u, 9001u));
+
+// --- virtual-time causality for random p2p traffic -----------------------------
+
+TEST(Causality, CompletionNeverPrecedesTheModelMinimum) {
+  const auto& prof = sys::ricc();
+  mpi::Cluster::run(opts(2, prof), [&prof](mpi::Rank& rank) {
+    Rng rng(7);
+    for (int i = 0; i < 20; ++i) {
+      const std::size_t size = 1 + rng.below(2_MiB);
+      std::vector<std::byte> buf(size);
+      if (rank.rank() == 0) {
+        const vt::TimePoint before = rank.clock().now();
+        rank.world().send(buf, 1, i, rank.clock());
+        // A blocking send takes at least the wire latency.
+        EXPECT_GE(rank.now_s(), before.s + prof.nic.wire.latency.s);
+      } else {
+        const vt::TimePoint posted = rank.clock().now();
+        const mpi::MsgStatus st = rank.world().recv(buf, 0, i, rank.clock());
+        EXPECT_EQ(st.bytes, size);
+        EXPECT_GE(rank.now_s(), posted.s);
+        // Arrival is bounded below by the pure wire cost of this message.
+        EXPECT_GE(rank.now_s() - posted.s, 0.0);
+      }
+    }
+  });
+}
+
+TEST(Causality, MakespanBoundedByResourceWork) {
+  // Total makespan can never be smaller than the busiest device's compute.
+  const auto result = mpi::Cluster::run(opts(3, sys::cichlid()), [](mpi::Rank& rank) {
+    ocl::Platform platform(rank.profile(), rank.rank(), rank.tracer());
+    ocl::Context ctx(platform.device());
+    auto queue = ctx.create_queue();
+    ocl::Program prog;
+    prog.define("busy", [](const ocl::NDRange&, const ocl::KernelArgs&) {},
+                ocl::fixed_cost(vt::milliseconds(2.0)));
+    auto kernel = prog.create_kernel("busy");
+    for (int i = 0; i < 5; ++i) {
+      queue->enqueue_ndrange(kernel, ocl::NDRange::linear(1), {}, rank.clock());
+    }
+    queue->finish(rank.clock());
+    EXPECT_GE(platform.device().compute_engine().busy_time().s, 0.00999);
+  });
+  EXPECT_GE(result.makespan_s, 0.00999);
+}
+
+}  // namespace
+}  // namespace clmpi

@@ -1,0 +1,114 @@
+// Unit tests for the support module: errors, formatting, RNG, units.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace clmpi {
+namespace {
+
+TEST(Status, NamesAreStable) {
+  EXPECT_STREQ(to_string(Status::success), "CL_SUCCESS");
+  EXPECT_STREQ(to_string(Status::invalid_value), "CL_INVALID_VALUE");
+  EXPECT_STREQ(to_string(Status::runtime_shutdown), "CLMPI_RUNTIME_SHUTDOWN");
+}
+
+TEST(Require, ThrowsWithLocationAndMessage) {
+  try {
+    CLMPI_REQUIRE(1 == 2, "math broke");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("math broke"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_support.cpp"), std::string::npos);
+  }
+}
+
+TEST(Require, PassesSilently) { EXPECT_NO_THROW(CLMPI_REQUIRE(true, "fine")); }
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(64_KiB, 65536u);
+  EXPECT_EQ(1_MiB, 1048576u);
+  EXPECT_EQ(2_GiB, 2147483648ull);
+}
+
+TEST(Units, RateAndLatencyLiterals) {
+  EXPECT_DOUBLE_EQ(117_MBps, 117e6);
+  EXPECT_DOUBLE_EQ(1.35_GBps, 1.35e9);
+  EXPECT_DOUBLE_EQ(55_us, 55e-6);
+  EXPECT_DOUBLE_EQ(1.5_ms, 1.5e-3);
+}
+
+TEST(FormatBytes, PicksTheRightUnit) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(64_KiB), "64 KiB");
+  EXPECT_EQ(format_bytes(3_MiB), "3 MiB");
+  EXPECT_EQ(format_bytes(1_GiB), "1 GiB");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"beta", "23.50"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Numeric cells are right-aligned: "23.50" ends at the same column as
+  // " 1.00".
+  EXPECT_NE(out.find(" 1.00"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(10.0, 0), "10");
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, DerivedSeedsDiffer) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+}
+
+TEST(Pattern, RoundTripsAndDetectsCorruption) {
+  std::vector<std::byte> data(1029);  // deliberately not a multiple of 8
+  fill_pattern(data, 99);
+  EXPECT_TRUE(check_pattern(data, 99));
+  EXPECT_FALSE(check_pattern(data, 100));
+  data[700] ^= std::byte{1};
+  EXPECT_FALSE(check_pattern(data, 99));
+}
+
+TEST(Pattern, EmptySpanMatches) {
+  std::vector<std::byte> empty;
+  EXPECT_TRUE(check_pattern(empty, 1));
+}
+
+}  // namespace
+}  // namespace clmpi

@@ -1,0 +1,261 @@
+// Unit tests for the virtual-time engine: time arithmetic, cost models,
+// serializing resources, clocks, tracing.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "vt/clock.hpp"
+#include "vt/cost.hpp"
+#include "vt/resource.hpp"
+#include "vt/time.hpp"
+#include "vt/tracer.hpp"
+
+namespace clmpi::vt {
+namespace {
+
+TEST(Time, Arithmetic) {
+  const TimePoint t0 = origin();
+  const TimePoint t1 = t0 + seconds(2.0);
+  EXPECT_DOUBLE_EQ((t1 - t0).s, 2.0);
+  EXPECT_DOUBLE_EQ((t1 + milliseconds(500.0)).s, 2.5);
+  EXPECT_TRUE(t1 > t0);
+  EXPECT_EQ(max(t0, t1), t1);
+  EXPECT_EQ(min(t0, t1), t0);
+}
+
+TEST(Time, DurationOps) {
+  const Duration d = seconds(1.0) + microseconds(500.0) * 2.0;
+  EXPECT_DOUBLE_EQ(d.s, 1.001);
+  EXPECT_DOUBLE_EQ((d / 2.0).s, 0.5005);
+  EXPECT_DOUBLE_EQ(seconds(3.0) / seconds(1.5), 2.0);
+}
+
+TEST(LinearCost, LatencyPlusBandwidth) {
+  const LinearCost c{.latency = microseconds(10.0), .bytes_per_second = 1e9};
+  EXPECT_DOUBLE_EQ(c.of(0).s, 10e-6);
+  EXPECT_DOUBLE_EQ(c.of(1'000'000).s, 10e-6 + 1e-3);
+}
+
+TEST(LinearCost, FreeCostsNothing) {
+  EXPECT_DOUBLE_EQ(LinearCost::free().of(1u << 30).s, 0.0);
+}
+
+TEST(LinearCost, SustainedBandwidthApproachesPeak) {
+  const LinearCost c{.latency = microseconds(50.0), .bytes_per_second = 1e8};
+  EXPECT_LT(c.sustained_bw(1024), 0.5e8);          // latency dominated
+  EXPECT_GT(c.sustained_bw(64u << 20), 0.99e8);    // bandwidth dominated
+}
+
+TEST(Resource, SerializesBackToBack) {
+  Resource r("x");
+  const auto a = r.acquire(origin(), seconds(1.0));
+  const auto b = r.acquire(origin(), seconds(2.0));
+  EXPECT_DOUBLE_EQ(a.start.s, 0.0);
+  EXPECT_DOUBLE_EQ(a.end.s, 1.0);
+  EXPECT_DOUBLE_EQ(b.start.s, 1.0);  // queued behind a
+  EXPECT_DOUBLE_EQ(b.end.s, 3.0);
+  EXPECT_DOUBLE_EQ(r.busy_time().s, 3.0);
+}
+
+TEST(Resource, IdleGapWhenReadyIsLate) {
+  Resource r("x");
+  (void)r.acquire(origin(), seconds(1.0));
+  const auto late = r.acquire(TimePoint{5.0}, seconds(1.0));
+  EXPECT_DOUBLE_EQ(late.start.s, 5.0);
+  EXPECT_DOUBLE_EQ(r.free_time().s, 6.0);
+}
+
+TEST(Resource, JointAcquireTakesMaxOfBoth) {
+  Resource a("a"), b("b");
+  (void)a.acquire(origin(), seconds(3.0));
+  (void)b.acquire(origin(), seconds(1.0));
+  const auto span = Resource::acquire_joint(a, b, TimePoint{2.0}, seconds(1.0));
+  EXPECT_DOUBLE_EQ(span.start.s, 3.0);  // gated by a
+  EXPECT_DOUBLE_EQ(span.end.s, 4.0);
+  EXPECT_DOUBLE_EQ(a.free_time().s, 4.0);
+  EXPECT_DOUBLE_EQ(b.free_time().s, 4.0);
+}
+
+TEST(Resource, JointAcquireWithSelfIsPlainAcquire) {
+  Resource a("a");
+  const auto span = Resource::acquire_joint(a, a, origin(), seconds(2.0));
+  EXPECT_DOUBLE_EQ(span.end.s, 2.0);
+  EXPECT_DOUBLE_EQ(a.busy_time().s, 2.0);
+}
+
+TEST(Resource, BackfillsEarlierGaps) {
+  // An op whose ready time precedes already-granted work slots into the
+  // earlier gap instead of queueing at the tail — this is what makes the
+  // virtual schedule independent of real thread arrival order.
+  Resource r("x");
+  (void)r.acquire(TimePoint{5.0}, seconds(1.0));  // busy [5,6)
+  const auto early = r.acquire(origin(), seconds(2.0));
+  EXPECT_DOUBLE_EQ(early.start.s, 0.0);
+  EXPECT_DOUBLE_EQ(early.end.s, 2.0);
+  EXPECT_DOUBLE_EQ(r.free_time().s, 6.0);  // the tail allocation stands
+}
+
+TEST(Resource, BackfillSkipsTooSmallGaps) {
+  Resource r("x");
+  (void)r.acquire(TimePoint{1.0}, seconds(1.0));  // [1,2)
+  (void)r.acquire(TimePoint{3.0}, seconds(1.0));  // [3,4)
+  // Needs 2s: gap [0,1) too small, gap [2,3) too small -> lands at 4.
+  const auto span = r.acquire(origin(), seconds(2.0));
+  EXPECT_DOUBLE_EQ(span.start.s, 4.0);
+  // A 1s op still fits the first gap.
+  const auto small = r.acquire(origin(), seconds(1.0));
+  EXPECT_DOUBLE_EQ(small.start.s, 0.0);
+}
+
+TEST(Resource, BackfillIsOrderInsensitive) {
+  // The same set of (ready, cost) requests produces the same total busy
+  // intervals regardless of arrival order.
+  const std::vector<std::pair<double, double>> ops{
+      {0.0, 1.0}, {0.5, 2.0}, {4.0, 1.0}, {0.0, 0.5}, {2.0, 3.0}};
+  auto run = [&](const std::vector<std::size_t>& order) {
+    Resource r("x");
+    for (std::size_t i : order) {
+      (void)r.acquire(TimePoint{ops[i].first}, seconds(ops[i].second));
+    }
+    return r.free_time().s;
+  };
+  const double forward = run({0, 1, 2, 3, 4});
+  const double backward = run({4, 3, 2, 1, 0});
+  const double shuffled = run({2, 0, 4, 1, 3});
+  EXPECT_DOUBLE_EQ(forward, backward);
+  EXPECT_DOUBLE_EQ(forward, shuffled);
+}
+
+TEST(Resource, ZeroCostOpsOccupyNothing) {
+  Resource r("x");
+  for (int i = 0; i < 10; ++i) (void)r.acquire(TimePoint{1.0}, Duration{});
+  EXPECT_DOUBLE_EQ(r.busy_time().s, 0.0);
+  EXPECT_DOUBLE_EQ(r.free_time().s, 0.0);
+  // And they never collide with real work.
+  const auto span = r.acquire(origin(), seconds(1.0));
+  EXPECT_DOUBLE_EQ(span.start.s, 0.0);
+}
+
+TEST(Resource, JointAcquireFindsCommonGap) {
+  Resource a("a"), b("b");
+  (void)a.acquire(origin(), seconds(2.0));        // a busy [0,2)
+  (void)b.acquire(TimePoint{3.0}, seconds(2.0));  // b busy [3,5)
+  // Needs 1s free on both: a free from 2, b busy [3,5): [2,3) fits both.
+  const auto span = Resource::acquire_joint(a, b, origin(), seconds(1.0));
+  EXPECT_DOUBLE_EQ(span.start.s, 2.0);
+  // Needs 2s on both: [2,3) too small -> [5,7).
+  const auto big = Resource::acquire_joint(a, b, origin(), seconds(2.0));
+  EXPECT_DOUBLE_EQ(big.start.s, 5.0);
+}
+
+TEST(Resource, ResetClearsHistory) {
+  Resource r("x");
+  (void)r.acquire(origin(), seconds(2.0));
+  r.reset();
+  EXPECT_DOUBLE_EQ(r.free_time().s, 0.0);
+  EXPECT_DOUBLE_EQ(r.busy_time().s, 0.0);
+}
+
+TEST(Resource, ConcurrentAcquiresAccountAllWork) {
+  Resource r("x");
+  constexpr int kThreads = 8;
+  constexpr int kOps = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOps; ++i) (void)r.acquire(origin(), milliseconds(1.0));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_NEAR(r.busy_time().s, kThreads * kOps * 1e-3, 1e-9);
+  EXPECT_NEAR(r.free_time().s, kThreads * kOps * 1e-3, 1e-9);
+}
+
+TEST(Clock, AdvanceAndSync) {
+  Clock c;
+  c.advance(seconds(1.0));
+  EXPECT_DOUBLE_EQ(c.now().s, 1.0);
+  c.sync_to(TimePoint{0.5});  // never goes backward
+  EXPECT_DOUBLE_EQ(c.now().s, 1.0);
+  c.sync_to(TimePoint{2.0});
+  EXPECT_DOUBLE_EQ(c.now().s, 2.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.now().s, 0.0);
+}
+
+TEST(Clock, ConcurrentSyncKeepsMax) {
+  Clock c;
+  std::vector<std::thread> threads;
+  for (int t = 1; t <= 8; ++t) {
+    threads.emplace_back([&c, t] {
+      for (int i = 0; i < 1000; ++i) c.sync_to(TimePoint{static_cast<double>(t)});
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(c.now().s, 8.0);
+}
+
+TEST(Tracer, RecordsAndReportsHorizon) {
+  Tracer tr;
+  tr.record("host0", "a", SpanKind::compute, TimePoint{0.0}, TimePoint{1.0});
+  tr.record("net", "b", SpanKind::wire, TimePoint{0.5}, TimePoint{2.5});
+  EXPECT_EQ(tr.spans().size(), 2u);
+  EXPECT_DOUBLE_EQ(tr.horizon().s, 2.5);
+}
+
+TEST(Tracer, GanttShowsLanesInDiscoveryOrder) {
+  Tracer tr;
+  tr.record("zeta", "a", SpanKind::compute, TimePoint{0.0}, TimePoint{1.0});
+  tr.record("alpha", "b", SpanKind::wire, TimePoint{1.0}, TimePoint{2.0});
+  const std::string g = tr.gantt(40);
+  const auto zeta = g.find("zeta");
+  const auto alpha = g.find("alpha");
+  ASSERT_NE(zeta, std::string::npos);
+  ASSERT_NE(alpha, std::string::npos);
+  EXPECT_LT(zeta, alpha);
+  EXPECT_NE(g.find('#'), std::string::npos);  // compute glyph
+  EXPECT_NE(g.find('='), std::string::npos);  // wire glyph
+}
+
+TEST(Tracer, CsvHasHeaderAndRows) {
+  Tracer tr;
+  tr.record("l", "x", SpanKind::wait, TimePoint{0.0}, TimePoint{1.0});
+  const std::string csv = tr.csv();
+  EXPECT_NE(csv.find("lane,label,kind,start_s,end_s"), std::string::npos);
+  EXPECT_NE(csv.find("l,x,"), std::string::npos);
+}
+
+TEST(Tracer, ChromeJsonIsWellFormed) {
+  Tracer tr;
+  tr.record("host0", "kernel", SpanKind::compute, TimePoint{0.001}, TimePoint{0.002});
+  tr.record("net", "wire", SpanKind::wire, TimePoint{0.0015}, TimePoint{0.0030});
+  const std::string json = tr.chrome_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  // Two thread-name metadata records + two complete events.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"kernel\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Microsecond timestamps: 0.001 s -> ts 1000.
+  EXPECT_NE(json.find("\"ts\":1000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1000.000"), std::string::npos);
+}
+
+TEST(Tracer, ClearEmptiesTrace) {
+  Tracer tr;
+  tr.record("l", "x", SpanKind::other, TimePoint{0.0}, TimePoint{1.0});
+  tr.clear();
+  EXPECT_TRUE(tr.spans().empty());
+  EXPECT_EQ(tr.gantt(), "(empty trace)\n");
+}
+
+TEST(Glyphs, AreDistinct) {
+  EXPECT_NE(glyph_for(SpanKind::compute), glyph_for(SpanKind::wire));
+  EXPECT_NE(glyph_for(SpanKind::host_to_device), glyph_for(SpanKind::device_to_host));
+}
+
+}  // namespace
+}  // namespace clmpi::vt
