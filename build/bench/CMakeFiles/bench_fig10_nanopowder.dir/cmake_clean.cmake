@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_nanopowder.dir/bench_fig10_nanopowder.cpp.o"
+  "CMakeFiles/bench_fig10_nanopowder.dir/bench_fig10_nanopowder.cpp.o.d"
+  "bench_fig10_nanopowder"
+  "bench_fig10_nanopowder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_nanopowder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_himeno.dir/bench_fig9_himeno.cpp.o"
+  "CMakeFiles/bench_fig9_himeno.dir/bench_fig9_himeno.cpp.o.d"
+  "bench_fig9_himeno"
+  "bench_fig9_himeno.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_himeno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

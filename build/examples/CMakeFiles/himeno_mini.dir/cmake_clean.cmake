@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/himeno_mini.dir/himeno_mini.cpp.o"
+  "CMakeFiles/himeno_mini.dir/himeno_mini.cpp.o.d"
+  "himeno_mini"
+  "himeno_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/himeno_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

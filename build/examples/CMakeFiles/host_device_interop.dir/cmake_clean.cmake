@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_device_interop.dir/host_device_interop.cpp.o"
+  "CMakeFiles/host_device_interop.dir/host_device_interop.cpp.o.d"
+  "host_device_interop"
+  "host_device_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_device_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

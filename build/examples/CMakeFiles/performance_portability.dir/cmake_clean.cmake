@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performance_portability.dir/performance_portability.cpp.o"
+  "CMakeFiles/performance_portability.dir/performance_portability.cpp.o.d"
+  "performance_portability"
+  "performance_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performance_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clmpi_himeno.dir/himeno.cpp.o"
+  "CMakeFiles/clmpi_himeno.dir/himeno.cpp.o.d"
+  "libclmpi_himeno.a"
+  "libclmpi_himeno.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clmpi_himeno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clmpi_nanopowder.dir/nanopowder.cpp.o"
+  "CMakeFiles/clmpi_nanopowder.dir/nanopowder.cpp.o.d"
+  "libclmpi_nanopowder.a"
+  "libclmpi_nanopowder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clmpi_nanopowder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

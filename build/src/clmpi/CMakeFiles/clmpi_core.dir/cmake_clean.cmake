@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clmpi_core.dir/capi.cpp.o"
+  "CMakeFiles/clmpi_core.dir/capi.cpp.o.d"
+  "CMakeFiles/clmpi_core.dir/runtime.cpp.o"
+  "CMakeFiles/clmpi_core.dir/runtime.cpp.o.d"
+  "libclmpi_core.a"
+  "libclmpi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clmpi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclmpi_core.a"
+)

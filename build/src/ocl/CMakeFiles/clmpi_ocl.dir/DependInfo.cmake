@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocl/buffer.cpp" "src/ocl/CMakeFiles/clmpi_ocl.dir/buffer.cpp.o" "gcc" "src/ocl/CMakeFiles/clmpi_ocl.dir/buffer.cpp.o.d"
+  "/root/repo/src/ocl/context.cpp" "src/ocl/CMakeFiles/clmpi_ocl.dir/context.cpp.o" "gcc" "src/ocl/CMakeFiles/clmpi_ocl.dir/context.cpp.o.d"
+  "/root/repo/src/ocl/device.cpp" "src/ocl/CMakeFiles/clmpi_ocl.dir/device.cpp.o" "gcc" "src/ocl/CMakeFiles/clmpi_ocl.dir/device.cpp.o.d"
+  "/root/repo/src/ocl/event.cpp" "src/ocl/CMakeFiles/clmpi_ocl.dir/event.cpp.o" "gcc" "src/ocl/CMakeFiles/clmpi_ocl.dir/event.cpp.o.d"
+  "/root/repo/src/ocl/kernel.cpp" "src/ocl/CMakeFiles/clmpi_ocl.dir/kernel.cpp.o" "gcc" "src/ocl/CMakeFiles/clmpi_ocl.dir/kernel.cpp.o.d"
+  "/root/repo/src/ocl/platform.cpp" "src/ocl/CMakeFiles/clmpi_ocl.dir/platform.cpp.o" "gcc" "src/ocl/CMakeFiles/clmpi_ocl.dir/platform.cpp.o.d"
+  "/root/repo/src/ocl/queue.cpp" "src/ocl/CMakeFiles/clmpi_ocl.dir/queue.cpp.o" "gcc" "src/ocl/CMakeFiles/clmpi_ocl.dir/queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vt/CMakeFiles/clmpi_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/clmpi_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/clmpi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

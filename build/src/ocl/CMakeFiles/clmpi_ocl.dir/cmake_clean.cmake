@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clmpi_ocl.dir/buffer.cpp.o"
+  "CMakeFiles/clmpi_ocl.dir/buffer.cpp.o.d"
+  "CMakeFiles/clmpi_ocl.dir/context.cpp.o"
+  "CMakeFiles/clmpi_ocl.dir/context.cpp.o.d"
+  "CMakeFiles/clmpi_ocl.dir/device.cpp.o"
+  "CMakeFiles/clmpi_ocl.dir/device.cpp.o.d"
+  "CMakeFiles/clmpi_ocl.dir/event.cpp.o"
+  "CMakeFiles/clmpi_ocl.dir/event.cpp.o.d"
+  "CMakeFiles/clmpi_ocl.dir/kernel.cpp.o"
+  "CMakeFiles/clmpi_ocl.dir/kernel.cpp.o.d"
+  "CMakeFiles/clmpi_ocl.dir/platform.cpp.o"
+  "CMakeFiles/clmpi_ocl.dir/platform.cpp.o.d"
+  "CMakeFiles/clmpi_ocl.dir/queue.cpp.o"
+  "CMakeFiles/clmpi_ocl.dir/queue.cpp.o.d"
+  "libclmpi_ocl.a"
+  "libclmpi_ocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clmpi_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

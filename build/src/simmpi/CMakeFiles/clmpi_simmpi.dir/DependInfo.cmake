@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmpi/cluster.cpp" "src/simmpi/CMakeFiles/clmpi_simmpi.dir/cluster.cpp.o" "gcc" "src/simmpi/CMakeFiles/clmpi_simmpi.dir/cluster.cpp.o.d"
+  "/root/repo/src/simmpi/collectives.cpp" "src/simmpi/CMakeFiles/clmpi_simmpi.dir/collectives.cpp.o" "gcc" "src/simmpi/CMakeFiles/clmpi_simmpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/simmpi/comm.cpp" "src/simmpi/CMakeFiles/clmpi_simmpi.dir/comm.cpp.o" "gcc" "src/simmpi/CMakeFiles/clmpi_simmpi.dir/comm.cpp.o.d"
+  "/root/repo/src/simmpi/mailbox.cpp" "src/simmpi/CMakeFiles/clmpi_simmpi.dir/mailbox.cpp.o" "gcc" "src/simmpi/CMakeFiles/clmpi_simmpi.dir/mailbox.cpp.o.d"
+  "/root/repo/src/simmpi/network.cpp" "src/simmpi/CMakeFiles/clmpi_simmpi.dir/network.cpp.o" "gcc" "src/simmpi/CMakeFiles/clmpi_simmpi.dir/network.cpp.o.d"
+  "/root/repo/src/simmpi/request.cpp" "src/simmpi/CMakeFiles/clmpi_simmpi.dir/request.cpp.o" "gcc" "src/simmpi/CMakeFiles/clmpi_simmpi.dir/request.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vt/CMakeFiles/clmpi_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/clmpi_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/clmpi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clmpi_simmpi.dir/cluster.cpp.o"
+  "CMakeFiles/clmpi_simmpi.dir/cluster.cpp.o.d"
+  "CMakeFiles/clmpi_simmpi.dir/collectives.cpp.o"
+  "CMakeFiles/clmpi_simmpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/clmpi_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/clmpi_simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/clmpi_simmpi.dir/mailbox.cpp.o"
+  "CMakeFiles/clmpi_simmpi.dir/mailbox.cpp.o.d"
+  "CMakeFiles/clmpi_simmpi.dir/network.cpp.o"
+  "CMakeFiles/clmpi_simmpi.dir/network.cpp.o.d"
+  "CMakeFiles/clmpi_simmpi.dir/request.cpp.o"
+  "CMakeFiles/clmpi_simmpi.dir/request.cpp.o.d"
+  "libclmpi_simmpi.a"
+  "libclmpi_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clmpi_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

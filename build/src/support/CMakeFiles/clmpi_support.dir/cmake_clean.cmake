@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clmpi_support.dir/error.cpp.o"
+  "CMakeFiles/clmpi_support.dir/error.cpp.o.d"
+  "CMakeFiles/clmpi_support.dir/log.cpp.o"
+  "CMakeFiles/clmpi_support.dir/log.cpp.o.d"
+  "CMakeFiles/clmpi_support.dir/table.cpp.o"
+  "CMakeFiles/clmpi_support.dir/table.cpp.o.d"
+  "libclmpi_support.a"
+  "libclmpi_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clmpi_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

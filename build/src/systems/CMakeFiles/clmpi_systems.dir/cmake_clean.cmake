@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clmpi_systems.dir/profiles.cpp.o"
+  "CMakeFiles/clmpi_systems.dir/profiles.cpp.o.d"
+  "libclmpi_systems.a"
+  "libclmpi_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clmpi_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clmpi_transfer.dir/async.cpp.o"
+  "CMakeFiles/clmpi_transfer.dir/async.cpp.o.d"
+  "CMakeFiles/clmpi_transfer.dir/strategy.cpp.o"
+  "CMakeFiles/clmpi_transfer.dir/strategy.cpp.o.d"
+  "libclmpi_transfer.a"
+  "libclmpi_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clmpi_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vt/resource.cpp" "src/vt/CMakeFiles/clmpi_vt.dir/resource.cpp.o" "gcc" "src/vt/CMakeFiles/clmpi_vt.dir/resource.cpp.o.d"
+  "/root/repo/src/vt/tracer.cpp" "src/vt/CMakeFiles/clmpi_vt.dir/tracer.cpp.o" "gcc" "src/vt/CMakeFiles/clmpi_vt.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/clmpi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

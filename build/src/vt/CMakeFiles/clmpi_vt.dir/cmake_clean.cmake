@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clmpi_vt.dir/resource.cpp.o"
+  "CMakeFiles/clmpi_vt.dir/resource.cpp.o.d"
+  "CMakeFiles/clmpi_vt.dir/tracer.cpp.o"
+  "CMakeFiles/clmpi_vt.dir/tracer.cpp.o.d"
+  "libclmpi_vt.a"
+  "libclmpi_vt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clmpi_vt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

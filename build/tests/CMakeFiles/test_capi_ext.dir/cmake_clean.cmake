@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capi_ext.dir/test_capi_ext.cpp.o"
+  "CMakeFiles/test_capi_ext.dir/test_capi_ext.cpp.o.d"
+  "test_capi_ext"
+  "test_capi_ext.pdb"
+  "test_capi_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capi_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clmpi.dir/test_clmpi.cpp.o"
+  "CMakeFiles/test_clmpi.dir/test_clmpi.cpp.o.d"
+  "test_clmpi"
+  "test_clmpi.pdb"
+  "test_clmpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

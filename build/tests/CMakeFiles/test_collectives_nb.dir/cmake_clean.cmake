@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collectives_nb.dir/test_collectives_nb.cpp.o"
+  "CMakeFiles/test_collectives_nb.dir/test_collectives_nb.cpp.o.d"
+  "test_collectives_nb"
+  "test_collectives_nb.pdb"
+  "test_collectives_nb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collectives_nb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

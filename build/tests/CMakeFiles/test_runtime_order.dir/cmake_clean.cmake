@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_order.dir/test_runtime_order.cpp.o"
+  "CMakeFiles/test_runtime_order.dir/test_runtime_order.cpp.o.d"
+  "test_runtime_order"
+  "test_runtime_order.pdb"
+  "test_runtime_order[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_vt.cpp" "tests/CMakeFiles/test_vt.dir/test_vt.cpp.o" "gcc" "tests/CMakeFiles/test_vt.dir/test_vt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clmpi/CMakeFiles/clmpi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/clmpi_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/clmpi_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/clmpi_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/clmpi_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/vt/CMakeFiles/clmpi_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/clmpi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
