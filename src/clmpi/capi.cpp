@@ -1,7 +1,10 @@
 #include "clmpi/capi.h"
 
+#include <mutex>
+#include <unordered_set>
 #include <vector>
 
+#include "simmpi/datatype.hpp"
 #include "support/error.hpp"
 
 // Handle definitions ---------------------------------------------------------
@@ -39,20 +42,49 @@ Binding& binding() {
   return t_binding;
 }
 
+/// Registry of live cl_event handles. Released handles are erased, so a
+/// use-after-release is detected (best effort: an address reused by a new
+/// handle cannot be told apart) and reported as CL_INVALID_EVENT instead of
+/// dereferencing freed memory.
+std::mutex g_events_mutex;
+std::unordered_set<cl_event> g_live_events;
+
+void register_event(cl_event handle) {
+  std::lock_guard lock(g_events_mutex);
+  g_live_events.insert(handle);
+}
+
+void unregister_event(cl_event handle) {
+  std::lock_guard lock(g_events_mutex);
+  g_live_events.erase(handle);
+}
+
+bool event_live(cl_event handle) {
+  if (handle == nullptr) return false;
+  std::lock_guard lock(g_events_mutex);
+  return g_live_events.count(handle) != 0;
+}
+
 std::vector<ocl::EventPtr> to_waitlist(cl_uint numevts, const cl_event* wlist) {
-  CLMPI_REQUIRE((numevts == 0) == (wlist == nullptr),
-                "wait list pointer and count disagree");
+  if ((numevts == 0) != (wlist == nullptr)) {
+    throw Error("wait list pointer and count disagree", Status::invalid_event_wait_list);
+  }
   std::vector<ocl::EventPtr> waits;
   waits.reserve(numevts);
   for (cl_uint i = 0; i < numevts; ++i) {
-    CLMPI_REQUIRE(wlist[i] != nullptr, "null event in wait list");
+    if (!event_live(wlist[i])) {
+      throw Error("null or released event in wait list", Status::invalid_event_wait_list);
+    }
     waits.push_back(wlist[i]->ev);
   }
   return waits;
 }
 
 void return_event(cl_event* evtret, ocl::EventPtr ev) {
-  if (evtret != nullptr) *evtret = new _cl_event{std::move(ev), 1};
+  if (evtret != nullptr) {
+    *evtret = new _cl_event{std::move(ev), 1};
+    register_event(*evtret);
+  }
 }
 
 /// Run `body`, translating exceptions into OpenCL status codes.
@@ -241,21 +273,27 @@ cl_int clFinish(cl_command_queue cmd) {
 }
 
 cl_int clWaitForEvents(cl_uint num_events, const cl_event* event_list) {
+  if (num_events == 0 || event_list == nullptr) return CL_INVALID_VALUE;
+  for (cl_uint i = 0; i < num_events; ++i) {
+    if (!clmpi::capi::event_live(event_list[i])) return CL_INVALID_EVENT;
+  }
   return clmpi::capi::guarded([&] {
-    const auto waits = clmpi::capi::to_waitlist(num_events, event_list);
-    for (const auto& ev : waits) ev->wait(rank_ctx().clock());
+    for (cl_uint i = 0; i < num_events; ++i) event_list[i]->ev->wait(rank_ctx().clock());
   });
 }
 
 cl_int clRetainEvent(cl_event event) {
-  if (event == nullptr) return CL_INVALID_VALUE;
+  if (!clmpi::capi::event_live(event)) return CL_INVALID_EVENT;
   ++event->refs;
   return CL_SUCCESS;
 }
 
 cl_int clReleaseEvent(cl_event event) {
-  if (event == nullptr) return CL_INVALID_VALUE;
-  if (--event->refs == 0) delete event;
+  if (!clmpi::capi::event_live(event)) return CL_INVALID_EVENT;
+  if (--event->refs == 0) {
+    clmpi::capi::unregister_event(event);
+    delete event;
+  }
   return CL_SUCCESS;
 }
 
@@ -267,6 +305,7 @@ cl_int clEnqueueSendBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
                            cl_event* evtret) {
   if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
   if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (comm == nullptr) return CLMPI_INVALID_COMMUNICATOR;
   return clmpi::capi::guarded([&] {
     const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
     auto ev = runtime_ctx().enqueue_send_buffer(*cmd->queue, buf->buf, blocking == CL_TRUE,
@@ -281,6 +320,7 @@ cl_int clEnqueueRecvBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
                            cl_event* evtret) {
   if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
   if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (comm == nullptr) return CLMPI_INVALID_COMMUNICATOR;
   return clmpi::capi::guarded([&] {
     const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
     auto ev = runtime_ctx().enqueue_recv_buffer(*cmd->queue, buf->buf, blocking == CL_TRUE,
@@ -293,8 +333,11 @@ cl_event clCreateEventFromMPIRequest(cl_context /*context*/, MPI_Request* reques
                                      cl_int* errcode_ret) {
   cl_event handle = nullptr;
   const cl_int status = clmpi::capi::guarded([&] {
-    CLMPI_REQUIRE(request != nullptr && request->valid(), "invalid MPI request");
+    if (request == nullptr || !request->valid()) {
+      throw clmpi::Error("invalid MPI request", clmpi::Status::invalid_request);
+    }
     handle = new _cl_event{runtime_ctx().event_from_request(*request), 1};
+    clmpi::capi::register_event(handle);
   });
   if (errcode_ret != nullptr) *errcode_ret = status;
   return handle;
@@ -305,6 +348,7 @@ cl_int clEnqueueBcastBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
                             cl_uint numevts, const cl_event* wlist, cl_event* evtret) {
   if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
   if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (comm == nullptr) return CLMPI_INVALID_COMMUNICATOR;
   return clmpi::capi::guarded([&] {
     const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
     auto ev = runtime_ctx().enqueue_bcast_buffer(*cmd->queue, buf->buf, blocking == CL_TRUE,
@@ -343,17 +387,42 @@ cl_int clEnqueueReadFile(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
 
 // MPI subset --------------------------------------------------------------------
 
-int MPI_Comm_rank(MPI_Comm comm, int* rank) {
-  *rank = comm->rank();
-  return MPI_SUCCESS;
-}
-
-int MPI_Comm_size(MPI_Comm comm, int* size) {
-  *size = comm->size();
-  return MPI_SUCCESS;
-}
-
 namespace {
+
+/// Run `body`, translating exceptions into MPI error classes. The MPI entry
+/// points are C functions: no exception may escape, and every failure —
+/// including injected message drops surfacing from MPI_Wait — maps to a
+/// defined error code.
+template <typename Fn>
+int mpi_guarded(Fn&& body) {
+  try {
+    body();
+    return MPI_SUCCESS;
+  } catch (const clmpi::Error& e) {
+    switch (e.status()) {
+      case clmpi::Status::invalid_rank: return MPI_ERR_RANK;
+      case clmpi::Status::invalid_tag: return MPI_ERR_TAG;
+      case clmpi::Status::invalid_communicator: return MPI_ERR_COMM;
+      case clmpi::Status::invalid_request: return MPI_ERR_REQUEST;
+      case clmpi::Status::invalid_value: return MPI_ERR_ARG;
+      default: return MPI_ERR_OTHER;
+    }
+  } catch (...) {
+    return MPI_ERR_OTHER;
+  }
+}
+
+/// Point-to-point argument validation shared by the send/recv wrappers.
+/// `allow_any_src_tag` is set on the receive side, where wildcards are legal.
+int check_p2p_args(const void* buf, int count, MPI_Comm comm, int tag,
+                   bool allow_any_src_tag) {
+  if (comm == nullptr) return MPI_ERR_COMM;
+  if (count < 0) return MPI_ERR_COUNT;
+  if (buf == nullptr && count > 0) return MPI_ERR_BUFFER;
+  const bool wildcard_tag = allow_any_src_tag && tag == clmpi::mpi::any_tag;
+  if (!wildcard_tag && (tag < 0 || tag > clmpi::mpi::max_user_tag)) return MPI_ERR_TAG;
+  return MPI_SUCCESS;
+}
 
 std::span<const std::byte> send_span(const void* buf, int count, MPI_Datatype dt) {
   const std::size_t bytes = static_cast<std::size_t>(count) * clmpi::capi::datatype_size(dt);
@@ -367,35 +436,65 @@ std::span<std::byte> recv_span(void* buf, int count, MPI_Datatype dt) {
 
 }  // namespace
 
+int MPI_Comm_rank(MPI_Comm comm, int* rank) {
+  if (comm == nullptr) return MPI_ERR_COMM;
+  if (rank == nullptr) return MPI_ERR_ARG;
+  *rank = comm->rank();
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_size(MPI_Comm comm, int* size) {
+  if (comm == nullptr) return MPI_ERR_COMM;
+  if (size == nullptr) return MPI_ERR_ARG;
+  *size = comm->size();
+  return MPI_SUCCESS;
+}
+
 int MPI_Isend(const void* buf, int count, MPI_Datatype dt, int dest, int tag, MPI_Comm comm,
               MPI_Request* request) {
-  if (dt == MPI_CL_MEM) {
-    *request = runtime_ctx().isend_cl_mem(send_span(buf, count, dt), dest, tag, *comm);
-  } else {
-    *request = comm->isend(send_span(buf, count, dt), dest, tag, rank_ctx().clock());
+  if (request == nullptr) return MPI_ERR_REQUEST;
+  if (const int rc = check_p2p_args(buf, count, comm, tag, /*allow_any_src_tag=*/false);
+      rc != MPI_SUCCESS) {
+    return rc;
   }
-  return MPI_SUCCESS;
+  return mpi_guarded([&] {
+    if (dt == MPI_CL_MEM) {
+      *request = runtime_ctx().isend_cl_mem(send_span(buf, count, dt), dest, tag, *comm);
+    } else {
+      *request = comm->isend(send_span(buf, count, dt), dest, tag, rank_ctx().clock());
+    }
+  });
 }
 
 int MPI_Irecv(void* buf, int count, MPI_Datatype dt, int source, int tag, MPI_Comm comm,
               MPI_Request* request) {
-  if (dt == MPI_CL_MEM) {
-    *request = runtime_ctx().irecv_cl_mem(recv_span(buf, count, dt), source, tag, *comm);
-  } else {
-    *request = comm->irecv(recv_span(buf, count, dt), source, tag, rank_ctx().clock());
+  if (request == nullptr) return MPI_ERR_REQUEST;
+  if (const int rc = check_p2p_args(buf, count, comm, tag, /*allow_any_src_tag=*/true);
+      rc != MPI_SUCCESS) {
+    return rc;
   }
-  return MPI_SUCCESS;
+  return mpi_guarded([&] {
+    if (dt == MPI_CL_MEM) {
+      *request = runtime_ctx().irecv_cl_mem(recv_span(buf, count, dt), source, tag, *comm);
+    } else {
+      *request = comm->irecv(recv_span(buf, count, dt), source, tag, rank_ctx().clock());
+    }
+  });
 }
 
 int MPI_Send(const void* buf, int count, MPI_Datatype dt, int dest, int tag, MPI_Comm comm) {
   MPI_Request req;
-  MPI_Isend(buf, count, dt, dest, tag, comm, &req);
+  if (const int rc = MPI_Isend(buf, count, dt, dest, tag, comm, &req); rc != MPI_SUCCESS) {
+    return rc;
+  }
   return MPI_Wait(&req);
 }
 
 int MPI_Recv(void* buf, int count, MPI_Datatype dt, int source, int tag, MPI_Comm comm) {
   MPI_Request req;
-  MPI_Irecv(buf, count, dt, source, tag, comm, &req);
+  if (const int rc = MPI_Irecv(buf, count, dt, source, tag, comm, &req); rc != MPI_SUCCESS) {
+    return rc;
+  }
   return MPI_Wait(&req);
 }
 
@@ -403,24 +502,41 @@ int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, int 
                  int sendtag, void* recvbuf, int recvcount, MPI_Datatype recvtype,
                  int source, int recvtag, MPI_Comm comm) {
   MPI_Request rreq;
-  MPI_Irecv(recvbuf, recvcount, recvtype, source, recvtag, comm, &rreq);
+  if (const int rc = MPI_Irecv(recvbuf, recvcount, recvtype, source, recvtag, comm, &rreq);
+      rc != MPI_SUCCESS) {
+    return rc;
+  }
   MPI_Request sreq;
-  MPI_Isend(sendbuf, sendcount, sendtype, dest, sendtag, comm, &sreq);
-  MPI_Wait(&sreq);
-  return MPI_Wait(&rreq);
+  if (const int rc = MPI_Isend(sendbuf, sendcount, sendtype, dest, sendtag, comm, &sreq);
+      rc != MPI_SUCCESS) {
+    // Drain the receive before reporting: its envelope references recvbuf.
+    MPI_Wait(&rreq);
+    return rc;
+  }
+  const int src = MPI_Wait(&sreq);
+  const int rrc = MPI_Wait(&rreq);
+  return src != MPI_SUCCESS ? src : rrc;
 }
 
 int MPI_Wait(MPI_Request* request) {
-  request->wait(rank_ctx().clock());
-  return MPI_SUCCESS;
+  if (request == nullptr) return MPI_ERR_REQUEST;
+  return mpi_guarded([&] { request->wait(rank_ctx().clock()); });
 }
 
 int MPI_Waitall(int count, MPI_Request* requests) {
-  for (int i = 0; i < count; ++i) requests[i].wait(rank_ctx().clock());
-  return MPI_SUCCESS;
+  if (count < 0) return MPI_ERR_COUNT;
+  if (requests == nullptr && count > 0) return MPI_ERR_REQUEST;
+  // Wait on EVERY request even after a failure (buffer-lifetime contract),
+  // reporting the first error.
+  int first = MPI_SUCCESS;
+  for (int i = 0; i < count; ++i) {
+    const int rc = MPI_Wait(&requests[i]);
+    if (first == MPI_SUCCESS) first = rc;
+  }
+  return first;
 }
 
 int MPI_Barrier(MPI_Comm comm) {
-  comm->barrier(rank_ctx().clock());
-  return MPI_SUCCESS;
+  if (comm == nullptr) return MPI_ERR_COMM;
+  return mpi_guarded([&] { comm->barrier(rank_ctx().clock()); });
 }

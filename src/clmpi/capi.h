@@ -34,10 +34,19 @@ inline constexpr cl_bool CL_FALSE = 0;
 inline constexpr cl_int CL_SUCCESS = 0;
 inline constexpr cl_int CL_INVALID_VALUE = -30;
 inline constexpr cl_int CL_INVALID_EVENT_WAIT_LIST = -57;
+inline constexpr cl_int CL_INVALID_EVENT = -58;
 inline constexpr cl_int CL_INVALID_COMMAND_QUEUE = -36;
 inline constexpr cl_int CL_INVALID_CONTEXT = -34;
 inline constexpr cl_int CL_INVALID_MEM_OBJECT = -38;
 inline constexpr cl_int CL_INVALID_OPERATION = -59;
+// clMPI extension error space (matches clmpi::Status; see support/error.hpp).
+inline constexpr cl_int CLMPI_INVALID_RANK = -1001;
+inline constexpr cl_int CLMPI_INVALID_TAG = -1002;
+inline constexpr cl_int CLMPI_INVALID_COMMUNICATOR = -1003;
+inline constexpr cl_int CLMPI_INVALID_REQUEST = -1004;
+inline constexpr cl_int CLMPI_RUNTIME_SHUTDOWN = -1005;
+/// The command's message was lost in transit (fault injection / NIC loss).
+inline constexpr cl_int CLMPI_MESSAGE_DROPPED = -1006;
 
 // --- opaque handles ----------------------------------------------------------
 
@@ -65,6 +74,17 @@ enum MPI_Datatype : int {
 };
 
 inline constexpr int MPI_SUCCESS = 0;
+// MPI error classes (values follow the common MPICH numbering). The wrappers
+// return these instead of letting C++ exceptions escape a C entry point.
+inline constexpr int MPI_ERR_BUFFER = 1;
+inline constexpr int MPI_ERR_COUNT = 2;
+inline constexpr int MPI_ERR_TYPE = 3;
+inline constexpr int MPI_ERR_TAG = 4;
+inline constexpr int MPI_ERR_COMM = 5;
+inline constexpr int MPI_ERR_RANK = 6;
+inline constexpr int MPI_ERR_REQUEST = 7;
+inline constexpr int MPI_ERR_ARG = 13;
+inline constexpr int MPI_ERR_OTHER = 16;
 
 /// Resolves to the calling thread's world communicator (see ThreadBinding).
 #define MPI_COMM_WORLD (::clmpi::capi::comm_world())

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "simmpi/datatype.hpp"
@@ -26,24 +28,61 @@ mpi::Request aggregate_requests(std::vector<mpi::Request> subs, const mpi::MsgSt
     std::mutex mutex;
     std::size_t remaining;
     vt::TimePoint latest;
+    std::exception_ptr error;  ///< first sub-request failure
   };
   auto progress = std::make_shared<Progress>();
   progress->remaining = subs.size();
 
   for (mpi::Request& sub : subs) {
-    sub.on_complete([state, progress, st](vt::TimePoint when, const mpi::MsgStatus&) {
-      bool last = false;
-      vt::TimePoint latest;
-      {
-        std::lock_guard lock(progress->mutex);
-        progress->latest = vt::max(progress->latest, when);
-        latest = progress->latest;
-        last = (--progress->remaining == 0);
-      }
-      if (last) state->complete(latest, st);
-    });
+    auto sub_state = sub.state();
+    sub.on_complete(
+        [state, progress, st, sub_state](vt::TimePoint when, const mpi::MsgStatus&) {
+          bool last = false;
+          vt::TimePoint latest;
+          std::exception_ptr error;
+          {
+            std::lock_guard lock(progress->mutex);
+            progress->latest = vt::max(progress->latest, when);
+            if (!progress->error) progress->error = sub_state->error();
+            latest = progress->latest;
+            error = progress->error;
+            last = (--progress->remaining == 0);
+          }
+          // The aggregate settles only after EVERY sub-request does, failed
+          // or not — callers may free the cl_mem once the aggregate fires.
+          if (!last) return;
+          if (error) {
+            state->fail(latest, error);
+          } else {
+            state->complete(latest, st);
+          }
+        });
   }
   return mpi::Request(std::move(state));
+}
+
+/// Eager argument validation for buffer transfer commands. Misuse surfaces
+/// as a typed Status at enqueue time — the C API maps it to a defined error
+/// code — instead of a precondition failure deep inside the transfer layer
+/// (or worse, on the dispatcher thread after the call already returned).
+void validate_transfer_args(const ocl::BufferPtr& buf, std::size_t offset, std::size_t size,
+                            int peer, int tag, const mpi::Comm& comm) {
+  if (size == 0) {
+    throw Error("zero-size buffer transfer", Status::invalid_value);
+  }
+  if (offset > buf->size() || size > buf->size() - offset) {
+    throw Error("transfer region outside the device buffer", Status::invalid_value);
+  }
+  if (peer < 0 || peer >= comm.size()) {
+    throw Error("peer rank " + std::to_string(peer) + " outside the comm group of size " +
+                    std::to_string(comm.size()),
+                Status::invalid_rank);
+  }
+  if (tag < 0 || tag > mpi::max_user_tag) {
+    throw Error("tag " + std::to_string(tag) + " outside the user tag space [0, " +
+                    std::to_string(mpi::max_user_tag) + "]",
+                Status::invalid_tag);
+  }
 }
 
 }  // namespace
@@ -150,6 +189,7 @@ ocl::EventPtr Runtime::enqueue_send_buffer(ocl::CommandQueue& queue,
                                            int tag, mpi::Comm& comm, ocl::WaitList waits,
                                            std::optional<xfer::Strategy> force) {
   CLMPI_REQUIRE(buf != nullptr, "send from a null buffer");
+  validate_transfer_args(buf, offset, size, dst, tag, comm);
   const xfer::Strategy strategy = force.value_or(policy(size));
   const xfer::DeviceEndpoint ep{&comm, device_, buf.get(), offset, size, dst, tag};
 
@@ -157,10 +197,15 @@ ocl::EventPtr Runtime::enqueue_send_buffer(ocl::CommandQueue& queue,
       queue, "clEnqueueSendBuffer -> " + std::to_string(dst), waits,
       // `buf` captured to keep the memory object alive until completion.
       [ep, strategy, buf](vt::TimePoint ready, const ocl::EventPtr& event) {
-        xfer::send_device_async(ep, strategy, ready,
-                                [event, buf](vt::TimePoint end) {
-                                  static_cast<ocl::UserEvent&>(*event).set_complete(end);
-                                });
+        xfer::send_device_async(
+            ep, strategy, ready, [event, buf](vt::TimePoint end, std::exception_ptr err) {
+              auto& uev = static_cast<ocl::UserEvent&>(*event);
+              if (err) {
+                uev.mark_failed(end, std::move(err));
+              } else {
+                uev.set_complete(end);
+              }
+            });
       });
   if (blocking) ev->wait(rank_->clock());
   return ev;
@@ -172,16 +217,22 @@ ocl::EventPtr Runtime::enqueue_recv_buffer(ocl::CommandQueue& queue,
                                            int tag, mpi::Comm& comm, ocl::WaitList waits,
                                            std::optional<xfer::Strategy> force) {
   CLMPI_REQUIRE(buf != nullptr, "receive into a null buffer");
+  validate_transfer_args(buf, offset, size, src, tag, comm);
   const xfer::Strategy strategy = force.value_or(policy(size));
   const xfer::DeviceEndpoint ep{&comm, device_, buf.get(), offset, size, src, tag};
 
   ocl::EventPtr ev = submit(
       queue, "clEnqueueRecvBuffer <- " + std::to_string(src), waits,
       [ep, strategy, buf](vt::TimePoint ready, const ocl::EventPtr& event) {
-        xfer::recv_device_async(ep, strategy, ready,
-                                [event, buf](vt::TimePoint end) {
-                                  static_cast<ocl::UserEvent&>(*event).set_complete(end);
-                                });
+        xfer::recv_device_async(
+            ep, strategy, ready, [event, buf](vt::TimePoint end, std::exception_ptr err) {
+              auto& uev = static_cast<ocl::UserEvent&>(*event);
+              if (err) {
+                uev.mark_failed(end, std::move(err));
+              } else {
+                uev.set_complete(end);
+              }
+            });
       });
   if (blocking) ev->wait(rank_->clock());
   return ev;
@@ -215,8 +266,13 @@ ocl::EventPtr Runtime::enqueue_bcast_buffer(ocl::CommandQueue& queue,
         }
         vt::Clock wire_clock(wire_ready);
         mpi::Request req = comm_ptr->ibcast(*bounce, root, wire_clock);
-        req.on_complete([dev, buf, offset, size, is_root, bounce,
+        auto req_state = req.state();
+        req.on_complete([dev, buf, offset, size, is_root, bounce, req_state,
                          event](vt::TimePoint when, const mpi::MsgStatus&) {
+          if (std::exception_ptr err = req_state->error()) {
+            static_cast<ocl::UserEvent&>(*event).mark_failed(when, std::move(err));
+            return;
+          }
           if (is_root) {
             static_cast<ocl::UserEvent&>(*event).set_complete(when);
             return;
@@ -302,8 +358,13 @@ ocl::EventPtr Runtime::event_from_request(mpi::Request req) {
   CLMPI_REQUIRE(req.valid(), "event from a null request");
   auto event = std::make_shared<ocl::UserEvent>("mpi-request");
   event->mark_queued(rank_->clock().now());
-  req.on_complete([event](vt::TimePoint when, const mpi::MsgStatus&) {
-    event->set_complete(when);
+  auto state = req.state();
+  req.on_complete([event, state](vt::TimePoint when, const mpi::MsgStatus&) {
+    if (std::exception_ptr err = state->error()) {
+      event->mark_failed(when, std::move(err));
+    } else {
+      event->set_complete(when);
+    }
   });
   return event;
 }

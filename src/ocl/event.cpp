@@ -36,7 +36,16 @@ vt::TimePoint Event::wait() {
   return profiling_.ended;
 }
 
-void Event::wait(vt::Clock& clock) { clock.sync_to(wait()); }
+void Event::wait(vt::Clock& clock) {
+  try {
+    clock.sync_to(wait());
+  } catch (...) {
+    // Failed events carry the virtual time of the failure; the waiter's
+    // timeline advances to it even though the wait rethrows.
+    clock.sync_to(completion_time());
+    throw;
+  }
+}
 
 void Event::on_complete(std::function<void(vt::TimePoint)> fn) {
   bool run_now = false;

@@ -48,8 +48,11 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
   detail::ClusterCore core;
   core.profile = options.profile;
   core.tracer = options.tracer;
-  core.network =
-      std::make_unique<Network>(options.profile->nic, options.nranks, options.tracer);
+  if (options.faults.enabled()) {
+    core.faults = std::make_unique<FaultEngine>(options.faults);
+  }
+  core.network = std::make_unique<Network>(options.profile->nic, options.nranks,
+                                           options.tracer, core.faults.get());
   for (int n = 0; n < options.nranks; ++n) core.mailboxes.emplace_back(*core.network, n);
 
   RunResult result;
@@ -107,6 +110,7 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
     std::lock_guard lock(core.aux_mutex);
     for (auto& t : core.aux_threads) t.join();
   }
+  if (core.faults) result.faults = core.faults->counters();
   if (first_error) std::rethrow_exception(first_error);
 
   result.makespan_s = 0.0;

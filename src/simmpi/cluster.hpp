@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "simmpi/comm.hpp"
+#include "simmpi/fault.hpp"
 #include "systems/profile.hpp"
 #include "vt/clock.hpp"
 #include "vt/tracer.hpp"
@@ -63,6 +64,8 @@ struct RunResult {
   std::vector<double> rank_end_s;
   /// max(rank_end_s): the virtual makespan of the run.
   double makespan_s{0.0};
+  /// Fault-injection tallies for the run (all zero when injection is off).
+  FaultCounters faults;
 };
 
 class Cluster {
@@ -73,6 +76,8 @@ class Cluster {
     vt::Tracer* tracer{nullptr};
     /// Real-time deadlock watchdog; 0 disables.
     double watchdog_seconds{120.0};
+    /// Deterministic fault-injection plan; all-zero rates disable injection.
+    FaultPlan faults{};
   };
 
   /// Run `body` on every rank; blocks until all ranks return. The first

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "simmpi/fault.hpp"
 #include "simmpi/mailbox.hpp"
 #include "simmpi/network.hpp"
 #include "systems/profile.hpp"
@@ -18,6 +19,9 @@ namespace clmpi::mpi::detail {
 struct ClusterCore {
   const sys::SystemProfile* profile{nullptr};
   vt::Tracer* tracer{nullptr};
+  /// Fault oracle; null unless Cluster::Options::faults is enabled. Must
+  /// outlive `network`, which holds a raw pointer to it.
+  std::unique_ptr<FaultEngine> faults;
   std::unique_ptr<Network> network;
   std::deque<Mailbox> mailboxes;  ///< one per node, indexed by global node id
   std::atomic<int> next_context{1};

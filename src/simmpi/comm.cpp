@@ -1,6 +1,7 @@
 #include "simmpi/comm.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "simmpi/cluster_core.hpp"
 #include "support/error.hpp"
@@ -41,7 +42,11 @@ int Comm::node_of(int rank_in_comm) const {
 
 void Comm::check_peer(int peer, bool allow_any) const {
   if (allow_any && peer == any_source) return;
-  CLMPI_REQUIRE(peer >= 0 && peer < size(), "peer rank outside the comm group");
+  if (peer < 0 || peer >= size()) {
+    throw Error("peer rank " + std::to_string(peer) + " outside the comm group of size " +
+                    std::to_string(size()),
+                Status::invalid_rank);
+  }
 }
 
 Request Comm::post_send(std::span<const std::byte> data, int dst, int tag,

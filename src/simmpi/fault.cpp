@@ -1,0 +1,59 @@
+#include "simmpi/fault.hpp"
+
+#include "support/rng.hpp"
+
+namespace clmpi::mpi {
+
+namespace {
+
+/// Stable channel key: independent of thread scheduling, sensitive to every
+/// field. splitmix-style avalanche over the packed fields.
+std::uint64_t channel_key(int src_node, int dst_node, int context, int tag) {
+  std::uint64_t s = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_node)) << 32) |
+                    static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst_node));
+  s = derive_seed(s, static_cast<std::uint64_t>(static_cast<std::uint32_t>(context)));
+  return derive_seed(s, static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+}
+
+}  // namespace
+
+FaultDecision FaultEngine::decide(int src_node, int dst_node, int context, int tag) {
+  const std::uint64_t key = channel_key(src_node, dst_node, context, tag);
+
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard lock(mutex_);
+    seq = channel_seq_[key]++;
+    ++counters_.messages;
+  }
+
+  // One independent stream per (channel, message): the verdict of message n
+  // on a channel does not depend on traffic elsewhere.
+  Rng rng(derive_seed(derive_seed(plan_.seed, key), seq));
+
+  FaultDecision d;
+  d.drop = rng.next_double() < plan_.drop_rate;
+  d.duplicate = rng.next_double() < plan_.duplicate_rate;
+  if (rng.next_double() < plan_.stall_rate) d.delay += plan_.stall;
+  if (rng.next_double() < plan_.reorder_rate) {
+    // Scale the hold-back so consecutive reordered messages do not all shift
+    // by the same amount (which would preserve relative wire order).
+    d.delay += plan_.reorder_delay * (0.5 + rng.next_double());
+  }
+  if (rng.next_double() < plan_.latency_spike_rate) d.delay += plan_.latency_spike;
+
+  if (d.drop || d.duplicate || d.delay > vt::Duration{}) {
+    std::lock_guard lock(mutex_);
+    if (d.drop) ++counters_.drops;
+    if (d.duplicate) ++counters_.duplicates;
+    if (d.delay > vt::Duration{}) ++counters_.delays;
+  }
+  return d;
+}
+
+FaultCounters FaultEngine::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+}  // namespace clmpi::mpi

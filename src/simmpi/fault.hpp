@@ -1,0 +1,110 @@
+// Deterministic fault injection for the simulated interconnect.
+//
+// A FaultPlan turns the simulator into an adversarial correctness harness:
+// seeded, reproducible message drops, retransmissions (duplicates), wire
+// reordering delays, latency spikes, NIC bandwidth degradation and rank
+// stalls. Every decision is a pure function of (plan seed, channel, message
+// sequence number), never of wall-clock thread scheduling, so a chaos run
+// with the same seed injects the same faults at the same virtual times.
+//
+// Fault semantics follow what a reliable transport can actually report:
+//  * drop       — the wire transfer happens (the NIC only detects the loss
+//                 when the transfer window times out), then BOTH endpoints'
+//                 requests fail with MessageDroppedError at that virtual
+//                 time. Nothing is silently lost and nothing hangs: waiters
+//                 observe a defined negative status.
+//  * duplicate  — the message is retransmitted: the wire is occupied twice
+//                 and delivery completes at the end of the second pass.
+//  * reorder    — the message is held back long enough for later traffic to
+//                 overtake it on the wire (matching order is unaffected, as
+//                 in MPI; only wire/completion times shift).
+//  * spike      — a one-off latency spike is added to the message.
+//  * stall      — the sending rank hiccups: its post is delayed.
+//  * degradation— every wire transfer runs at a fraction of the NIC rate.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "vt/time.hpp"
+
+namespace clmpi::mpi {
+
+/// Seeded fault-injection configuration, set on Cluster::Options. All rates
+/// are per-message probabilities in [0, 1]; the default plan injects nothing.
+struct FaultPlan {
+  std::uint64_t seed{0};
+
+  double drop_rate{0.0};
+  double duplicate_rate{0.0};
+
+  double reorder_rate{0.0};
+  vt::Duration reorder_delay{vt::microseconds(500.0)};
+
+  double latency_spike_rate{0.0};
+  vt::Duration latency_spike{vt::microseconds(80.0)};
+
+  double stall_rate{0.0};
+  vt::Duration stall{vt::milliseconds(2.0)};
+
+  /// Wire bandwidth is multiplied by (1 - nic_degradation); 0 = healthy NIC.
+  double nic_degradation{0.0};
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return drop_rate > 0.0 || duplicate_rate > 0.0 || reorder_rate > 0.0 ||
+           latency_spike_rate > 0.0 || stall_rate > 0.0 || nic_degradation > 0.0;
+  }
+};
+
+/// Per-message verdict of the engine.
+struct FaultDecision {
+  bool drop{false};
+  bool duplicate{false};
+  /// Extra hold-back before the message reaches the wire (stall + reorder +
+  /// latency spike, whichever fired).
+  vt::Duration delay{};
+};
+
+/// Totals accumulated over a run, reported through RunResult for chaos-suite
+/// summaries.
+struct FaultCounters {
+  std::uint64_t messages{0};
+  std::uint64_t drops{0};
+  std::uint64_t duplicates{0};
+  std::uint64_t delays{0};
+};
+
+/// Thread-safe deterministic fault oracle. One per cluster; the mailboxes
+/// consult it once per posted send.
+class FaultEngine {
+ public:
+  explicit FaultEngine(const FaultPlan& plan) : plan_(plan) {}
+
+  FaultEngine(const FaultEngine&) = delete;
+  FaultEngine& operator=(const FaultEngine&) = delete;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Decide the fate of the next message on channel (src_node, dst_node,
+  /// context, tag). Deterministic: the n-th call for a given channel always
+  /// returns the same verdict for the same plan seed, regardless of which
+  /// thread asks or when.
+  FaultDecision decide(int src_node, int dst_node, int context, int tag);
+
+  /// Multiplier applied to the NIC's bytes-per-second rate.
+  [[nodiscard]] double bandwidth_derate() const noexcept {
+    return 1.0 - plan_.nic_degradation;
+  }
+
+  [[nodiscard]] FaultCounters counters() const;
+
+ private:
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  /// Per-channel message sequence numbers (channel key -> next seq).
+  std::unordered_map<std::uint64_t, std::uint64_t> channel_seq_;
+  FaultCounters counters_;
+};
+
+}  // namespace clmpi::mpi

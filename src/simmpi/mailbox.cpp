@@ -2,10 +2,21 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "support/error.hpp"
 
 namespace clmpi::mpi::detail {
+
+namespace {
+
+std::exception_ptr drop_error(const Envelope& env) {
+  return std::make_exception_ptr(MessageDroppedError(
+      "injected fault: message from rank " + std::to_string(env.src_rank) + " tag " +
+      std::to_string(env.tag) + " (" + std::to_string(env.bytes) + " B) lost in transit"));
+}
+
+}  // namespace
 
 bool Mailbox::matches(const Envelope& env, const PostedRecv& pr) {
   return env.context == pr.context &&
@@ -14,6 +25,13 @@ bool Mailbox::matches(const Envelope& env, const PostedRecv& pr) {
 }
 
 void Mailbox::post_send(Envelope env) {
+  if (FaultEngine* faults = net_->faults()) {
+    const FaultDecision d = faults->decide(env.src_node, node_, env.context, env.tag);
+    env.post_time += d.delay;
+    env.fault_drop = d.drop;
+    env.fault_dup = d.duplicate;
+  }
+
   std::lock_guard lock(mutex_);
 
   auto it = std::find_if(posted_.begin(), posted_.end(),
@@ -28,12 +46,19 @@ void Mailbox::post_send(Envelope env) {
   if (env.eager) {
     // Eager protocol: inject onto the wire immediately; the sender's buffer
     // is reusable after injection, so copy the payload out first.
-    env.eager_copy.assign(env.payload.begin(), env.payload.end());
+    if (!env.fault_drop) env.eager_copy.assign(env.payload.begin(), env.payload.end());
     env.payload = {};
-    const auto span = net_->transfer(env.src_node, node_, env.post_time, env.bytes,
-                                     env.bw_cap);
+    auto span = net_->transfer(env.src_node, node_, env.post_time, env.bytes, env.bw_cap);
+    if (env.fault_dup) {
+      // Retransmission: the wire carries the payload again back-to-back.
+      span = net_->transfer(env.src_node, node_, span.end, env.bytes, env.bw_cap);
+    }
     env.arrival = span.end;
-    env.sreq->complete(span.end, MsgStatus{env.src_rank, env.tag, env.bytes});
+    if (env.fault_drop) {
+      env.sreq->fail(span.end, drop_error(env));
+    } else {
+      env.sreq->complete(span.end, MsgStatus{env.src_rank, env.tag, env.bytes});
+    }
   }
   unexpected_.push_back(std::move(env));
   arrival_cv_.notify_all();
@@ -88,21 +113,55 @@ void Mailbox::deliver(Envelope& env, PostedRecv& pr) {
                 "message truncation: received message larger than the posted buffer");
   const MsgStatus st{env.src_rank, env.tag, env.bytes};
 
-  if (env.eager && env.sreq->done()) {
-    // Wire transfer already happened at send time; the receive completes at
-    // max(arrival, recv post time).
-    if (env.bytes > 0) {
-      std::memcpy(pr.buffer.data(), env.eager_copy.data(), env.bytes);
+  if (env.eager) {
+    if (!env.sreq->done()) {
+      // The receive raced ahead of the send in real time, so the eager
+      // injection was not recorded in post_send. Charge the wire exactly as
+      // post_send would have — at the *send's* post time with the sender's
+      // cap — so the virtual timeline does not depend on which side arrived
+      // at the mailbox first.
+      auto span = net_->transfer(env.src_node, node_, env.post_time, env.bytes, env.bw_cap);
+      if (env.fault_dup) {
+        span = net_->transfer(env.src_node, node_, span.end, env.bytes, env.bw_cap);
+      }
+      env.arrival = span.end;
+      if (env.fault_drop) {
+        env.sreq->fail(span.end, drop_error(env));
+      } else {
+        env.sreq->complete(span.end, st);
+      }
     }
-    pr.rreq->complete(vt::max(env.arrival, pr.post_time), st);
+    // The receive completes at max(arrival, recv post time).
+    const vt::TimePoint when = vt::max(env.arrival, pr.post_time);
+    if (env.fault_drop) {
+      pr.rreq->fail(when, drop_error(env));
+      return;
+    }
+    if (env.bytes > 0) {
+      const std::byte* src =
+          env.payload.empty() ? env.eager_copy.data() : env.payload.data();
+      std::memcpy(pr.buffer.data(), src, env.bytes);
+    }
+    pr.rreq->complete(when, st);
     return;
   }
 
   // Rendezvous: the transfer starts once both sides are ready; either
   // endpoint's bandwidth cap limits the effective rate.
   const vt::TimePoint ready = vt::max(env.post_time, pr.post_time);
-  const auto span = net_->transfer(env.src_node, node_, ready, env.bytes,
-                                   std::min(env.bw_cap, pr.bw_cap));
+  auto span = net_->transfer(env.src_node, node_, ready, env.bytes,
+                             std::min(env.bw_cap, pr.bw_cap));
+  if (env.fault_dup) {
+    span = net_->transfer(env.src_node, node_, span.end, env.bytes,
+                          std::min(env.bw_cap, pr.bw_cap));
+  }
+  if (env.fault_drop) {
+    // The loss surfaces when the transfer window closes: a defined error on
+    // BOTH endpoints at that virtual time, never a hang.
+    env.sreq->fail(span.end, drop_error(env));
+    pr.rreq->fail(span.end, drop_error(env));
+    return;
+  }
   if (env.bytes > 0) {
     const std::byte* src =
         env.payload.empty() ? env.eager_copy.data() : env.payload.data();

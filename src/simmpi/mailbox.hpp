@@ -44,6 +44,13 @@ struct Envelope {
   /// is limited by the mapped-access bandwidth.
   double bw_cap{std::numeric_limits<double>::infinity()};
   std::shared_ptr<RequestState> sreq;
+  /// Fault-injection verdict (set by Mailbox::post_send when a FaultEngine
+  /// is active). A dropped message still occupies the wire — the loss is
+  /// detected when the transfer window closes — and then fails BOTH
+  /// endpoints' requests with MessageDroppedError. A duplicated message is
+  /// retransmitted: the wire is charged twice.
+  bool fault_drop{false};
+  bool fault_dup{false};
 };
 
 struct PostedRecv {

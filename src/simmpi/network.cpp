@@ -7,8 +7,9 @@
 
 namespace clmpi::mpi {
 
-Network::Network(const sys::NicModel& model, int nnodes, vt::Tracer* tracer)
-    : model_(model), tracer_(tracer) {
+Network::Network(const sys::NicModel& model, int nnodes, vt::Tracer* tracer,
+                 FaultEngine* faults)
+    : model_(model), tracer_(tracer), faults_(faults) {
   CLMPI_REQUIRE(nnodes > 0, "network needs at least one node");
   tx_.reserve(static_cast<std::size_t>(nnodes));
   rx_.reserve(static_cast<std::size_t>(nnodes));
@@ -33,6 +34,7 @@ vt::Resource::Span Network::transfer(int src, int dst, vt::TimePoint ready,
   CLMPI_REQUIRE(src >= 0 && src < nodes() && dst >= 0 && dst < nodes(),
                 "transfer: node out of range");
   vt::LinearCost cost = (src == dst) ? model_.loopback : model_.wire;
+  if (faults_ != nullptr) cost.bytes_per_second *= faults_->bandwidth_derate();
   cost.bytes_per_second = std::min(cost.bytes_per_second, bw_cap);
   const auto span = vt::Resource::acquire_joint(tx(src), rx(dst), ready, cost.of(bytes));
   if (tracer_ != nullptr) {

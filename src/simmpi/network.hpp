@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "simmpi/fault.hpp"
 #include "systems/profile.hpp"
 #include "vt/resource.hpp"
 #include "vt/tracer.hpp"
@@ -20,7 +21,10 @@ namespace clmpi::mpi {
 
 class Network {
  public:
-  Network(const sys::NicModel& model, int nnodes, vt::Tracer* tracer);
+  /// `faults` (optional, may be nullptr) degrades wire bandwidth and is
+  /// consulted by the mailboxes for per-message fault decisions.
+  Network(const sys::NicModel& model, int nnodes, vt::Tracer* tracer,
+          FaultEngine* faults = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -36,12 +40,16 @@ class Network {
   [[nodiscard]] const sys::NicModel& model() const noexcept { return model_; }
   [[nodiscard]] int nodes() const noexcept { return static_cast<int>(tx_.size()); }
 
+  /// The cluster's fault oracle; nullptr when fault injection is off.
+  [[nodiscard]] FaultEngine* faults() const noexcept { return faults_; }
+
   vt::Resource& tx(int node);
   vt::Resource& rx(int node);
 
  private:
   sys::NicModel model_;
   vt::Tracer* tracer_;
+  FaultEngine* faults_;
   std::vector<std::unique_ptr<vt::Resource>> tx_;
   std::vector<std::unique_ptr<vt::Resource>> rx_;
 };

@@ -15,7 +15,15 @@ bool Request::test(vt::Clock& clock) {
 
 void Request::wait(vt::Clock& clock) {
   if (!state_) return;
-  clock.sync_to(state_->block_until_done());
+  try {
+    clock.sync_to(state_->block_until_done());
+  } catch (...) {
+    // A failed operation still resolved at a definite virtual time: move the
+    // waiter's clock there before rethrowing so nothing the waiter does next
+    // can be scheduled before the failure it just observed.
+    clock.sync_to(state_->completion_time());
+    throw;
+  }
 }
 
 vt::TimePoint Request::wait() {
@@ -31,6 +39,10 @@ MsgStatus Request::status() const {
 vt::TimePoint Request::completion_time() const {
   CLMPI_REQUIRE(state_ != nullptr, "completion_time() on a null request");
   return state_->completion_time();
+}
+
+std::exception_ptr Request::error() const {
+  return state_ != nullptr ? state_->error() : nullptr;
 }
 
 void Request::on_complete(std::function<void(vt::TimePoint, const MsgStatus&)> fn) {
@@ -64,11 +76,24 @@ std::size_t wait_any(std::span<Request> requests, vt::Clock& clock) {
       shared->cv.notify_all();
     });
   }
-  std::size_t winner;
   {
     std::unique_lock lock(shared->mutex);
     shared->cv.wait(lock, [&] { return shared->winner != SIZE_MAX; });
-    winner = shared->winner;
+  }
+  // At least one request has completed. Pick the earliest *virtual*
+  // completion among the requests that are done (lowest index on ties), not
+  // the one whose callback happened to fire first in real time: whether the
+  // waiter arrives before or after later completions must not change the
+  // returned index.
+  std::size_t winner = SIZE_MAX;
+  vt::TimePoint best{};
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!requests[i].done()) continue;
+    const vt::TimePoint t = requests[i].completion_time();
+    if (winner == SIZE_MAX || t < best) {
+      winner = i;
+      best = t;
+    }
   }
   requests[winner].wait(clock);
   return winner;
@@ -109,6 +134,11 @@ void RequestState::fail(vt::TimePoint when, std::exception_ptr error) {
     error_ = std::move(error);
   }
   complete(when, MsgStatus{});
+}
+
+std::exception_ptr RequestState::error() const {
+  std::lock_guard lock(mutex_);
+  return error_;
 }
 
 vt::TimePoint RequestState::block_until_done() {

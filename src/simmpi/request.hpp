@@ -59,6 +59,10 @@ class Request {
   [[nodiscard]] MsgStatus status() const;
   [[nodiscard]] vt::TimePoint completion_time() const;
 
+  /// The operation's failure, if any (nullptr while pending or on success).
+  /// Lets completion callbacks observe faults without rethrowing.
+  [[nodiscard]] std::exception_ptr error() const;
+
   /// Invoke `fn(completion_time, status)` when the request completes (or
   /// immediately if it already has). Callbacks run on the completing thread.
   void on_complete(std::function<void(vt::TimePoint, const MsgStatus&)> fn);
@@ -98,6 +102,8 @@ class RequestState {
   [[nodiscard]] bool done() const;
   /// Blocks until complete; rethrows the operation's exception on failure.
   vt::TimePoint block_until_done();
+  /// The carried failure, if any (nullptr while pending or on success).
+  [[nodiscard]] std::exception_ptr error() const;
   [[nodiscard]] MsgStatus status() const;
   [[nodiscard]] vt::TimePoint completion_time() const;
   void on_complete(std::function<void(vt::TimePoint, const MsgStatus&)> fn);

@@ -19,6 +19,7 @@ const char* to_string(Status s) noexcept {
     case Status::invalid_communicator: return "CLMPI_INVALID_COMMUNICATOR";
     case Status::invalid_request: return "CLMPI_INVALID_REQUEST";
     case Status::runtime_shutdown: return "CLMPI_RUNTIME_SHUTDOWN";
+    case Status::message_dropped: return "CLMPI_MESSAGE_DROPPED";
   }
   return "CLMPI_UNKNOWN_STATUS";
 }

@@ -29,6 +29,9 @@ enum class Status : int {
   invalid_communicator = -1003,
   invalid_request = -1004,
   runtime_shutdown = -1005,
+  /// A message was lost in transit (fault injection / NIC failure); both
+  /// endpoints' operations complete with this negative status.
+  message_dropped = -1006,
 };
 
 /// Human-readable name of a status code ("CL_SUCCESS", ...).
@@ -57,6 +60,14 @@ class ShutdownError : public Error {
  public:
   explicit ShutdownError(const std::string& what_arg)
       : Error(what_arg, Status::runtime_shutdown) {}
+};
+
+/// Carried by requests/events whose message was lost in transit (injected
+/// by simmpi fault plans, or any transport-level loss the NIC detects).
+class MessageDroppedError : public Error {
+ public:
+  explicit MessageDroppedError(const std::string& what_arg)
+      : Error(what_arg, Status::message_dropped) {}
 };
 
 namespace detail {

@@ -18,25 +18,31 @@ std::size_t block_bytes(std::size_t size, std::size_t block, std::size_t k) {
 }
 
 /// Shared countdown for multi-request transfers: fires `done` with the
-/// latest completion time once `remaining` hits zero.
+/// latest completion time once `remaining` hits zero, carrying the first
+/// sub-request failure (if any). Waiting for every sub-request — even after
+/// one fails — keeps bounce buffers alive until no envelope references them.
 struct Countdown {
   Countdown(std::size_t n, DoneFn fn) : remaining(n), done(std::move(fn)) {}
 
-  void arrive(vt::TimePoint when) {
+  void arrive(vt::TimePoint when, std::exception_ptr err = nullptr) {
     bool last = false;
     vt::TimePoint final_time;
+    std::exception_ptr final_err;
     {
       std::lock_guard lock(mutex);
       latest = vt::max(latest, when);
+      if (err && !error) error = std::move(err);
       final_time = latest;
+      final_err = error;
       last = (--remaining == 0);
     }
-    if (last) done(final_time);
+    if (last) done(final_time, final_err);
   }
 
   std::mutex mutex;
   std::size_t remaining;
   vt::TimePoint latest;
+  std::exception_ptr error;
   DoneFn done;
 };
 
@@ -64,7 +70,10 @@ void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
       auto bounce = std::make_shared<std::vector<std::byte>>(ep.size);
       std::memcpy(bounce->data(), ep.buf->storage().data() + ep.offset, ep.size);
       mpi::Request req = ep.comm->isend(*bounce, ep.peer, ep.tag, d2h.end);
-      req.on_complete([bounce, done](vt::TimePoint t, const mpi::MsgStatus&) { done(t); });
+      auto state = req.state();
+      req.on_complete([bounce, state, done](vt::TimePoint t, const mpi::MsgStatus&) {
+        done(t, state->error());
+      });
       return;
     }
 
@@ -75,8 +84,9 @@ void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
       auto region = ep.buf->storage().subspan(ep.offset, ep.size);
       mpi::Request req = ep.comm->isend(region, ep.peer, ep.tag, mapped_at, opts);
       const vt::Duration unmap_cost = prof.pcie.map_setup;
-      req.on_complete([unmap_cost, done](vt::TimePoint t, const mpi::MsgStatus&) {
-        done(t + unmap_cost);
+      auto state = req.state();
+      req.on_complete([unmap_cost, state, done](vt::TimePoint t, const mpi::MsgStatus&) {
+        done(t + unmap_cost, state->error());
       });
       return;
     }
@@ -95,8 +105,9 @@ void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
         mpi::Request req = ep.comm->isend(
             *bounce, ep.peer, mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
             dma.end);
-        req.on_complete([bounce, countdown](vt::TimePoint t, const mpi::MsgStatus&) {
-          countdown->arrive(t);
+        auto state = req.state();
+        req.on_complete([bounce, state, countdown](vt::TimePoint t, const mpi::MsgStatus&) {
+          countdown->arrive(t, state->error());
         });
       }
       return;
@@ -108,7 +119,10 @@ void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
       auto region = ep.buf->storage().subspan(ep.offset, ep.size);
       mpi::Request req =
           ep.comm->isend(region, ep.peer, ep.tag, ready + prof.nic.rdma_setup);
-      req.on_complete([done](vt::TimePoint t, const mpi::MsgStatus&) { done(t); });
+      auto state = req.state();
+      req.on_complete([state, done](vt::TimePoint t, const mpi::MsgStatus&) {
+        done(t, state->error());
+      });
       return;
     }
   }
@@ -130,13 +144,17 @@ void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
       auto* buf = ep.buf;
       const std::size_t offset = ep.offset;
       const std::size_t size = ep.size;
-      req.on_complete(
-          [devp, buf, offset, size, bounce, done](vt::TimePoint t, const mpi::MsgStatus&) {
-            const auto h2d =
-                devp->charge_dma(t, size, /*to_device=*/true, /*pinned_host=*/true);
-            std::memcpy(buf->storage().data() + offset, bounce->data(), size);
-            done(h2d.end);
-          });
+      auto state = req.state();
+      req.on_complete([devp, buf, offset, size, bounce, state, done](
+                          vt::TimePoint t, const mpi::MsgStatus&) {
+        if (std::exception_ptr err = state->error()) {
+          done(t, err);  // nothing arrived: no up-staging DMA, no copy
+          return;
+        }
+        const auto h2d = devp->charge_dma(t, size, /*to_device=*/true, /*pinned_host=*/true);
+        std::memcpy(buf->storage().data() + offset, bounce->data(), size);
+        done(h2d.end, nullptr);
+      });
       return;
     }
 
@@ -146,8 +164,9 @@ void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
       auto region = ep.buf->storage().subspan(ep.offset, ep.size);
       mpi::Request req = ep.comm->irecv(region, ep.peer, ep.tag, mapped_at, opts);
       const vt::Duration unmap_cost = prof.pcie.map_setup;
-      req.on_complete([unmap_cost, done](vt::TimePoint t, const mpi::MsgStatus&) {
-        done(t + unmap_cost);
+      auto state = req.state();
+      req.on_complete([unmap_cost, state, done](vt::TimePoint t, const mpi::MsgStatus&) {
+        done(t + unmap_cost, state->error());
       });
       return;
     }
@@ -165,8 +184,13 @@ void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
             *bounce, ep.peer, mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
             setup.end);
         const std::size_t offset = ep.offset + k * strategy.block;
-        req.on_complete([devp, buf, offset, n, bounce, countdown](vt::TimePoint t,
-                                                                  const mpi::MsgStatus&) {
+        auto state = req.state();
+        req.on_complete([devp, buf, offset, n, bounce, state, countdown](
+                            vt::TimePoint t, const mpi::MsgStatus&) {
+          if (std::exception_ptr err = state->error()) {
+            countdown->arrive(t, err);
+            return;
+          }
           const auto h2d = devp->charge_dma(t, n, /*to_device=*/true, /*pinned_host=*/true);
           std::memcpy(buf->storage().data() + offset, bounce->data(), n);
           countdown->arrive(h2d.end);
@@ -181,7 +205,10 @@ void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
       auto region = ep.buf->storage().subspan(ep.offset, ep.size);
       mpi::Request req =
           ep.comm->irecv(region, ep.peer, ep.tag, ready + prof.nic.rdma_setup);
-      req.on_complete([done](vt::TimePoint t, const mpi::MsgStatus&) { done(t); });
+      auto state = req.state();
+      req.on_complete([state, done](vt::TimePoint t, const mpi::MsgStatus&) {
+        done(t, state->error());
+      });
       return;
     }
   }

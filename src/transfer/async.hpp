@@ -12,14 +12,20 @@
 // point).
 #pragma once
 
+#include <exception>
 #include <functional>
 
 #include "transfer/strategy.hpp"
 
 namespace clmpi::xfer {
 
-/// Called exactly once with the transfer's virtual completion time.
-using DoneFn = std::function<void(vt::TimePoint)>;
+/// Called exactly once with the transfer's virtual completion time. On
+/// success `error` is nullptr; when an underlying MPI operation failed (e.g.
+/// an injected fault dropped a message) `error` carries the first failure and
+/// the completion time is the virtual time the failure was detected. Multi-
+/// request transfers still fire `done` only after ALL sub-requests settle, so
+/// bounce buffers never outlive in-flight envelopes.
+using DoneFn = std::function<void(vt::TimePoint, std::exception_ptr)>;
 
 /// Post the send/receive of a device buffer region; returns immediately.
 /// `done` fires (possibly on an MPI progress thread) when the last stage of

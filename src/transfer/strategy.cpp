@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <exception>
+#include <span>
 #include <vector>
 
 #include "simmpi/datatype.hpp"
@@ -25,6 +27,25 @@ void check_endpoint(const DeviceEndpoint& ep) {
 std::size_t block_bytes(std::size_t size, std::size_t block, std::size_t k) {
   const std::size_t begin = k * block;
   return std::min(block, size - begin);
+}
+
+/// Wait for EVERY request, then rethrow the first failure (if any). The
+/// sync strategies must not unwind while sibling requests are in flight:
+/// their envelopes still reference stack-local bounce buffers, so an early
+/// rethrow (as a naive wait loop would do under fault injection) is a
+/// use-after-free race on the peer's delivery thread.
+vt::TimePoint wait_all_collect(std::span<mpi::Request> reqs) {
+  vt::TimePoint done{};
+  std::exception_ptr first;
+  for (auto& r : reqs) {
+    try {
+      done = vt::max(done, r.wait());
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+  return done;
 }
 
 // --- pinned ---------------------------------------------------------------
@@ -110,9 +131,7 @@ vt::TimePoint send_pipelined(const DeviceEndpoint& ep, std::size_t block,
                                   mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
                                   dma.end));
   }
-  vt::TimePoint done{};
-  for (auto& r : reqs) done = vt::max(done, r.wait());
-  return done;
+  return wait_all_collect(reqs);
 }
 
 vt::TimePoint recv_pipelined(const DeviceEndpoint& ep, std::size_t block,
@@ -132,14 +151,22 @@ vt::TimePoint recv_pipelined(const DeviceEndpoint& ep, std::size_t block,
                                   setup.end));
   }
   vt::TimePoint done{};
+  std::exception_ptr first;
   for (std::size_t k = 0; k < nblocks; ++k) {
-    const vt::TimePoint arrival = reqs[k].wait();
+    vt::TimePoint arrival;
+    try {
+      arrival = reqs[k].wait();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+      continue;  // keep draining: bounces[k] must outlive every envelope
+    }
     const std::size_t n = bounces[k].size();
     const auto dma =
         ep.dev->charge_dma(arrival, n, /*to_device=*/true, /*pinned_host=*/true);
     std::memcpy(ep.buf->storage().data() + ep.offset + k * block, bounces[k].data(), n);
     done = vt::max(done, dma.end);
   }
+  if (first) std::rethrow_exception(first);
   return done;
 }
 
@@ -233,12 +260,26 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
       // arrival.
       std::vector<std::byte> in(recv_ep.size);
       mpi::Request rreq = recv_ep.comm->irecv(in, recv_ep.peer, recv_ep.tag, setup.end);
-      const vt::TimePoint arrival = rreq.wait();
-      const auto h2d =
-          dev.charge_dma(arrival, recv_ep.size, /*to_device=*/true, /*pinned_host=*/true);
-      std::memcpy(recv_ep.buf->storage().data() + recv_ep.offset, in.data(), recv_ep.size);
-
-      return vt::max(h2d.end, sreq.wait());
+      std::exception_ptr first;
+      vt::TimePoint h2d_end{};
+      try {
+        const vt::TimePoint arrival = rreq.wait();
+        const auto h2d = dev.charge_dma(arrival, recv_ep.size, /*to_device=*/true,
+                                        /*pinned_host=*/true);
+        std::memcpy(recv_ep.buf->storage().data() + recv_ep.offset, in.data(),
+                    recv_ep.size);
+        h2d_end = h2d.end;
+      } catch (...) {
+        first = std::current_exception();
+      }
+      vt::TimePoint sent{};
+      try {
+        sent = sreq.wait();  // always drain: `out` must outlive the envelope
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+      if (first) std::rethrow_exception(first);
+      return vt::max(h2d_end, sent);
     }
 
     case StrategyKind::mapped: {
@@ -248,11 +289,10 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
       mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second};
       auto out = send_ep.buf->storage().subspan(send_ep.offset, send_ep.size);
       auto in = recv_ep.buf->storage().subspan(recv_ep.offset, recv_ep.size);
-      mpi::Request sreq =
-          send_ep.comm->isend(out, send_ep.peer, send_ep.tag, mapped_at, opts);
-      mpi::Request rreq =
-          recv_ep.comm->irecv(in, recv_ep.peer, recv_ep.tag, mapped_at, opts);
-      const vt::TimePoint done = vt::max(sreq.wait(), rreq.wait());
+      std::vector<mpi::Request> reqs;
+      reqs.push_back(send_ep.comm->isend(out, send_ep.peer, send_ep.tag, mapped_at, opts));
+      reqs.push_back(recv_ep.comm->irecv(in, recv_ep.peer, recv_ep.tag, mapped_at, opts));
+      const vt::TimePoint done = wait_all_collect(reqs);
       return done + prof.pcie.map_setup + prof.pcie.map_setup;
     }
 
@@ -289,10 +329,18 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
             mpi::detail::pipeline_subtag(send_ep.tag, static_cast<int>(k)), dma.end));
       }
 
-      // Stage inbound blocks up as they arrive.
+      // Stage inbound blocks up as they arrive; drain every request even on
+      // failure so the bounce rings stay alive for in-flight envelopes.
       vt::TimePoint done{};
+      std::exception_ptr first;
       for (std::size_t k = 0; k < in_blocks; ++k) {
-        const vt::TimePoint arrival = rreqs[k].wait();
+        vt::TimePoint arrival;
+        try {
+          arrival = rreqs[k].wait();
+        } catch (...) {
+          if (!first) first = std::current_exception();
+          continue;
+        }
         const std::size_t n = in[k].size();
         const auto h2d =
             dev.charge_dma(arrival, n, /*to_device=*/true, /*pinned_host=*/true);
@@ -300,7 +348,14 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
                     in[k].data(), n);
         done = vt::max(done, h2d.end);
       }
-      for (auto& s : sreqs) done = vt::max(done, s.wait());
+      for (auto& s : sreqs) {
+        try {
+          done = vt::max(done, s.wait());
+        } catch (...) {
+          if (!first) first = std::current_exception();
+        }
+      }
+      if (first) std::rethrow_exception(first);
       return done;
     }
 
@@ -309,9 +364,10 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
       const vt::TimePoint at = ready + prof.nic.rdma_setup;
       auto out = send_ep.buf->storage().subspan(send_ep.offset, send_ep.size);
       auto in = recv_ep.buf->storage().subspan(recv_ep.offset, recv_ep.size);
-      mpi::Request sreq = send_ep.comm->isend(out, send_ep.peer, send_ep.tag, at);
-      mpi::Request rreq = recv_ep.comm->irecv(in, recv_ep.peer, recv_ep.tag, at);
-      return vt::max(sreq.wait(), rreq.wait());
+      std::vector<mpi::Request> reqs;
+      reqs.push_back(send_ep.comm->isend(out, send_ep.peer, send_ep.tag, at));
+      reqs.push_back(recv_ep.comm->irecv(in, recv_ep.peer, recv_ep.tag, at));
+      return wait_all_collect(reqs);
     }
   }
   throw PreconditionError("unknown transfer strategy");
@@ -333,9 +389,7 @@ vt::TimePoint send_host(mpi::Comm& comm, std::span<const std::byte> data, int pe
                               mpi::detail::pipeline_subtag(tag, static_cast<int>(k)),
                               ready));
   }
-  vt::TimePoint done{};
-  for (auto& r : reqs) done = vt::max(done, r.wait());
-  return done;
+  return wait_all_collect(reqs);
 }
 
 vt::TimePoint recv_host(mpi::Comm& comm, std::span<std::byte> data, int peer, int tag,
@@ -354,9 +408,7 @@ vt::TimePoint recv_host(mpi::Comm& comm, std::span<std::byte> data, int peer, in
                               mpi::detail::pipeline_subtag(tag, static_cast<int>(k)),
                               ready));
   }
-  vt::TimePoint done{};
-  for (auto& r : reqs) done = vt::max(done, r.wait());
-  return done;
+  return wait_all_collect(reqs);
 }
 
 vt::Duration predict_transfer(const sys::SystemProfile& profile, std::size_t size,

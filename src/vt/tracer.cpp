@@ -1,6 +1,8 @@
 #include "vt/tracer.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <iomanip>
 #include <map>
 #include <sstream>
@@ -118,6 +120,44 @@ std::string Tracer::chrome_json() const {
   }
   os << "]";
   return os.str();
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t span_hash(const TraceSpan& s) {
+  std::uint64_t h = kFnvOffset;
+  fnv_bytes(h, s.lane.data(), s.lane.size());
+  fnv_bytes(h, "\x1f", 1);  // separator so ("ab","c") != ("a","bc")
+  fnv_bytes(h, s.label.data(), s.label.size());
+  const auto kind = static_cast<std::uint32_t>(s.kind);
+  fnv_bytes(h, &kind, sizeof(kind));
+  const std::uint64_t start_bits = std::bit_cast<std::uint64_t>(s.start.s);
+  const std::uint64_t end_bits = std::bit_cast<std::uint64_t>(s.end.s);
+  fnv_bytes(h, &start_bits, sizeof(start_bits));
+  fnv_bytes(h, &end_bits, sizeof(end_bits));
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t Tracer::hash() const {
+  std::lock_guard lock(mutex_);
+  // A commutative combine (wrapping sum) makes the digest independent of
+  // record() ordering across threads; each span is hashed on its own.
+  std::uint64_t acc = 0;
+  for (const auto& s : spans_) acc += span_hash(s);
+  return acc;
 }
 
 void Tracer::clear() {

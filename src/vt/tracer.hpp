@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -49,6 +50,13 @@ class Tracer {
   /// complete event per span, one track per lane, timestamps in virtual
   /// microseconds.
   [[nodiscard]] std::string chrome_json() const;
+
+  /// Order-independent digest of the trace: the wrapping sum of one FNV-1a
+  /// hash per span (lane, label, kind, start, end bits). Two runs of the
+  /// same deterministic workload produce the same value regardless of the
+  /// real-time interleaving in which threads called record() — the chaos
+  /// suite's reproducibility invariant.
+  [[nodiscard]] std::uint64_t hash() const;
 
   void clear();
 

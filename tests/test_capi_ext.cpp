@@ -2,6 +2,8 @@
 // I/O) and the remaining MPI wrapper surface.
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 #include <string>
 #include <vector>
 
@@ -17,7 +19,7 @@ mpi::Cluster::Options opts(int nranks) {
   mpi::Cluster::Options o;
   o.nranks = nranks;
   o.profile = &sys::ricc();
-  o.watchdog_seconds = 30.0;
+  o.watchdog_seconds = testutil::watchdog_seconds(30.0);
   return o;
 }
 
@@ -170,6 +172,162 @@ TEST(CApiExt, SendBufferThroughCapiUsesRuntimePolicy) {
       EXPECT_TRUE(check_pattern(clmpiGetBuffer(buf)->storage(), 51));
     }
     clReleaseMemObject(buf);
+  });
+}
+
+// --- negative paths: every invalid input returns a defined code --------------
+//
+// The C API must never crash, hang, or leak a C++ exception across the C
+// boundary; each case below pins the exact error constant.
+
+TEST(CApiNegative, NullHandlesOnCommunicationCommands) {
+  mpi::Cluster::run(opts(2), [&](mpi::Rank& rank) {
+    Session s(rank);
+    cl_int err = CL_SUCCESS;
+    cl_mem buf = clCreateBuffer(s.ctx, 64, &err);
+    EXPECT_EQ(clEnqueueSendBuffer(nullptr, buf, CL_TRUE, 0, 64, 1, 0, MPI_COMM_WORLD, 0,
+                                  nullptr, nullptr),
+              CL_INVALID_COMMAND_QUEUE);
+    EXPECT_EQ(clEnqueueSendBuffer(s.cmd, nullptr, CL_TRUE, 0, 64, 1, 0, MPI_COMM_WORLD, 0,
+                                  nullptr, nullptr),
+              CL_INVALID_MEM_OBJECT);
+    EXPECT_EQ(clEnqueueSendBuffer(s.cmd, buf, CL_TRUE, 0, 64, 1, 0, nullptr, 0, nullptr,
+                                  nullptr),
+              CLMPI_INVALID_COMMUNICATOR);
+    EXPECT_EQ(clEnqueueRecvBuffer(nullptr, buf, CL_TRUE, 0, 64, 1, 0, MPI_COMM_WORLD, 0,
+                                  nullptr, nullptr),
+              CL_INVALID_COMMAND_QUEUE);
+    EXPECT_EQ(clEnqueueRecvBuffer(s.cmd, buf, CL_TRUE, 0, 64, 1, 0, nullptr, 0, nullptr,
+                                  nullptr),
+              CLMPI_INVALID_COMMUNICATOR);
+    clReleaseMemObject(buf);
+  });
+}
+
+TEST(CApiNegative, TransferRegionAndPeerValidation) {
+  mpi::Cluster::run(opts(2), [&](mpi::Rank& rank) {
+    Session s(rank);
+    cl_int err = CL_SUCCESS;
+    cl_mem buf = clCreateBuffer(s.ctx, 256, &err);
+    // Region outside the buffer (offset + size overflow-safe).
+    EXPECT_EQ(clEnqueueSendBuffer(s.cmd, buf, CL_TRUE, 128, 256, 1, 0, MPI_COMM_WORLD, 0,
+                                  nullptr, nullptr),
+              CL_INVALID_VALUE);
+    EXPECT_EQ(clEnqueueSendBuffer(s.cmd, buf, CL_TRUE, 512, 1, 1, 0, MPI_COMM_WORLD, 0,
+                                  nullptr, nullptr),
+              CL_INVALID_VALUE);
+    // Zero-size device transfers are rejected.
+    EXPECT_EQ(clEnqueueSendBuffer(s.cmd, buf, CL_TRUE, 0, 0, 1, 0, MPI_COMM_WORLD, 0,
+                                  nullptr, nullptr),
+              CL_INVALID_VALUE);
+    // Peer outside the communicator.
+    EXPECT_EQ(clEnqueueSendBuffer(s.cmd, buf, CL_TRUE, 0, 64, 7, 0, MPI_COMM_WORLD, 0,
+                                  nullptr, nullptr),
+              CLMPI_INVALID_RANK);
+    EXPECT_EQ(clEnqueueRecvBuffer(s.cmd, buf, CL_TRUE, 0, 64, -1, 0, MPI_COMM_WORLD, 0,
+                                  nullptr, nullptr),
+              CLMPI_INVALID_RANK);
+    // Tags must be in [0, max_user_tag].
+    EXPECT_EQ(clEnqueueSendBuffer(s.cmd, buf, CL_TRUE, 0, 64, 1, -3, MPI_COMM_WORLD, 0,
+                                  nullptr, nullptr),
+              CLMPI_INVALID_TAG);
+    EXPECT_EQ(clEnqueueRecvBuffer(s.cmd, buf, CL_TRUE, 0, 64, 1, 1 << 30, MPI_COMM_WORLD, 0,
+                                  nullptr, nullptr),
+              CLMPI_INVALID_TAG);
+    clReleaseMemObject(buf);
+  });
+}
+
+TEST(CApiNegative, ReleasedEventReuseIsDetected) {
+  mpi::Cluster::run(opts(1), [&](mpi::Rank& rank) {
+    Session s(rank);
+    cl_int err = CL_SUCCESS;
+    cl_mem buf = clCreateBuffer(s.ctx, 64, &err);
+    std::vector<std::byte> host(64);
+    cl_event evt = nullptr;
+    ASSERT_EQ(clEnqueueWriteBuffer(s.cmd, buf, CL_TRUE, 0, 64, host.data(), 0, nullptr,
+                                   &evt),
+              CL_SUCCESS);
+    ASSERT_NE(evt, nullptr);
+    ASSERT_EQ(clReleaseEvent(evt), CL_SUCCESS);
+    // The handle is dead: every further use fails cleanly instead of
+    // dereferencing freed memory.
+    EXPECT_EQ(clWaitForEvents(1, &evt), CL_INVALID_EVENT);
+    EXPECT_EQ(clRetainEvent(evt), CL_INVALID_EVENT);
+    EXPECT_EQ(clReleaseEvent(evt), CL_INVALID_EVENT);
+    // A wait list mentioning the dead handle is rejected as a whole.
+    cl_event dead_list[1] = {evt};
+    EXPECT_EQ(clEnqueueWriteBuffer(s.cmd, buf, CL_TRUE, 0, 64, host.data(), 1, dead_list,
+                                   nullptr),
+              CL_INVALID_EVENT_WAIT_LIST);
+    clReleaseMemObject(buf);
+  });
+}
+
+TEST(CApiNegative, WaitForEventsArgumentValidation) {
+  mpi::Cluster::run(opts(1), [&](mpi::Rank& rank) {
+    Session s(rank);
+    EXPECT_EQ(clWaitForEvents(0, nullptr), CL_INVALID_VALUE);
+    cl_event bogus = nullptr;
+    EXPECT_EQ(clWaitForEvents(1, &bogus), CL_INVALID_EVENT);
+    EXPECT_EQ(clRetainEvent(nullptr), CL_INVALID_EVENT);
+    EXPECT_EQ(clReleaseEvent(nullptr), CL_INVALID_EVENT);
+  });
+}
+
+TEST(CApiNegative, EventFromInvalidRequest) {
+  mpi::Cluster::run(opts(1), [&](mpi::Rank& rank) {
+    Session s(rank);
+    cl_int err = CL_SUCCESS;
+    EXPECT_EQ(clCreateEventFromMPIRequest(s.ctx, nullptr, &err), nullptr);
+    EXPECT_EQ(err, CLMPI_INVALID_REQUEST);
+    MPI_Request empty;  // default-constructed, no operation behind it
+    err = CL_SUCCESS;
+    EXPECT_EQ(clCreateEventFromMPIRequest(s.ctx, &empty, &err), nullptr);
+    EXPECT_EQ(err, CLMPI_INVALID_REQUEST);
+  });
+}
+
+TEST(CApiNegative, MpiWrapperArgumentValidation) {
+  mpi::Cluster::run(opts(2), [&](mpi::Rank& rank) {
+    Session s(rank);
+    std::vector<int> v(16, 0);
+    MPI_Request req;
+    // Rank/tag/count/buffer/comm/request checks return MPI error classes.
+    EXPECT_EQ(MPI_Isend(v.data(), 16, MPI_INT, 9, 0, MPI_COMM_WORLD, &req), MPI_ERR_RANK);
+    EXPECT_EQ(MPI_Isend(v.data(), 16, MPI_INT, 1, -2, MPI_COMM_WORLD, &req), MPI_ERR_TAG);
+    EXPECT_EQ(MPI_Isend(nullptr, 16, MPI_INT, 1, 0, MPI_COMM_WORLD, &req), MPI_ERR_BUFFER);
+    EXPECT_EQ(MPI_Isend(v.data(), -1, MPI_INT, 1, 0, MPI_COMM_WORLD, &req), MPI_ERR_COUNT);
+    EXPECT_EQ(MPI_Isend(v.data(), 16, MPI_INT, 1, 0, nullptr, &req), MPI_ERR_COMM);
+    EXPECT_EQ(MPI_Isend(v.data(), 16, MPI_INT, 1, 0, MPI_COMM_WORLD, nullptr),
+              MPI_ERR_REQUEST);
+    EXPECT_EQ(MPI_Irecv(v.data(), 16, MPI_INT, 9, 0, MPI_COMM_WORLD, &req), MPI_ERR_RANK);
+    EXPECT_EQ(MPI_Irecv(v.data(), 16, MPI_INT, 0, 0, MPI_COMM_WORLD, nullptr),
+              MPI_ERR_REQUEST);
+    EXPECT_EQ(MPI_Wait(nullptr), MPI_ERR_REQUEST);
+    EXPECT_EQ(MPI_Barrier(nullptr), MPI_ERR_COMM);
+    int x = 0;
+    EXPECT_EQ(MPI_Comm_rank(nullptr, &x), MPI_ERR_COMM);
+    EXPECT_EQ(MPI_Comm_rank(MPI_COMM_WORLD, nullptr), MPI_ERR_ARG);
+    EXPECT_EQ(MPI_Comm_size(nullptr, &x), MPI_ERR_COMM);
+    // A rank that only probes invalid arguments must not desync the other:
+    // both ranks run the identical body, and none of the calls above posts
+    // a message.
+  });
+}
+
+TEST(CApiNegative, ZeroByteMessagesSucceed) {
+  mpi::Cluster::run(opts(2), [&](mpi::Rank& rank) {
+    Session s(rank);
+    int self = -1;
+    MPI_Comm_rank(MPI_COMM_WORLD, &self);
+    const int peer = 1 - self;
+    // count == 0 is a legal empty message, even with a null buffer.
+    if (self == 0) {
+      EXPECT_EQ(MPI_Send(nullptr, 0, MPI_BYTE, peer, 5, MPI_COMM_WORLD), MPI_SUCCESS);
+    } else {
+      EXPECT_EQ(MPI_Recv(nullptr, 0, MPI_BYTE, peer, 5, MPI_COMM_WORLD), MPI_SUCCESS);
+    }
   });
 }
 

@@ -4,6 +4,8 @@
 // communicator devices per rank.
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 #include <array>
 #include <string>
 #include <vector>
@@ -25,7 +27,7 @@ mpi::Cluster::Options opts(int nranks, const sys::SystemProfile& prof = sys::ric
   mpi::Cluster::Options o;
   o.nranks = nranks;
   o.profile = &prof;
-  o.watchdog_seconds = 30.0;
+  o.watchdog_seconds = testutil::watchdog_seconds(30.0);
   return o;
 }
 

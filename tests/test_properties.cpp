@@ -4,6 +4,8 @@
 // virtual-time causality.
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 #include <algorithm>
 #include <cstring>
 #include <vector>
@@ -24,7 +26,7 @@ mpi::Cluster::Options opts(int nranks, const sys::SystemProfile& prof) {
   mpi::Cluster::Options o;
   o.nranks = nranks;
   o.profile = &prof;
-  o.watchdog_seconds = 60.0;
+  o.watchdog_seconds = testutil::watchdog_seconds(60.0);
   return o;
 }
 

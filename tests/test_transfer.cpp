@@ -2,6 +2,8 @@
 // policy selection, and the Figure-8 performance orderings.
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 #include <vector>
 
 #include "ocl/context.hpp"
@@ -18,7 +20,7 @@ mpi::Cluster::Options opts(int nranks, const sys::SystemProfile& prof) {
   mpi::Cluster::Options o;
   o.nranks = nranks;
   o.profile = &prof;
-  o.watchdog_seconds = 30.0;
+  o.watchdog_seconds = testutil::watchdog_seconds(30.0);
   return o;
 }
 
@@ -208,6 +210,52 @@ TEST(Policy, BlockCountCoversWholeMessage) {
   EXPECT_EQ(pipeline_block_count(8, 4), 2u);
   EXPECT_EQ(pipeline_block_count(1, 4), 1u);
   EXPECT_THROW(pipeline_block_count(8, 0), PreconditionError);
+}
+
+TEST(Policy, ThresholdBoundaryIsExact) {
+  // select() pipelines at exactly pipeline_threshold; one byte below falls
+  // back to the profile's small-message preference. The boundary matters:
+  // both endpoints must agree on the wire decomposition.
+  const auto& ricc = sys::ricc();
+  EXPECT_EQ(select(ricc, ricc.pipeline_threshold).kind, StrategyKind::pipelined);
+  EXPECT_EQ(select(ricc, ricc.pipeline_threshold - 1).kind, StrategyKind::pinned);
+  const auto& cich = sys::cichlid();
+  EXPECT_EQ(select(cich, cich.pipeline_threshold).kind, StrategyKind::pipelined);
+  EXPECT_EQ(select(cich, cich.pipeline_threshold - 1).kind, StrategyKind::mapped);
+}
+
+TEST(Policy, DefaultBlockClampAndRounding) {
+  const auto& prof = sys::ricc();
+  EXPECT_EQ(default_pipeline_block(prof, 1), 256_KiB);      // lower clamp
+  EXPECT_EQ(default_pipeline_block(prof, 1_GiB), 16_MiB);   // upper clamp
+  EXPECT_EQ(default_pipeline_block(prof, 24_MiB), 2_MiB);   // size/8 -> pow2 round-down
+}
+
+TEST(Policy, BlockCountAtChunkEdges) {
+  // size == block (single chunk), one byte either side, and size < block.
+  EXPECT_EQ(pipeline_block_count(1_MiB, 1_MiB), 1u);
+  EXPECT_EQ(pipeline_block_count(1_MiB + 1, 1_MiB), 2u);
+  EXPECT_EQ(pipeline_block_count(1_MiB - 1, 1_MiB), 1u);
+  EXPECT_EQ(pipeline_block_count(17, 1_MiB), 1u);
+}
+
+TEST(PipelineEdges, DeliversAtChunkBoundaries) {
+  // Byte-exact delivery when the message lands exactly on, one byte past,
+  // and one byte short of a pipeline chunk edge, plus the degenerate
+  // single-chunk (size < block) case.
+  constexpr std::size_t block = 1_MiB;
+  for (std::size_t size : {block, block + 1, block - 1, 3 * block, 3 * block + 1,
+                           3 * block - 1, std::size_t{1}, 64_KiB}) {
+    EXPECT_GT(run_p2p(sys::ricc(), size, Strategy::pipelined(block)), 0.0)
+        << "size " << size;
+  }
+}
+
+TEST(PipelineEdges, SingleByteEveryStrategy) {
+  for (const Strategy s : {Strategy::pinned(), Strategy::mapped(),
+                           Strategy::pipelined(256_KiB)}) {
+    EXPECT_GT(run_p2p(sys::ricc(), 1, s), 0.0);
+  }
 }
 
 TEST(Endpoint, InvalidRegionsRejected) {

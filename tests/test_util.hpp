@@ -1,0 +1,22 @@
+// Shared helpers for the test suites.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace clmpi::testutil {
+
+/// Deadlock-watchdog budget for Cluster::Options::watchdog_seconds.
+/// `CLMPI_TEST_WATCHDOG` (seconds, floating point) overrides the suite's
+/// default — shorten it to make chaos failures surface fast, lengthen it on
+/// slow machines. Non-positive or unparsable values fall back to `fallback`.
+inline double watchdog_seconds(double fallback) {
+  const char* env = std::getenv("CLMPI_TEST_WATCHDOG");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || v <= 0.0) return fallback;
+  return v;
+}
+
+}  // namespace clmpi::testutil

@@ -2,6 +2,7 @@
 // serializing resources, clocks, tracing.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -242,6 +243,42 @@ TEST(Tracer, ChromeJsonIsWellFormed) {
   // Microsecond timestamps: 0.001 s -> ts 1000.
   EXPECT_NE(json.find("\"ts\":1000.000"), std::string::npos);
   EXPECT_NE(json.find("\"dur\":1000.000"), std::string::npos);
+}
+
+TEST(Tracer, HashIsOrderIndependent) {
+  // Threads race to record(); the digest must not depend on arrival order.
+  Tracer fwd, rev;
+  fwd.record("host0", "a", SpanKind::compute, TimePoint{0.0}, TimePoint{1.0});
+  fwd.record("net", "b", SpanKind::wire, TimePoint{0.5}, TimePoint{2.5});
+  rev.record("net", "b", SpanKind::wire, TimePoint{0.5}, TimePoint{2.5});
+  rev.record("host0", "a", SpanKind::compute, TimePoint{0.0}, TimePoint{1.0});
+  EXPECT_EQ(fwd.hash(), rev.hash());
+}
+
+TEST(Tracer, HashIsSensitiveToEveryField) {
+  auto one = [](const char* lane, const char* label, SpanKind kind, double s, double e) {
+    Tracer tr;
+    tr.record(lane, label, kind, TimePoint{s}, TimePoint{e});
+    return tr.hash();
+  };
+  const std::uint64_t base = one("l", "x", SpanKind::wire, 0.0, 1.0);
+  EXPECT_NE(base, one("m", "x", SpanKind::wire, 0.0, 1.0));
+  EXPECT_NE(base, one("l", "y", SpanKind::wire, 0.0, 1.0));
+  EXPECT_NE(base, one("l", "x", SpanKind::wait, 0.0, 1.0));
+  EXPECT_NE(base, one("l", "x", SpanKind::wire, 0.25, 1.0));
+  EXPECT_NE(base, one("l", "x", SpanKind::wire, 0.0, 1.5));
+  // The lane/label split is part of the digest, not just their concatenation.
+  EXPECT_NE(one("ab", "c", SpanKind::wire, 0.0, 1.0),
+            one("a", "bc", SpanKind::wire, 0.0, 1.0));
+}
+
+TEST(Tracer, EmptyTraceHashesToZeroSum) {
+  Tracer tr;
+  const std::uint64_t empty = tr.hash();
+  tr.record("l", "x", SpanKind::other, TimePoint{0.0}, TimePoint{1.0});
+  EXPECT_NE(tr.hash(), empty);
+  tr.clear();
+  EXPECT_EQ(tr.hash(), empty);
 }
 
 TEST(Tracer, ClearEmptiesTrace) {
