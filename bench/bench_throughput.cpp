@@ -1,0 +1,383 @@
+// Wall-clock throughput benchmark for the host-side hot paths.
+//
+// Unlike the figure benches (which report *virtual* time reproduced from the
+// paper's model), this harness measures how fast the simulator itself runs:
+// messages per wall-clock second through the sharded mailbox, the eager
+// inline fast path, the staging-buffer pool and the batched dispatcher. It
+// is the regression gate for host-side overhead — the virtual results must
+// not move at all (each scenario also records its trace hash, makespan and
+// fault counters, which must be identical across builds for equal seeds).
+//
+// Scenarios:
+//   eager_inline     64 B ping-pong        (inline eager store, shard locks)
+//   eager_small      4 KiB ping-pong       (eager heap copy path)
+//   rendezvous_large 256 KiB ping-pong     (rendezvous matching)
+//   pinned_repeat    repeated 256 KiB pinned device transfers (pool reuse)
+//   pipelined_large  8 MiB pipelined device transfers (block-ring pool reuse)
+//   mailbox_fanin    4 ranks, 3 senders fan in to rank 0 on distinct tags
+//   chaos_replay     7 fault classes x 3 strategies, one seeded scenario each
+//
+// Output: a human-readable table on stdout and a JSON array (default
+// BENCH_throughput.json, override with --out PATH). `--smoke` shrinks every
+// scenario so the whole run finishes in a few seconds (the `bench-smoke`
+// CTest label runs this configuration).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "clmpi/runtime.hpp"
+#include "ocl/context.hpp"
+#include "ocl/platform.hpp"
+#include "ocl/queue.hpp"
+#include "simmpi/cluster.hpp"
+#include "simmpi/fault.hpp"
+#include "support/rng.hpp"
+#include "support/units.hpp"
+#include "transfer/strategy.hpp"
+#include "vt/tracer.hpp"
+
+// The identical source builds against the pre-pool tree (for before/after
+// numbers); pool statistics are reported only when the pool exists.
+#if __has_include("transfer/pool.hpp")
+#include "transfer/pool.hpp"
+#define CLMPI_BENCH_HAVE_POOL 1
+#endif
+
+namespace clmpi {
+namespace {
+
+struct Config {
+  bool smoke{false};
+  std::string out_path{"BENCH_throughput.json"};
+  int warmup{1};
+  int reps{5};
+};
+
+struct ScenarioResult {
+  std::string name;
+  benchutil::WallTiming wall;
+  double msgs_per_rep{0.0};     ///< logical messages per repetition
+  double virtual_makespan_s{0.0};
+  std::uint64_t trace_hash{0};
+  mpi::FaultCounters counters;
+  double pool_hit_rate{-1.0};   ///< -1 when the build has no staging pool
+  std::size_t pool_high_water{0};
+};
+
+double msgs_per_sec(const ScenarioResult& r) {
+  return r.wall.median_s > 0.0 ? r.msgs_per_rep / r.wall.median_s : 0.0;
+}
+
+/// Run `body` once with a tracer to capture the virtual-time fingerprint
+/// (hash, makespan, fault counters), then `reps` untraced timed repetitions.
+ScenarioResult run_scenario(const Config& cfg, std::string name, int nranks,
+                            const mpi::FaultPlan& faults, double messages,
+                            const std::function<void(mpi::Rank&)>& body) {
+  ScenarioResult r;
+  r.name = std::move(name);
+  r.msgs_per_rep = messages;
+
+  {
+    vt::Tracer tracer;
+    mpi::Cluster::Options o;
+    o.nranks = nranks;
+    o.profile = &sys::ricc();
+    o.tracer = &tracer;
+    o.faults = faults;
+    const mpi::RunResult res = mpi::Cluster::run(o, body);
+    r.trace_hash = tracer.hash();
+    r.virtual_makespan_s = res.makespan_s;
+    r.counters = res.faults;
+  }
+
+#ifdef CLMPI_BENCH_HAVE_POOL
+  xfer::StagingPool::reset_all_stats();
+#endif
+  r.wall = benchutil::time_wall(cfg.warmup, cfg.reps, [&] {
+    mpi::Cluster::Options o;
+    o.nranks = nranks;
+    o.profile = &sys::ricc();
+    o.faults = faults;
+    mpi::Cluster::run(o, body);
+  });
+#ifdef CLMPI_BENCH_HAVE_POOL
+  const xfer::StagingPool::Stats stats = xfer::StagingPool::aggregate_stats();
+  r.pool_hit_rate = stats.acquires > 0
+                        ? static_cast<double>(stats.hits) / static_cast<double>(stats.acquires)
+                        : 0.0;
+  r.pool_high_water = stats.high_water_in_use;
+#endif
+  return r;
+}
+
+// --- p2p ping-pong (plain MPI, message-rate scenarios) -----------------------
+
+ScenarioResult pingpong(const Config& cfg, const std::string& name, std::size_t size,
+                        int rounds) {
+  return run_scenario(
+      cfg, name, 2, {}, 2.0 * rounds, [size, rounds](mpi::Rank& rank) {
+        std::vector<std::byte> buf(size, std::byte{0x5A});
+        for (int i = 0; i < rounds; ++i) {
+          if (rank.rank() == 0) {
+            rank.world().send(buf, 1, 7, rank.clock());
+            rank.world().recv(buf, 1, 8, rank.clock());
+          } else {
+            rank.world().recv(buf, 0, 7, rank.clock());
+            rank.world().send(buf, 0, 8, rank.clock());
+          }
+        }
+      });
+}
+
+// --- fan-in: concurrent senders on distinct channels -------------------------
+
+ScenarioResult fanin(const Config& cfg, int msgs_per_sender) {
+  constexpr int kRanks = 4;
+  constexpr std::size_t kSize = 1_KiB;
+  return run_scenario(
+      cfg, "mailbox_fanin", kRanks, {},
+      static_cast<double>((kRanks - 1) * msgs_per_sender),
+      [msgs_per_sender](mpi::Rank& rank) {
+        std::vector<std::byte> buf(kSize, std::byte{0x33});
+        if (rank.rank() == 0) {
+          std::vector<mpi::Request> reqs;
+          std::vector<std::vector<std::byte>> bufs(
+              static_cast<std::size_t>((rank.size() - 1) * msgs_per_sender));
+          for (auto& b : bufs) b.resize(kSize);
+          std::size_t n = 0;
+          for (int src = 1; src < rank.size(); ++src) {
+            for (int i = 0; i < msgs_per_sender; ++i) {
+              reqs.push_back(rank.world().irecv(bufs[n++], src, src * 1000 + i,
+                                                rank.clock()));
+            }
+          }
+          for (auto& req : reqs) req.wait(rank.clock());
+        } else {
+          std::vector<mpi::Request> reqs;
+          for (int i = 0; i < msgs_per_sender; ++i) {
+            reqs.push_back(
+                rank.world().isend(buf, 0, rank.rank() * 1000 + i, rank.clock()));
+          }
+          for (auto& req : reqs) req.wait(rank.clock());
+        }
+      });
+}
+
+// --- device transfers through the runtime (pool scenarios) -------------------
+
+struct Node {
+  explicit Node(mpi::Rank& rank)
+      : platform(rank.profile(), rank.rank(), rank.tracer()),
+        ctx(platform.device()),
+        runtime(rank, platform.device()) {}
+
+  ocl::Platform platform;
+  ocl::Context ctx;
+  rt::Runtime runtime;
+};
+
+ScenarioResult device_repeat(const Config& cfg, const std::string& name,
+                             const xfer::Strategy& strategy, std::size_t size,
+                             int rounds) {
+  return run_scenario(
+      cfg, name, 2, {}, static_cast<double>(rounds),
+      [strategy, size, rounds](mpi::Rank& rank) {
+        Node node(rank);
+        auto queue = node.ctx.create_queue();
+        ocl::BufferPtr buf = node.ctx.create_buffer(size);
+        for (int i = 0; i < rounds; ++i) {
+          if (rank.rank() == 0) {
+            node.runtime.enqueue_send_buffer(*queue, buf, true, 0, size, 1, i % 100,
+                                             rank.world(), {}, strategy);
+          } else {
+            node.runtime.enqueue_recv_buffer(*queue, buf, true, 0, size, 0, i % 100,
+                                             rank.world(), {}, strategy);
+          }
+        }
+      });
+}
+
+// --- chaos replay: the PR 1 suite's workload as a wall-clock scenario --------
+
+mpi::FaultPlan chaos_plan(int fault_class, std::uint64_t seed) {
+  mpi::FaultPlan p;
+  p.seed = seed;
+  switch (fault_class) {
+    case 0: break;
+    case 1: p.drop_rate = 0.3; break;
+    case 2: p.duplicate_rate = 0.5; break;
+    case 3: p.reorder_rate = 0.6; break;
+    case 4: p.latency_spike_rate = 0.6; break;
+    case 5: p.nic_degradation = 0.4; break;
+    case 6: p.stall_rate = 0.3; break;
+    default: break;
+  }
+  return p;
+}
+
+ScenarioResult chaos_replay(const Config& cfg) {
+  constexpr std::size_t kBufferBytes = 1_MiB;
+  constexpr std::size_t kMaxMessage = 384_KiB;
+  const int ops = cfg.smoke ? 3 : 6;
+
+  const xfer::Strategy strategies[] = {xfer::Strategy::pinned(), xfer::Strategy::mapped(),
+                                       xfer::Strategy::pipelined(32_KiB)};
+
+  ScenarioResult r;
+  r.name = "chaos_replay";
+  r.msgs_per_rep = 7.0 * 3.0 * ops;
+
+  auto run_grid = [&](vt::Tracer* tracer) {
+    std::uint64_t hash_acc = 0;
+    for (int fault = 0; fault < 7; ++fault) {
+      for (int s = 0; s < 3; ++s) {
+        const std::uint64_t seed = derive_seed(0xBE4C11u, static_cast<std::uint64_t>(
+                                                              fault * 31 + s * 7));
+        const xfer::Strategy strategy = strategies[s];
+        vt::Tracer local;
+        mpi::Cluster::Options o;
+        o.nranks = 2;
+        o.profile = &sys::ricc();
+        o.tracer = tracer != nullptr ? &local : nullptr;
+        o.faults = chaos_plan(fault, seed);
+        const mpi::RunResult res =
+            mpi::Cluster::run(o, [&, seed, ops](mpi::Rank& rank) {
+              Node node(rank);
+              auto queue = node.ctx.create_queue();
+              ocl::BufferPtr buf = node.ctx.create_buffer(kBufferBytes);
+              Rng rng(derive_seed(seed, 0xC4A05u));
+              for (int i = 0; i < ops; ++i) {
+                const std::size_t size = 1 + rng.below(kMaxMessage);
+                const std::size_t offset = rng.below(kBufferBytes - size + 1);
+                const bool rank0_sends = (rng.next_u64() & 1u) != 0;
+                const bool sender = (rank.rank() == 0) == rank0_sends;
+                try {
+                  if (sender) {
+                    node.runtime.enqueue_send_buffer(*queue, buf, true, offset, size,
+                                                     1 - rank.rank(), i, rank.world(), {},
+                                                     strategy);
+                  } else {
+                    node.runtime.enqueue_recv_buffer(*queue, buf, true, offset, size,
+                                                     1 - rank.rank(), i, rank.world(), {},
+                                                     strategy);
+                  }
+                } catch (const Error&) {
+                  // Injected drops surface as defined errors; the chaos tests
+                  // assert on them, the bench only measures.
+                }
+              }
+            });
+        if (tracer != nullptr) {
+          hash_acc = derive_seed(hash_acc ^ local.hash(), seed);
+          r.virtual_makespan_s += res.makespan_s;
+          r.counters.messages += res.faults.messages;
+          r.counters.drops += res.faults.drops;
+          r.counters.duplicates += res.faults.duplicates;
+          r.counters.delays += res.faults.delays;
+        }
+      }
+    }
+    return hash_acc;
+  };
+
+  vt::Tracer probe;
+  r.trace_hash = run_grid(&probe);
+  r.wall = benchutil::time_wall(cfg.warmup, cfg.reps, [&] { run_grid(nullptr); });
+  return r;
+}
+
+// --- reporting ---------------------------------------------------------------
+
+void print_table(const std::vector<ScenarioResult>& results) {
+  std::printf("%-18s %12s %12s %12s %14s %9s\n", "scenario", "median_ms", "min_ms",
+              "max_ms", "msgs/s", "pool_hit");
+  for (const auto& r : results) {
+    std::printf("%-18s %12.3f %12.3f %12.3f %14.0f ", r.name.c_str(),
+                r.wall.median_s * 1e3, r.wall.min_s * 1e3, r.wall.max_s * 1e3,
+                msgs_per_sec(r));
+    if (r.pool_hit_rate >= 0.0) {
+      std::printf("%8.1f%%\n", r.pool_hit_rate * 100.0);
+    } else {
+      std::printf("%9s\n", "n/a");
+    }
+  }
+}
+
+void write_json(const std::vector<ScenarioResult>& results, const Config& cfg) {
+  std::ofstream out(cfg.out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", cfg.out_path.c_str());
+    return;
+  }
+  out << "{\n  \"config\": {\"smoke\": " << (cfg.smoke ? "true" : "false")
+      << ", \"warmup\": " << cfg.warmup << ", \"reps\": " << cfg.reps << "},\n"
+      << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    char hash[19];
+    std::snprintf(hash, sizeof(hash), "0x%016llx",
+                  static_cast<unsigned long long>(r.trace_hash));
+    out << "    {\"name\": \"" << r.name << "\", \"wall_median_s\": " << r.wall.median_s
+        << ", \"wall_min_s\": " << r.wall.min_s << ", \"wall_max_s\": " << r.wall.max_s
+        << ", \"reps\": " << r.wall.reps << ", \"msgs_per_s\": " << msgs_per_sec(r)
+        << ", \"virtual_makespan_s\": " << r.virtual_makespan_s << ", \"trace_hash\": \""
+        << hash << "\", \"fault_messages\": " << r.counters.messages
+        << ", \"fault_drops\": " << r.counters.drops
+        << ", \"fault_duplicates\": " << r.counters.duplicates
+        << ", \"fault_delays\": " << r.counters.delays;
+    if (r.pool_hit_rate >= 0.0) {
+      out << ", \"pool_hit_rate\": " << r.pool_hit_rate
+          << ", \"pool_high_water_bytes\": " << r.pool_high_water;
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", cfg.out_path.c_str());
+}
+
+}  // namespace
+}  // namespace clmpi
+
+int main(int argc, char** argv) {
+  using namespace clmpi;
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cfg.smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      cfg.out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      cfg.reps = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--reps N] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (cfg.smoke) cfg.reps = 3;
+
+  const int pp_rounds = cfg.smoke ? 200 : 1500;
+  const int rv_rounds = cfg.smoke ? 100 : 600;
+  const int dev_rounds = cfg.smoke ? 40 : 200;
+  const int pipe_rounds = cfg.smoke ? 10 : 40;
+  const int fanin_msgs = cfg.smoke ? 50 : 300;
+
+  std::vector<ScenarioResult> results;
+  results.push_back(pingpong(cfg, "eager_inline", 64, pp_rounds));
+  results.push_back(pingpong(cfg, "eager_small", 4_KiB, pp_rounds));
+  results.push_back(pingpong(cfg, "rendezvous_large", 256_KiB, rv_rounds));
+  results.push_back(
+      device_repeat(cfg, "pinned_repeat", xfer::Strategy::pinned(), 256_KiB, dev_rounds));
+  results.push_back(device_repeat(cfg, "pipelined_large",
+                                  xfer::Strategy::pipelined(1_MiB), 8_MiB, pipe_rounds));
+  results.push_back(fanin(cfg, fanin_msgs));
+  results.push_back(chaos_replay(cfg));
+
+  print_table(results);
+  write_json(results, cfg);
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include "simmpi/datatype.hpp"
 #include "support/log.hpp"
 #include "transfer/async.hpp"
+#include "transfer/pool.hpp"
 #include "support/error.hpp"
 
 namespace clmpi::rt {
@@ -119,22 +120,26 @@ Runtime::~Runtime() {
 void Runtime::dispatcher_loop() {
   log::set_thread_label("clmpi-comm" + std::to_string(rank_->rank()));
   for (;;) {
-    Job job;
+    // Drain the whole queue per cv wakeup: enqueue bursts (an application
+    // posting a dependency chain of commands) cost one wakeup instead of one
+    // cv round trip — i.e. one context switch — per command.
+    std::deque<Job> batch;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [&] { return shutdown_ || !jobs_.empty(); });
       if (jobs_.empty()) return;  // shutdown with a drained queue
-      job = std::move(jobs_.front());
-      jobs_.pop_front();
+      batch.swap(jobs_);
     }
-    // Release the command once its wait list fires (§IV-B): commands are
-    // released in enqueue order, which preserves MPI tag-matching order.
-    vt::TimePoint ready = job.enqueue_time;
-    try {
-      for (const auto& w : job.waits) ready = vt::max(ready, w->wait());
-      job.post(ready);
-    } catch (...) {
-      job.fail(ready, std::current_exception());
+    for (Job& job : batch) {
+      // Release the command once its wait list fires (§IV-B): commands are
+      // released in enqueue order, which preserves MPI tag-matching order.
+      vt::TimePoint ready = job.enqueue_time;
+      try {
+        for (const auto& w : job.waits) ready = vt::max(ready, w->wait());
+        job.post(ready);
+      } catch (...) {
+        job.fail(ready, std::current_exception());
+      }
     }
   }
 }
@@ -254,7 +259,8 @@ ocl::EventPtr Runtime::enqueue_bcast_buffer(ocl::CommandQueue& queue,
       [dev, buf, offset, size, root, is_root, comm_ptr](vt::TimePoint ready,
                                                         const ocl::EventPtr& event) {
         auto& prof = dev->profile();
-        auto bounce = std::make_shared<std::vector<std::byte>>(size);
+        auto bounce = std::make_shared<xfer::StagingPool::Buffer>(
+            xfer::StagingPool::for_node(dev->node()).acquire(size));
         vt::TimePoint wire_ready = ready;
         if (is_root) {
           // Stage the payload down through the pinned path first.
@@ -265,7 +271,7 @@ ocl::EventPtr Runtime::enqueue_bcast_buffer(ocl::CommandQueue& queue,
           wire_ready = d2h.end;
         }
         vt::Clock wire_clock(wire_ready);
-        mpi::Request req = comm_ptr->ibcast(*bounce, root, wire_clock);
+        mpi::Request req = comm_ptr->ibcast(bounce->span(), root, wire_clock);
         auto req_state = req.state();
         req.on_complete([dev, buf, offset, size, is_root, bounce, req_state,
                          event](vt::TimePoint when, const mpi::MsgStatus&) {
@@ -383,8 +389,8 @@ mpi::Request Runtime::isend_cl_mem(std::span<const std::byte> data, int dst, int
     const std::size_t begin = k * strategy.block;
     const std::size_t n = std::min(strategy.block, data.size() - begin);
     subs.push_back(comm.isend(data.subspan(begin, n), dst,
-                              mpi::detail::pipeline_subtag(tag, static_cast<int>(k)),
-                              ready));
+                              mpi::detail::pipeline_subtag(tag, static_cast<int>(k)), ready,
+                              mpi::P2POptions{.wire_decomp = strategy.block}));
   }
   return aggregate_requests(std::move(subs), mpi::MsgStatus{dst, tag, data.size()});
 }
@@ -403,8 +409,8 @@ mpi::Request Runtime::irecv_cl_mem(std::span<std::byte> data, int src, int tag,
     const std::size_t begin = k * strategy.block;
     const std::size_t n = std::min(strategy.block, data.size() - begin);
     subs.push_back(comm.irecv(data.subspan(begin, n), src,
-                              mpi::detail::pipeline_subtag(tag, static_cast<int>(k)),
-                              ready));
+                              mpi::detail::pipeline_subtag(tag, static_cast<int>(k)), ready,
+                              mpi::P2POptions{.wire_decomp = strategy.block}));
   }
   return aggregate_requests(std::move(subs), mpi::MsgStatus{src, tag, data.size()});
 }

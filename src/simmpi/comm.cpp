@@ -63,6 +63,7 @@ Request Comm::post_send(std::span<const std::byte> data, int dst, int tag,
   env.eager = data.size() <= core_->network->model().eager_threshold;
   env.post_time = ready;
   env.bw_cap = opts.wire_bw_cap;
+  env.wire_decomp = opts.wire_decomp;
   env.sreq = state;
   core_->mailboxes[static_cast<std::size_t>(node_of(dst))].post_send(std::move(env));
   return Request(state);
@@ -79,6 +80,7 @@ Request Comm::post_recv(std::span<std::byte> data, int src, int tag, vt::TimePoi
   pr.buffer = data;
   pr.post_time = ready;
   pr.bw_cap = opts.wire_bw_cap;
+  pr.wire_decomp = opts.wire_decomp;
   pr.rreq = state;
   core_->mailboxes[static_cast<std::size_t>(group_[static_cast<std::size_t>(my_rank_)])]
       .post_recv(std::move(pr));

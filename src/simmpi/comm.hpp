@@ -35,6 +35,11 @@ struct P2POptions {
   /// Effective wire bandwidth cap in bytes/s; the mapped transfer strategy
   /// uses it to model the NIC streaming from mapped device memory.
   double wire_bw_cap{std::numeric_limits<double>::infinity()};
+  /// Wire-decomposition fingerprint stamped by the transfer layer: 0 for a
+  /// single full-size wire message, the block size for a pipelined
+  /// decomposition, SIZE_MAX (default) when unused. Debug builds verify both
+  /// endpoints of a matched message agree (detail::wire_decomp_unset).
+  std::size_t wire_decomp{std::numeric_limits<std::size_t>::max()};
 };
 
 class Comm {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 #include <string>
 
 #include "support/error.hpp"
@@ -16,12 +17,116 @@ std::exception_ptr drop_error(const Envelope& env) {
       std::to_string(env.tag) + " (" + std::to_string(env.bytes) + " B) lost in transit"));
 }
 
+#ifndef NDEBUG
+std::string describe_decomp(std::size_t decomp) {
+  if (decomp == wire_decomp_unset) return "unset";
+  if (decomp == 0) return "single message";
+  return "pipelined blocks of " + std::to_string(decomp) + " B";
+}
+#endif
+
 }  // namespace
+
+// --- CompletionQueue --------------------------------------------------------
+
+void CompletionQueue::push(std::vector<Completion>& batch) {
+  std::lock_guard lock(mutex_);
+  for (Completion& c : batch) queue_.push_back(std::move(c));
+}
+
+void CompletionQueue::drain() {
+  for (;;) {
+    // Single consumer: whoever flips the flag fires callbacks; everyone else
+    // leaves their batch for the current consumer.
+    if (draining_.exchange(true, std::memory_order_acquire)) return;
+    for (;;) {
+      std::vector<Completion> items;
+      {
+        std::lock_guard lock(mutex_);
+        if (queue_.empty()) break;
+        items.assign(std::make_move_iterator(queue_.begin()),
+                     std::make_move_iterator(queue_.end()));
+        queue_.clear();
+      }
+      for (Completion& c : items) {
+        if (c.error) {
+          c.req->fail(c.when, std::move(c.error));
+        } else {
+          c.req->complete(c.when, c.st);
+        }
+      }
+    }
+    draining_.store(false, std::memory_order_release);
+    // A producer may have enqueued between our last emptiness check and the
+    // flag release, then seen the flag still up and left. Re-check; if the
+    // queue is non-empty, try to become the consumer again.
+    {
+      std::lock_guard lock(mutex_);
+      if (queue_.empty()) return;
+    }
+  }
+}
+
+// --- Mailbox ----------------------------------------------------------------
 
 bool Mailbox::matches(const Envelope& env, const PostedRecv& pr) {
   return env.context == pr.context &&
          (pr.src_rank == any_source || pr.src_rank == env.src_rank) &&
          (pr.tag == any_tag || pr.tag == env.tag);
+}
+
+std::size_t Mailbox::shard_of(int src_rank, int tag, int context) noexcept {
+  // Any (src, tag, context) triple always lands in the same shard, which is
+  // what preserves the per-channel FIFO matching order.
+  std::uint64_t h = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_rank)) << 32) ^
+                    static_cast<std::uint32_t>(tag);
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(context)) << 13;
+  h *= 0x9E3779B97F4A7C15ull;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h) & (kShards - 1);
+}
+
+void Mailbox::settle(std::vector<Completion>& batch) {
+  if (batch.empty()) return;
+  completions_.push(batch);
+  completions_.drain();
+}
+
+void Mailbox::note_arrival() {
+  arrivals_.fetch_add(1, std::memory_order_seq_cst);
+  if (probe_waiters_.load(std::memory_order_seq_cst) > 0) {
+    // Empty critical section: a probe between its predicate check and its
+    // block would otherwise miss the notification.
+    { std::lock_guard lock(probe_mutex_); }
+    arrival_cv_.notify_all();
+  }
+}
+
+void Mailbox::inject_eager(Envelope& env, std::vector<Completion>& out) {
+  // Eager protocol: inject onto the wire immediately; the sender's buffer is
+  // reusable after injection, so copy the payload out first. Small payloads
+  // go to the envelope's inline store (no allocation).
+  if (!env.fault_drop && env.bytes > 0) {
+    if (env.bytes <= Envelope::kInlineEagerBytes) {
+      std::memcpy(env.inline_store.data(), env.payload.data(), env.bytes);
+      env.inlined = true;
+    } else {
+      env.eager_copy.assign(env.payload.begin(), env.payload.end());
+    }
+  }
+  env.payload = {};
+  auto span = net_->transfer(env.src_node, node_, env.post_time, env.bytes, env.bw_cap);
+  if (env.fault_dup) {
+    // Retransmission: the wire carries the payload again back-to-back.
+    span = net_->transfer(env.src_node, node_, span.end, env.bytes, env.bw_cap);
+  }
+  env.arrival = span.end;
+  env.injected = true;
+  if (env.fault_drop) {
+    out.push_back({env.sreq, span.end, MsgStatus{}, drop_error(env)});
+  } else {
+    out.push_back({env.sreq, span.end, MsgStatus{env.src_rank, env.tag, env.bytes}, nullptr});
+  }
 }
 
 void Mailbox::post_send(Envelope env) {
@@ -32,50 +137,120 @@ void Mailbox::post_send(Envelope env) {
     env.fault_dup = d.duplicate;
   }
 
-  std::lock_guard lock(mutex_);
+  std::vector<Completion> batch;
+  PostedRecv pr;
+  bool matched = false;
+  {
+    Shard& sh = shards_[shard_of(env.src_rank, env.tag, env.context)];
+    std::lock_guard shard_lock(sh.mutex);
 
-  auto it = std::find_if(posted_.begin(), posted_.end(),
-                         [&](const PostedRecv& pr) { return matches(env, pr); });
-  if (it != posted_.end()) {
-    PostedRecv pr = std::move(*it);
-    posted_.erase(it);
-    deliver(env, pr);
-    return;
-  }
+    auto sit = std::find_if(sh.posted.begin(), sh.posted.end(),
+                            [&](const PostedRecv& p) { return matches(env, p); });
+    const bool s_ok = sit != sh.posted.end();
+    // wild_count_ is re-read under the shard lock: a wildcard receive holds
+    // every shard lock while it appends itself, so either it published the
+    // count before we got here, or its queue scan will see our envelope.
+    if (wild_count_.load(std::memory_order_acquire) > 0) {
+      std::lock_guard wild_lock(wild_mutex_);  // lock order: shard, then wild
+      auto wit = std::find_if(wild_posted_.begin(), wild_posted_.end(),
+                              [&](const PostedRecv& p) { return matches(env, p); });
+      const bool w_ok = wit != wild_posted_.end();
+      if (w_ok && (!s_ok || wit->seq < sit->seq)) {
+        pr = std::move(*wit);
+        wild_posted_.erase(wit);
+        wild_count_.fetch_sub(1, std::memory_order_release);
+        matched = true;
+      } else if (s_ok) {
+        pr = std::move(*sit);
+        sh.posted.erase(sit);
+        matched = true;
+      }
+    } else if (s_ok) {
+      pr = std::move(*sit);
+      sh.posted.erase(sit);
+      matched = true;
+    }
 
-  if (env.eager) {
-    // Eager protocol: inject onto the wire immediately; the sender's buffer
-    // is reusable after injection, so copy the payload out first.
-    if (!env.fault_drop) env.eager_copy.assign(env.payload.begin(), env.payload.end());
-    env.payload = {};
-    auto span = net_->transfer(env.src_node, node_, env.post_time, env.bytes, env.bw_cap);
-    if (env.fault_dup) {
-      // Retransmission: the wire carries the payload again back-to-back.
-      span = net_->transfer(env.src_node, node_, span.end, env.bytes, env.bw_cap);
-    }
-    env.arrival = span.end;
-    if (env.fault_drop) {
-      env.sreq->fail(span.end, drop_error(env));
-    } else {
-      env.sreq->complete(span.end, MsgStatus{env.src_rank, env.tag, env.bytes});
+    if (!matched) {
+      // The eager wire charge must be recorded before the envelope becomes
+      // visible, so a racing receive never double-charges the wire.
+      if (env.eager) inject_eager(env, batch);
+      env.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+      sh.unexpected.push_back(std::move(env));
     }
   }
-  unexpected_.push_back(std::move(env));
-  arrival_cv_.notify_all();
+  if (matched) {
+    deliver(env, pr, batch);
+  } else {
+    note_arrival();
+  }
+  settle(batch);
 }
 
 void Mailbox::post_recv(PostedRecv pr) {
-  std::lock_guard lock(mutex_);
+  std::vector<Completion> batch;
+  const bool wildcard = pr.src_rank == any_source || pr.tag == any_tag;
 
-  auto it = std::find_if(unexpected_.begin(), unexpected_.end(),
-                         [&](const Envelope& env) { return matches(env, pr); });
-  if (it != unexpected_.end()) {
-    Envelope env = std::move(*it);
-    unexpected_.erase(it);
-    deliver(env, pr);
+  if (!wildcard) {
+    Shard& sh = shards_[shard_of(pr.src_rank, pr.tag, pr.context)];
+    Envelope env;
+    bool found = false;
+    {
+      std::lock_guard lock(sh.mutex);
+      auto it = std::find_if(sh.unexpected.begin(), sh.unexpected.end(),
+                             [&](const Envelope& e) { return matches(e, pr); });
+      if (it != sh.unexpected.end()) {
+        env = std::move(*it);
+        sh.unexpected.erase(it);
+        found = true;
+      } else {
+        pr.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+        sh.posted.push_back(std::move(pr));
+      }
+    }
+    if (found) {
+      deliver(env, pr, batch);
+      settle(batch);
+    }
     return;
   }
-  posted_.push_back(std::move(pr));
+
+  // Wildcard: match in global arrival order across every shard. Lock order:
+  // all shards ascending, then the wildcard queue.
+  Envelope env;
+  bool found = false;
+  {
+    std::array<std::unique_lock<std::mutex>, kShards> locks;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      locks[s] = std::unique_lock(shards_[s].mutex);
+    }
+    std::lock_guard wild_lock(wild_mutex_);
+
+    Shard* best_shard = nullptr;
+    std::deque<Envelope>::iterator best;
+    for (Shard& sh : shards_) {
+      auto it = std::find_if(sh.unexpected.begin(), sh.unexpected.end(),
+                             [&](const Envelope& e) { return matches(e, pr); });
+      if (it == sh.unexpected.end()) continue;
+      if (best_shard == nullptr || it->seq < best->seq) {
+        best_shard = &sh;
+        best = it;
+      }
+    }
+    if (best_shard != nullptr) {
+      env = std::move(*best);
+      best_shard->unexpected.erase(best);
+      found = true;
+    } else {
+      pr.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+      wild_posted_.push_back(std::move(pr));
+      wild_count_.fetch_add(1, std::memory_order_release);
+    }
+  }
+  if (found) {
+    deliver(env, pr, batch);
+    settle(batch);
+  }
 }
 
 std::pair<MsgStatus, vt::TimePoint> Mailbox::probe(int src_rank, int tag, int context) {
@@ -83,38 +258,112 @@ std::pair<MsgStatus, vt::TimePoint> Mailbox::probe(int src_rank, int tag, int co
   pattern.src_rank = src_rank;
   pattern.tag = tag;
   pattern.context = context;
-  std::unique_lock lock(mutex_);
+  const bool wildcard = src_rank == any_source || tag == any_tag;
+
+  probe_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  struct WaiterGuard {
+    std::atomic<int>& count;
+    ~WaiterGuard() { count.fetch_sub(1, std::memory_order_seq_cst); }
+  } guard{probe_waiters_};
+
   for (;;) {
-    auto it = std::find_if(unexpected_.begin(), unexpected_.end(),
-                           [&](const Envelope& env) { return matches(env, pattern); });
-    if (it != unexpected_.end()) {
-      const vt::TimePoint available =
-          (it->eager && it->sreq->done()) ? it->arrival : it->post_time;
-      return {MsgStatus{it->src_rank, it->tag, it->bytes}, available};
+    const std::uint64_t before = arrivals_.load(std::memory_order_seq_cst);
+
+    const Envelope* hit = nullptr;
+    MsgStatus st;
+    vt::TimePoint available;
+    if (!wildcard) {
+      Shard& sh = shards_[shard_of(src_rank, tag, context)];
+      std::lock_guard lock(sh.mutex);
+      auto it = std::find_if(sh.unexpected.begin(), sh.unexpected.end(),
+                             [&](const Envelope& e) { return matches(e, pattern); });
+      if (it != sh.unexpected.end()) {
+        hit = &*it;
+        st = MsgStatus{it->src_rank, it->tag, it->bytes};
+        available = (it->eager && it->injected) ? it->arrival : it->post_time;
+      }
+    } else {
+      std::array<std::unique_lock<std::mutex>, kShards> locks;
+      for (std::size_t s = 0; s < kShards; ++s) {
+        locks[s] = std::unique_lock(shards_[s].mutex);
+      }
+      for (Shard& sh : shards_) {
+        auto it = std::find_if(sh.unexpected.begin(), sh.unexpected.end(),
+                               [&](const Envelope& e) { return matches(e, pattern); });
+        if (it == sh.unexpected.end()) continue;
+        if (hit == nullptr || it->seq < hit->seq) {
+          hit = &*it;
+          st = MsgStatus{it->src_rank, it->tag, it->bytes};
+          available = (it->eager && it->injected) ? it->arrival : it->post_time;
+        }
+      }
     }
-    arrival_cv_.wait(lock);
+    if (hit != nullptr) return {st, available};
+
+    std::unique_lock lock(probe_mutex_);
+    arrival_cv_.wait(lock, [&] {
+      return arrivals_.load(std::memory_order_seq_cst) != before;
+    });
   }
 }
 
 std::optional<MsgStatus> Mailbox::iprobe(int src_rank, int tag, int context) {
-  std::lock_guard lock(mutex_);
-  PostedRecv probe;
-  probe.src_rank = src_rank;
-  probe.tag = tag;
-  probe.context = context;
-  auto it = std::find_if(unexpected_.begin(), unexpected_.end(),
-                         [&](const Envelope& env) { return matches(env, probe); });
-  if (it == unexpected_.end()) return std::nullopt;
-  return MsgStatus{it->src_rank, it->tag, it->bytes};
+  PostedRecv pattern;
+  pattern.src_rank = src_rank;
+  pattern.tag = tag;
+  pattern.context = context;
+  const bool wildcard = src_rank == any_source || tag == any_tag;
+
+  if (!wildcard) {
+    Shard& sh = shards_[shard_of(src_rank, tag, context)];
+    std::lock_guard lock(sh.mutex);
+    auto it = std::find_if(sh.unexpected.begin(), sh.unexpected.end(),
+                           [&](const Envelope& e) { return matches(e, pattern); });
+    if (it == sh.unexpected.end()) return std::nullopt;
+    return MsgStatus{it->src_rank, it->tag, it->bytes};
+  }
+
+  std::array<std::unique_lock<std::mutex>, kShards> locks;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    locks[s] = std::unique_lock(shards_[s].mutex);
+  }
+  const Envelope* hit = nullptr;
+  for (Shard& sh : shards_) {
+    auto it = std::find_if(sh.unexpected.begin(), sh.unexpected.end(),
+                           [&](const Envelope& e) { return matches(e, pattern); });
+    if (it == sh.unexpected.end()) continue;
+    if (hit == nullptr || it->seq < hit->seq) hit = &*it;
+  }
+  if (hit == nullptr) return std::nullopt;
+  return MsgStatus{hit->src_rank, hit->tag, hit->bytes};
 }
 
-void Mailbox::deliver(Envelope& env, PostedRecv& pr) {
+void Mailbox::deliver(Envelope& env, PostedRecv& pr, std::vector<Completion>& out) {
+#ifndef NDEBUG
+  // Both endpoints of a transfer-layer message must agree on the wire
+  // decomposition; a forced-strategy mismatch otherwise surfaces as an
+  // obscure truncation (or short read) below. Fail BOTH endpoints with a
+  // defined error instead of throwing on whichever thread happened to
+  // deliver — the peer would otherwise hang in its wait.
+  if (env.wire_decomp != wire_decomp_unset && pr.wire_decomp != wire_decomp_unset &&
+      env.wire_decomp != pr.wire_decomp) {
+    auto err = std::make_exception_ptr(PreconditionError(
+        "wire decomposition mismatch between forced transfer strategies: sender uses " +
+        describe_decomp(env.wire_decomp) + ", receiver expects " +
+        describe_decomp(pr.wire_decomp) + " (tag " + std::to_string(env.tag) + ", " +
+        std::to_string(env.bytes) + " B)"));
+    const vt::TimePoint when = vt::max(env.post_time, pr.post_time);
+    if (!env.injected) out.push_back({env.sreq, when, MsgStatus{}, err});
+    out.push_back({pr.rreq, when, MsgStatus{}, err});
+    return;
+  }
+#endif
   CLMPI_REQUIRE(env.bytes <= pr.buffer.size(),
                 "message truncation: received message larger than the posted buffer");
   const MsgStatus st{env.src_rank, env.tag, env.bytes};
 
   if (env.eager) {
-    if (!env.sreq->done()) {
+    if (!env.injected) {
       // The receive raced ahead of the send in real time, so the eager
       // injection was not recorded in post_send. Charge the wire exactly as
       // post_send would have — at the *send's* post time with the sender's
@@ -125,24 +374,26 @@ void Mailbox::deliver(Envelope& env, PostedRecv& pr) {
         span = net_->transfer(env.src_node, node_, span.end, env.bytes, env.bw_cap);
       }
       env.arrival = span.end;
+      env.injected = true;
       if (env.fault_drop) {
-        env.sreq->fail(span.end, drop_error(env));
+        out.push_back({env.sreq, span.end, MsgStatus{}, drop_error(env)});
       } else {
-        env.sreq->complete(span.end, st);
+        out.push_back({env.sreq, span.end, st, nullptr});
       }
     }
     // The receive completes at max(arrival, recv post time).
     const vt::TimePoint when = vt::max(env.arrival, pr.post_time);
     if (env.fault_drop) {
-      pr.rreq->fail(when, drop_error(env));
+      out.push_back({pr.rreq, when, MsgStatus{}, drop_error(env)});
       return;
     }
     if (env.bytes > 0) {
-      const std::byte* src =
-          env.payload.empty() ? env.eager_copy.data() : env.payload.data();
+      const std::byte* src = !env.payload.empty() ? env.payload.data()
+                             : env.inlined       ? env.inline_store.data()
+                                                 : env.eager_copy.data();
       std::memcpy(pr.buffer.data(), src, env.bytes);
     }
-    pr.rreq->complete(when, st);
+    out.push_back({pr.rreq, when, st, nullptr});
     return;
   }
 
@@ -158,17 +409,18 @@ void Mailbox::deliver(Envelope& env, PostedRecv& pr) {
   if (env.fault_drop) {
     // The loss surfaces when the transfer window closes: a defined error on
     // BOTH endpoints at that virtual time, never a hang.
-    env.sreq->fail(span.end, drop_error(env));
-    pr.rreq->fail(span.end, drop_error(env));
+    out.push_back({env.sreq, span.end, MsgStatus{}, drop_error(env)});
+    out.push_back({pr.rreq, span.end, MsgStatus{}, drop_error(env)});
     return;
   }
   if (env.bytes > 0) {
-    const std::byte* src =
-        env.payload.empty() ? env.eager_copy.data() : env.payload.data();
+    const std::byte* src = !env.payload.empty() ? env.payload.data()
+                           : env.inlined       ? env.inline_store.data()
+                                               : env.eager_copy.data();
     std::memcpy(pr.buffer.data(), src, env.bytes);
   }
-  env.sreq->complete(span.end, st);
-  pr.rreq->complete(span.end, st);
+  out.push_back({env.sreq, span.end, st, nullptr});
+  out.push_back({pr.rreq, span.end, st, nullptr});
 }
 
 }  // namespace clmpi::mpi::detail

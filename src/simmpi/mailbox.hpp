@@ -6,10 +6,34 @@
 // pair. Small messages are sent eagerly (wire transfer at send time, payload
 // buffered at the receiver); large messages rendezvous with the posted
 // receive, so their wire transfer starts at max(send time, recv time).
+//
+// Hot-path structure. The queues are sharded by (peer, tag class): every
+// (src_rank, tag, context) triple maps to one of kShards shard queues, each
+// with its own mutex, so concurrent senders/receivers on different channels
+// never serialize on one lock. Per-(src,tag) FIFO — the MPI matching order —
+// is preserved because a channel always lands in the same shard. Wildcard
+// receives (any_source / any_tag) take a slow path that locks every shard
+// (in index order, then the wildcard queue — a total lock order, so specific
+// and wildcard operations can never deadlock) and match in global posting/
+// arrival order via sequence stamps, exactly as the single-queue engine did.
+//
+// Matched deliveries do their timing, payload copy and request completion
+// OUTSIDE the shard locks: completions are pushed onto a per-mailbox MPSC
+// completion queue and drained by whichever thread wins the consumer flag,
+// so request callbacks (DMA charges, event completions) never run under a
+// mailbox mutex.
+//
+// Small eager payloads (<= kInlineEagerBytes) are stored inline in the
+// envelope instead of a heap-allocated copy — the eager fast path. All of
+// this is wall-clock-only: virtual timings, traces and fault decisions are
+// identical to the single-queue engine.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <memory>
@@ -25,6 +49,14 @@
 
 namespace clmpi::mpi::detail {
 
+/// Wire-decomposition fingerprint carried by both endpoints of a transfer-
+/// layer message: 0 for a single full-size wire message, the block size for
+/// a pipelined decomposition, `wire_decomp_unset` when the endpoint did not
+/// come through the transfer layer. Debug builds verify that both endpoints
+/// of a matched message agree (a forced-strategy mismatch otherwise fails
+/// obscurely as truncation deep in the mailbox).
+inline constexpr std::size_t wire_decomp_unset = std::numeric_limits<std::size_t>::max();
+
 struct Envelope {
   int src_rank{0};   ///< comm-relative sender rank (matching key)
   int src_node{0};   ///< global node id (network timing)
@@ -34,9 +66,17 @@ struct Envelope {
   /// Rendezvous payload view: the sender's buffer, valid until sreq
   /// completes (the MPI buffer-reuse contract).
   std::span<const std::byte> payload;
-  /// Eager payload storage: bytes copied out at send time.
+  /// Eager payload storage: bytes copied out at send time. Payloads at or
+  /// below kInlineEagerBytes land in `inline_store` (no allocation); larger
+  /// eager payloads in `eager_copy`.
   std::vector<std::byte> eager_copy;
+  static constexpr std::size_t kInlineEagerBytes = 256;
+  std::array<std::byte, kInlineEagerBytes> inline_store;
+  bool inlined{false};
   bool eager{false};
+  /// True once the eager wire injection has been charged (in post_send);
+  /// deliver must not charge it again.
+  bool injected{false};
   vt::TimePoint post_time;  ///< sender-side ready time
   vt::TimePoint arrival;    ///< eager only: wire arrival time
   /// Effective wire bandwidth cap (bytes/s). Used by the mapped transfer
@@ -51,6 +91,9 @@ struct Envelope {
   /// retransmitted: the wire is charged twice.
   bool fault_drop{false};
   bool fault_dup{false};
+  /// Global arrival-order stamp (wildcard matching across shards).
+  std::uint64_t seq{0};
+  std::size_t wire_decomp{wire_decomp_unset};
 };
 
 struct PostedRecv {
@@ -62,6 +105,33 @@ struct PostedRecv {
   /// Receiver-side wire bandwidth cap (see Envelope::bw_cap).
   double bw_cap{std::numeric_limits<double>::infinity()};
   std::shared_ptr<RequestState> rreq;
+  /// Global posting-order stamp (ordering specific vs wildcard receives).
+  std::uint64_t seq{0};
+  std::size_t wire_decomp{wire_decomp_unset};
+};
+
+/// One settled endpoint of a matched (or eagerly injected) message, produced
+/// under a shard lock and fired outside it.
+struct Completion {
+  std::shared_ptr<RequestState> req;
+  vt::TimePoint when;
+  MsgStatus st;
+  std::exception_ptr error;  ///< null on success
+};
+
+/// Multi-producer single-consumer completion queue. Producers push batches;
+/// whichever thread wins the draining flag fires the requests' completion
+/// callbacks. Keeping a single consumer serializes completion callbacks (as
+/// the old under-the-lock firing did) without holding any mailbox lock.
+class CompletionQueue {
+ public:
+  void push(std::vector<Completion>& batch);
+  void drain();
+
+ private:
+  std::mutex mutex_;
+  std::deque<Completion> queue_;
+  std::atomic<bool> draining_{false};
 };
 
 class Mailbox {
@@ -88,18 +158,54 @@ class Mailbox {
   std::pair<MsgStatus, vt::TimePoint> probe(int src_rank, int tag, int context);
 
  private:
+  static constexpr std::size_t kShards = 8;
+
+  struct Shard {
+    std::mutex mutex;
+    std::deque<Envelope> unexpected;
+    std::deque<PostedRecv> posted;  ///< specific (no-wildcard) receives only
+  };
+
   static bool matches(const Envelope& env, const PostedRecv& pr);
+  static std::size_t shard_of(int src_rank, int tag, int context) noexcept;
 
-  /// Complete a matched pair: compute wire timing, copy bytes, fire both
-  /// requests. Called with the mailbox lock held.
-  void deliver(Envelope& env, PostedRecv& pr);
+  /// Complete a matched pair: compute wire timing, copy bytes, queue both
+  /// endpoints' completions onto `out`. Called WITHOUT any mailbox lock held
+  /// (the pair is already unlinked from the queues).
+  void deliver(Envelope& env, PostedRecv& pr, std::vector<Completion>& out);
 
-  std::mutex mutex_;
-  std::condition_variable arrival_cv_;  ///< signalled on unexpected arrivals
-  std::deque<Envelope> unexpected_;
-  std::deque<PostedRecv> posted_;
+  /// Charge the eager wire injection of an unmatched send. Called with the
+  /// envelope's shard lock held (the charge must be recorded before the
+  /// envelope becomes visible to receivers); queues the sender completion.
+  void inject_eager(Envelope& env, std::vector<Completion>& out);
+
+  /// Push `batch` (if non-empty) and run the completion queue.
+  void settle(std::vector<Completion>& batch);
+
+  /// Bump the arrival counter and wake blocked probes.
+  void note_arrival();
+
   Network* net_;
   int node_;
+
+  std::array<Shard, kShards> shards_;
+
+  /// Wildcard receives, ordered by posting stamp. Lock order: shard mutexes
+  /// (ascending index) strictly before wild_mutex_.
+  std::mutex wild_mutex_;
+  std::deque<PostedRecv> wild_posted_;
+  std::atomic<int> wild_count_{0};
+
+  /// Global posting/arrival order stamps (monotone, not dense).
+  std::atomic<std::uint64_t> seq_{0};
+
+  /// Probe support: arrival epoch + cv, woken on every unexpected arrival.
+  std::mutex probe_mutex_;
+  std::condition_variable arrival_cv_;
+  std::atomic<std::uint64_t> arrivals_{0};
+  std::atomic<int> probe_waiters_{0};
+
+  CompletionQueue completions_;
 };
 
 }  // namespace clmpi::mpi::detail

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 
 namespace clmpi {
@@ -51,20 +52,39 @@ class Rng {
 
 /// Fill a byte span with a deterministic pattern derived from `seed`;
 /// used by tests to verify byte-exact delivery through the transfer stack.
+/// Word i holds derive_seed(seed, i + 1) in little-endian byte order;
+/// payload verification is on the wall-clock hot path of every workload, so
+/// whole words are stored at once instead of byte-by-byte shifts.
 inline void fill_pattern(std::span<std::byte> bytes, std::uint64_t seed) noexcept {
-  std::uint64_t s = seed;
-  for (std::size_t i = 0; i < bytes.size(); ++i) {
-    if (i % 8 == 0) s = derive_seed(seed, i / 8 + 1);
-    bytes[i] = static_cast<std::byte>((s >> ((i % 8) * 8)) & 0xffu);
+  const std::size_t n = bytes.size();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t s = derive_seed(seed, i / 8 + 1);
+    std::memcpy(bytes.data() + i, &s, 8);
+  }
+  if (i < n) {
+    const std::uint64_t s = derive_seed(seed, i / 8 + 1);
+    for (; i < n; ++i) {
+      bytes[i] = static_cast<std::byte>((s >> ((i % 8) * 8)) & 0xffu);
+    }
   }
 }
 
 /// True when the span matches fill_pattern(seed).
 inline bool check_pattern(std::span<const std::byte> bytes, std::uint64_t seed) noexcept {
-  std::uint64_t s = seed;
-  for (std::size_t i = 0; i < bytes.size(); ++i) {
-    if (i % 8 == 0) s = derive_seed(seed, i / 8 + 1);
-    if (bytes[i] != static_cast<std::byte>((s >> ((i % 8) * 8)) & 0xffu)) return false;
+  const std::size_t n = bytes.size();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t s = derive_seed(seed, i / 8 + 1);
+    std::uint64_t v;
+    std::memcpy(&v, bytes.data() + i, 8);
+    if (v != s) return false;
+  }
+  if (i < n) {
+    const std::uint64_t s = derive_seed(seed, i / 8 + 1);
+    for (; i < n; ++i) {
+      if (bytes[i] != static_cast<std::byte>((s >> ((i % 8) * 8)) & 0xffu)) return false;
+    }
   }
   return true;
 }

@@ -8,6 +8,7 @@
 
 #include "simmpi/datatype.hpp"
 #include "support/error.hpp"
+#include "transfer/pool.hpp"
 
 namespace clmpi::xfer {
 
@@ -54,6 +55,18 @@ void check(const DeviceEndpoint& ep) {
   CLMPI_REQUIRE(ep.size > 0, "empty transfer");
 }
 
+StagingPool& pool_for(const DeviceEndpoint& ep) {
+  return StagingPool::for_node(ep.comm->node_of(ep.comm->rank()));
+}
+
+mpi::P2POptions single_message_opts() {
+  return mpi::P2POptions{.wire_decomp = 0};
+}
+
+mpi::P2POptions pipelined_opts(std::size_t block) {
+  return mpi::P2POptions{.wire_decomp = block};
+}
+
 }  // namespace
 
 void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
@@ -67,9 +80,10 @@ void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
       const auto setup = dev.copy_engine().acquire(ready, prof.pcie.pin_setup);
       const auto d2h =
           dev.charge_dma(setup.end, ep.size, /*to_device=*/false, /*pinned_host=*/true);
-      auto bounce = std::make_shared<std::vector<std::byte>>(ep.size);
+      auto bounce = std::make_shared<StagingPool::Buffer>(pool_for(ep).acquire(ep.size));
       std::memcpy(bounce->data(), ep.buf->storage().data() + ep.offset, ep.size);
-      mpi::Request req = ep.comm->isend(*bounce, ep.peer, ep.tag, d2h.end);
+      mpi::Request req =
+          ep.comm->isend(bounce->span(), ep.peer, ep.tag, d2h.end, single_message_opts());
       auto state = req.state();
       req.on_complete([bounce, state, done](vt::TimePoint t, const mpi::MsgStatus&) {
         done(t, state->error());
@@ -80,7 +94,8 @@ void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
     case StrategyKind::mapped: {
       // Host-side map latency only; unmap likewise (no DMA engine).
       const vt::TimePoint mapped_at = ready + prof.pcie.map_setup;
-      mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second};
+      mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second,
+                           .wire_decomp = 0};
       auto region = ep.buf->storage().subspan(ep.offset, ep.size);
       mpi::Request req = ep.comm->isend(region, ep.peer, ep.tag, mapped_at, opts);
       const vt::Duration unmap_cost = prof.pcie.map_setup;
@@ -99,12 +114,12 @@ void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
         const std::size_t n = block_bytes(ep.size, strategy.block, k);
         const auto dma =
             dev.charge_dma(setup.end, n, /*to_device=*/false, /*pinned_host=*/true);
-        auto bounce = std::make_shared<std::vector<std::byte>>(n);
+        auto bounce = std::make_shared<StagingPool::Buffer>(pool_for(ep).acquire(n));
         std::memcpy(bounce->data(),
                     ep.buf->storage().data() + ep.offset + k * strategy.block, n);
         mpi::Request req = ep.comm->isend(
-            *bounce, ep.peer, mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
-            dma.end);
+            bounce->span(), ep.peer, mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
+            dma.end, pipelined_opts(strategy.block));
         auto state = req.state();
         req.on_complete([bounce, state, countdown](vt::TimePoint t, const mpi::MsgStatus&) {
           countdown->arrive(t, state->error());
@@ -117,8 +132,8 @@ void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
       CLMPI_REQUIRE(prof.nic.rdma_direct,
                     "GPUDirect RDMA is not available on this system");
       auto region = ep.buf->storage().subspan(ep.offset, ep.size);
-      mpi::Request req =
-          ep.comm->isend(region, ep.peer, ep.tag, ready + prof.nic.rdma_setup);
+      mpi::Request req = ep.comm->isend(region, ep.peer, ep.tag,
+                                        ready + prof.nic.rdma_setup, single_message_opts());
       auto state = req.state();
       req.on_complete([state, done](vt::TimePoint t, const mpi::MsgStatus&) {
         done(t, state->error());
@@ -138,8 +153,9 @@ void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
   switch (strategy.kind) {
     case StrategyKind::pinned: {
       const auto setup = dev.copy_engine().acquire(ready, prof.pcie.pin_setup);
-      auto bounce = std::make_shared<std::vector<std::byte>>(ep.size);
-      mpi::Request req = ep.comm->irecv(*bounce, ep.peer, ep.tag, setup.end);
+      auto bounce = std::make_shared<StagingPool::Buffer>(pool_for(ep).acquire(ep.size));
+      mpi::Request req =
+          ep.comm->irecv(bounce->span(), ep.peer, ep.tag, setup.end, single_message_opts());
       auto* devp = ep.dev;
       auto* buf = ep.buf;
       const std::size_t offset = ep.offset;
@@ -160,7 +176,8 @@ void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
 
     case StrategyKind::mapped: {
       const vt::TimePoint mapped_at = ready + prof.pcie.map_setup;
-      mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second};
+      mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second,
+                           .wire_decomp = 0};
       auto region = ep.buf->storage().subspan(ep.offset, ep.size);
       mpi::Request req = ep.comm->irecv(region, ep.peer, ep.tag, mapped_at, opts);
       const vt::Duration unmap_cost = prof.pcie.map_setup;
@@ -179,10 +196,10 @@ void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
       auto* buf = ep.buf;
       for (std::size_t k = 0; k < nblocks; ++k) {
         const std::size_t n = block_bytes(ep.size, strategy.block, k);
-        auto bounce = std::make_shared<std::vector<std::byte>>(n);
+        auto bounce = std::make_shared<StagingPool::Buffer>(pool_for(ep).acquire(n));
         mpi::Request req = ep.comm->irecv(
-            *bounce, ep.peer, mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
-            setup.end);
+            bounce->span(), ep.peer, mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
+            setup.end, pipelined_opts(strategy.block));
         const std::size_t offset = ep.offset + k * strategy.block;
         auto state = req.state();
         req.on_complete([devp, buf, offset, n, bounce, state, countdown](
@@ -203,8 +220,8 @@ void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
       CLMPI_REQUIRE(prof.nic.rdma_direct,
                     "GPUDirect RDMA is not available on this system");
       auto region = ep.buf->storage().subspan(ep.offset, ep.size);
-      mpi::Request req =
-          ep.comm->irecv(region, ep.peer, ep.tag, ready + prof.nic.rdma_setup);
+      mpi::Request req = ep.comm->irecv(region, ep.peer, ep.tag,
+                                        ready + prof.nic.rdma_setup, single_message_opts());
       auto state = req.state();
       req.on_complete([state, done](vt::TimePoint t, const mpi::MsgStatus&) {
         done(t, state->error());

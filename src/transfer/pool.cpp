@@ -1,0 +1,169 @@
+#include "transfer/pool.hpp"
+
+#include <bit>
+#include <deque>
+#include <utility>
+
+namespace clmpi::xfer {
+
+namespace {
+
+void raise_high_water(std::atomic<std::size_t>& mark, std::size_t value) noexcept {
+  std::size_t seen = mark.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !mark.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void StagingPool::Buffer::release() noexcept {
+  if (pool_ != nullptr && !storage_.empty()) {
+    pool_->give_back(std::move(storage_));
+  }
+  pool_ = nullptr;
+  storage_.clear();
+  size_ = 0;
+}
+
+std::size_t StagingPool::class_of(std::size_t bytes) noexcept {
+  const auto width = static_cast<std::size_t>(std::bit_width(bytes - 1));
+  return width < kMinClassLog2 ? 0 : width - kMinClassLog2;
+}
+
+StagingPool::Buffer StagingPool::acquire(std::size_t bytes) {
+  if (bytes == 0) return {};
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+
+  if (bytes > (std::size_t{1} << kMaxClassLog2)) {
+    // Oversized: plain allocation, never retained.
+    return Buffer(nullptr, std::vector<std::byte>(bytes), bytes);
+  }
+
+  const std::size_t cls = class_of(bytes);
+  const std::size_t class_bytes = std::size_t{1} << (cls + kMinClassLog2);
+  std::vector<std::byte> storage;
+  {
+    SizeClass& sc = classes_[cls];
+    std::lock_guard lock(sc.mutex);
+    if (!sc.free.empty()) {
+      storage = std::move(sc.free.back());
+      sc.free.pop_back();
+    }
+  }
+  if (!storage.empty()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    bytes_retained_.fetch_sub(class_bytes, std::memory_order_relaxed);
+  } else {
+    storage.resize(class_bytes);
+  }
+  const std::size_t in_use =
+      bytes_in_use_.fetch_add(class_bytes, std::memory_order_relaxed) + class_bytes;
+  raise_high_water(high_water_in_use_, in_use);
+  return Buffer(this, std::move(storage), bytes);
+}
+
+void StagingPool::give_back(std::vector<std::byte> storage) noexcept {
+  const std::size_t class_bytes = storage.size();
+  bytes_in_use_.fetch_sub(class_bytes, std::memory_order_relaxed);
+  const std::size_t retained =
+      bytes_retained_.fetch_add(class_bytes, std::memory_order_relaxed) + class_bytes;
+  raise_high_water(high_water_retained_, retained);
+  const std::size_t cls = class_of(class_bytes);
+  SizeClass& sc = classes_[cls];
+  std::lock_guard lock(sc.mutex);
+  sc.free.push_back(std::move(storage));
+}
+
+StagingPool::Stats StagingPool::stats() const {
+  Stats s;
+  s.acquires = acquires_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.bytes_in_use = bytes_in_use_.load(std::memory_order_relaxed);
+  s.high_water_in_use = high_water_in_use_.load(std::memory_order_relaxed);
+  s.bytes_retained = bytes_retained_.load(std::memory_order_relaxed);
+  s.high_water_retained = high_water_retained_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void StagingPool::trim() {
+  for (std::size_t cls = 0; cls < kClasses; ++cls) {
+    std::vector<std::vector<std::byte>> victims;
+    {
+      SizeClass& sc = classes_[cls];
+      std::lock_guard lock(sc.mutex);
+      victims.swap(sc.free);
+    }
+    std::size_t freed = 0;
+    for (const auto& v : victims) freed += v.size();
+    if (freed > 0) bytes_retained_.fetch_sub(freed, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+struct PoolRegistry {
+  std::mutex mutex;
+  // deque: stable addresses across growth.
+  std::deque<StagingPool> pools;
+  std::deque<int> nodes;
+
+  StagingPool& lookup(int node) {
+    std::lock_guard lock(mutex);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == node) return pools[i];
+    }
+    nodes.push_back(node);
+    return pools.emplace_back();
+  }
+};
+
+PoolRegistry& registry() {
+  static PoolRegistry r;
+  return r;
+}
+
+}  // namespace
+
+StagingPool& StagingPool::for_node(int node) {
+  // Each rank's threads keep asking for the same node; a thread-local memo
+  // keeps the registry mutex off the per-message path.
+  thread_local int cached_node = -2;
+  thread_local StagingPool* cached = nullptr;
+  if (cached_node != node) {
+    cached = &registry().lookup(node);
+    cached_node = node;
+  }
+  return *cached;
+}
+
+StagingPool::Stats StagingPool::aggregate_stats() {
+  PoolRegistry& r = registry();
+  std::lock_guard lock(r.mutex);
+  Stats total;
+  for (const StagingPool& p : r.pools) {
+    const Stats s = p.stats();
+    total.acquires += s.acquires;
+    total.hits += s.hits;
+    total.bytes_in_use += s.bytes_in_use;
+    total.high_water_in_use += s.high_water_in_use;
+    total.bytes_retained += s.bytes_retained;
+    total.high_water_retained += s.high_water_retained;
+  }
+  return total;
+}
+
+void StagingPool::reset_all_stats() {
+  PoolRegistry& r = registry();
+  std::lock_guard lock(r.mutex);
+  for (StagingPool& p : r.pools) {
+    p.acquires_.store(0, std::memory_order_relaxed);
+    p.hits_.store(0, std::memory_order_relaxed);
+    const std::size_t in_use = p.bytes_in_use_.load(std::memory_order_relaxed);
+    const std::size_t retained = p.bytes_retained_.load(std::memory_order_relaxed);
+    p.high_water_in_use_.store(in_use, std::memory_order_relaxed);
+    p.high_water_retained_.store(retained, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace clmpi::xfer

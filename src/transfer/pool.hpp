@@ -1,0 +1,141 @@
+// Staging-buffer pool: recycled host bounce buffers for the transfer layer.
+//
+// Every staged transfer strategy (pinned, pipelined, and the runtime's
+// collective staging) needs a host bounce buffer for the PCIe leg. Allocating
+// a fresh std::vector per message puts the allocator on the per-message hot
+// path — exactly the host-side overhead the paper's runtime is supposed to
+// hide behind the command queue, and the reason MVAPICH2-GPU-style pipelining
+// only pays off when its block ring is reused. The pool keeps freed buffers
+// on power-of-two size-class free lists and hands them back on the next
+// acquire, so steady-state traffic performs no allocations at all.
+//
+// Buffers are handed out as RAII handles that return their storage to the
+// pool on destruction, from any thread (completion callbacks release bounce
+// buffers on whichever thread delivered the message). One pool per rank
+// (node): transfers of different ranks never contend on a free-list mutex.
+//
+// The pool is a host-side (wall-clock) optimization only: it never touches
+// virtual time, so traces, completion times and fault counters are identical
+// with or without it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace clmpi::xfer {
+
+class StagingPool {
+ public:
+  /// RAII handle to a pooled buffer. Move-only; returns the storage to its
+  /// pool on destruction. The usable region is exactly the acquired size;
+  /// the underlying capacity is the (power-of-two) size class.
+  class Buffer {
+   public:
+    Buffer() = default;
+    Buffer(Buffer&& other) noexcept
+        : pool_(other.pool_), storage_(std::move(other.storage_)), size_(other.size_) {
+      other.pool_ = nullptr;
+      other.size_ = 0;
+    }
+    Buffer& operator=(Buffer&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        storage_ = std::move(other.storage_);
+        size_ = other.size_;
+        other.pool_ = nullptr;
+        other.size_ = 0;
+      }
+      return *this;
+    }
+    Buffer(const Buffer&) = delete;
+    Buffer& operator=(const Buffer&) = delete;
+    ~Buffer() { release(); }
+
+    [[nodiscard]] std::byte* data() noexcept { return storage_.data(); }
+    [[nodiscard]] const std::byte* data() const noexcept { return storage_.data(); }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] std::span<std::byte> span() noexcept { return {storage_.data(), size_}; }
+    [[nodiscard]] std::span<const std::byte> span() const noexcept {
+      return {storage_.data(), size_};
+    }
+
+   private:
+    friend class StagingPool;
+    Buffer(StagingPool* pool, std::vector<std::byte> storage, std::size_t size)
+        : pool_(pool), storage_(std::move(storage)), size_(size) {}
+    void release() noexcept;
+
+    StagingPool* pool_{nullptr};
+    std::vector<std::byte> storage_;
+    std::size_t size_{0};
+  };
+
+  /// Pool usage accounting. `in_use` counts bytes currently handed out (at
+  /// size-class granularity), `retained` the bytes parked on free lists;
+  /// both high-water marks are monotone over the pool's lifetime.
+  struct Stats {
+    std::uint64_t acquires{0};
+    std::uint64_t hits{0};  ///< acquires served from a free list
+    std::size_t bytes_in_use{0};
+    std::size_t high_water_in_use{0};
+    std::size_t bytes_retained{0};
+    std::size_t high_water_retained{0};
+  };
+
+  StagingPool() = default;
+  StagingPool(const StagingPool&) = delete;
+  StagingPool& operator=(const StagingPool&) = delete;
+
+  /// Hand out a buffer of exactly `bytes` usable bytes (capacity rounded up
+  /// to the size class). bytes == 0 yields an empty, pool-less handle.
+  [[nodiscard]] Buffer acquire(std::size_t bytes);
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Drop all retained free-list storage (stats counters are kept).
+  void trim();
+
+  /// The per-rank pool for `node`. Stable for the process lifetime, so RAII
+  /// handles may outlive the cluster that acquired them.
+  static StagingPool& for_node(int node);
+
+  /// Stats summed over every per-rank pool (bench/test reporting).
+  static Stats aggregate_stats();
+
+  /// Reset the usage counters (not the retained storage) of every per-rank
+  /// pool; benches call this between phases to attribute pool traffic.
+  static void reset_all_stats();
+
+ private:
+  // Size classes: powers of two from 256 B to 1 GiB; anything larger is
+  // allocated directly and never pooled.
+  static constexpr std::size_t kMinClassLog2 = 8;
+  static constexpr std::size_t kMaxClassLog2 = 30;
+  static constexpr std::size_t kClasses = kMaxClassLog2 - kMinClassLog2 + 1;
+
+  static std::size_t class_of(std::size_t bytes) noexcept;
+
+  void give_back(std::vector<std::byte> storage) noexcept;
+
+  struct SizeClass {
+    std::mutex mutex;
+    std::vector<std::vector<std::byte>> free;
+  };
+
+  mutable std::array<SizeClass, kClasses> classes_;
+
+  std::atomic<std::uint64_t> acquires_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::size_t> bytes_in_use_{0};
+  std::atomic<std::size_t> high_water_in_use_{0};
+  std::atomic<std::size_t> bytes_retained_{0};
+  std::atomic<std::size_t> high_water_retained_{0};
+};
+
+}  // namespace clmpi::xfer

@@ -1,18 +1,39 @@
 #include "transfer/strategy.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
 #include <cstring>
 #include <exception>
+#include <limits>
 #include <span>
 #include <vector>
 
 #include "simmpi/datatype.hpp"
 #include "support/error.hpp"
 #include "support/units.hpp"
+#include "transfer/pool.hpp"
 
 namespace clmpi::xfer {
 
 namespace {
+
+/// The local rank's staging pool (bounce buffers are a receiver/sender-local
+/// host resource).
+StagingPool& pool_for(const DeviceEndpoint& ep) {
+  return StagingPool::for_node(ep.comm->node_of(ep.comm->rank()));
+}
+
+/// Wire-decomposition stamp for a single full-size message (see
+/// mpi::P2POptions::wire_decomp).
+mpi::P2POptions single_message_opts() {
+  return mpi::P2POptions{.wire_decomp = 0};
+}
+
+mpi::P2POptions pipelined_opts(std::size_t block) {
+  return mpi::P2POptions{.wire_decomp = block};
+}
 
 void check_endpoint(const DeviceEndpoint& ep) {
   CLMPI_REQUIRE(ep.comm != nullptr && ep.dev != nullptr && ep.buf != nullptr,
@@ -57,17 +78,19 @@ vt::TimePoint send_pinned(const DeviceEndpoint& ep, vt::TimePoint ready) {
   const auto setup = ep.dev->copy_engine().acquire(ready, prof.pcie.pin_setup);
   const auto dma =
       ep.dev->charge_dma(setup.end, ep.size, /*to_device=*/false, /*pinned_host=*/true);
-  std::vector<std::byte> bounce(ep.size);
+  StagingPool::Buffer bounce = pool_for(ep).acquire(ep.size);
   std::memcpy(bounce.data(), ep.buf->storage().data() + ep.offset, ep.size);
 
-  mpi::Request req = ep.comm->isend(bounce, ep.peer, ep.tag, dma.end);
+  mpi::Request req =
+      ep.comm->isend(bounce.span(), ep.peer, ep.tag, dma.end, single_message_opts());
   return req.wait();
 }
 
 vt::TimePoint recv_pinned(const DeviceEndpoint& ep, vt::TimePoint ready) {
   auto& prof = ep.dev->profile();
-  std::vector<std::byte> bounce(ep.size);
-  mpi::Request req = ep.comm->irecv(bounce, ep.peer, ep.tag, ready);
+  StagingPool::Buffer bounce = pool_for(ep).acquire(ep.size);
+  mpi::Request req =
+      ep.comm->irecv(bounce.span(), ep.peer, ep.tag, ready, single_message_opts());
   const vt::TimePoint arrival = req.wait();
 
   const auto setup = ep.dev->copy_engine().acquire(arrival, prof.pcie.pin_setup);
@@ -87,7 +110,8 @@ vt::TimePoint send_mapped(const DeviceEndpoint& ep, vt::TimePoint ready) {
 
   // The NIC streams straight out of the mapped device memory; the effective
   // wire rate is capped by the mapped-access bandwidth.
-  mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second};
+  mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second,
+                       .wire_decomp = 0};
   auto region = ep.buf->storage().subspan(ep.offset, ep.size);
   mpi::Request req = ep.comm->isend(region, ep.peer, ep.tag, mapped_at, opts);
   const vt::TimePoint sent = req.wait();
@@ -98,7 +122,8 @@ vt::TimePoint recv_mapped(const DeviceEndpoint& ep, vt::TimePoint ready) {
   auto& prof = ep.dev->profile();
   const vt::TimePoint mapped_at = ready + prof.pcie.map_setup;
 
-  mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second};
+  mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second,
+                       .wire_decomp = 0};
   auto region = ep.buf->storage().subspan(ep.offset, ep.size);
   mpi::Request req = ep.comm->irecv(region, ep.peer, ep.tag, mapped_at, opts);
   const vt::TimePoint arrived = req.wait();
@@ -117,19 +142,21 @@ vt::TimePoint send_pipelined(const DeviceEndpoint& ep, std::size_t block,
 
   // Stage block k down over PCIe, then put it on the wire; the copy engine
   // and the NIC serialize their own work, so D2H of block k overlaps the
-  // wire transfer of block k-1.
-  std::vector<std::vector<std::byte>> bounces(nblocks);
+  // wire transfer of block k-1. The block ring comes from the staging pool,
+  // so steady-state pipelines reuse the same buffers.
+  std::vector<StagingPool::Buffer> bounces;
+  bounces.reserve(nblocks);
   std::vector<mpi::Request> reqs;
   reqs.reserve(nblocks);
   for (std::size_t k = 0; k < nblocks; ++k) {
     const std::size_t n = block_bytes(ep.size, block, k);
     const auto dma =
         ep.dev->charge_dma(setup.end, n, /*to_device=*/false, /*pinned_host=*/true);
-    bounces[k].resize(n);
+    bounces.push_back(pool_for(ep).acquire(n));
     std::memcpy(bounces[k].data(), ep.buf->storage().data() + ep.offset + k * block, n);
-    reqs.push_back(ep.comm->isend(bounces[k], ep.peer,
+    reqs.push_back(ep.comm->isend(bounces[k].span(), ep.peer,
                                   mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
-                                  dma.end));
+                                  dma.end, pipelined_opts(block)));
   }
   return wait_all_collect(reqs);
 }
@@ -141,14 +168,15 @@ vt::TimePoint recv_pipelined(const DeviceEndpoint& ep, std::size_t block,
 
   const auto setup = ep.dev->copy_engine().acquire(ready, prof.pcie.pin_setup);
 
-  std::vector<std::vector<std::byte>> bounces(nblocks);
+  std::vector<StagingPool::Buffer> bounces;
+  bounces.reserve(nblocks);
   std::vector<mpi::Request> reqs;
   reqs.reserve(nblocks);
   for (std::size_t k = 0; k < nblocks; ++k) {
-    bounces[k].resize(block_bytes(ep.size, block, k));
-    reqs.push_back(ep.comm->irecv(bounces[k], ep.peer,
+    bounces.push_back(pool_for(ep).acquire(block_bytes(ep.size, block, k)));
+    reqs.push_back(ep.comm->irecv(bounces[k].span(), ep.peer,
                                   mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
-                                  setup.end));
+                                  setup.end, pipelined_opts(block)));
   }
   vt::TimePoint done{};
   std::exception_ptr first;
@@ -183,8 +211,8 @@ vt::TimePoint send_gpudirect(const DeviceEndpoint& ep, vt::TimePoint ready) {
   // The HCA reads device memory directly: registration latency, then the
   // wire at full rate; no bounce buffer, no copy engine.
   auto region = ep.buf->storage().subspan(ep.offset, ep.size);
-  mpi::Request req =
-      ep.comm->isend(region, ep.peer, ep.tag, ready + prof.nic.rdma_setup);
+  mpi::Request req = ep.comm->isend(region, ep.peer, ep.tag, ready + prof.nic.rdma_setup,
+                                    single_message_opts());
   return req.wait();
 }
 
@@ -192,8 +220,8 @@ vt::TimePoint recv_gpudirect(const DeviceEndpoint& ep, vt::TimePoint ready) {
   require_rdma(ep);
   auto& prof = ep.dev->profile();
   auto region = ep.buf->storage().subspan(ep.offset, ep.size);
-  mpi::Request req =
-      ep.comm->irecv(region, ep.peer, ep.tag, ready + prof.nic.rdma_setup);
+  mpi::Request req = ep.comm->irecv(region, ep.peer, ep.tag, ready + prof.nic.rdma_setup,
+                                    single_message_opts());
   return req.wait();
 }
 
@@ -252,14 +280,16 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
       // Outbound: stage down, then send.
       const auto d2h = dev.charge_dma(setup.end, send_ep.size, /*to_device=*/false,
                                       /*pinned_host=*/true);
-      std::vector<std::byte> out(send_ep.size);
+      StagingPool::Buffer out = pool_for(send_ep).acquire(send_ep.size);
       std::memcpy(out.data(), send_ep.buf->storage().data() + send_ep.offset, send_ep.size);
-      mpi::Request sreq = send_ep.comm->isend(out, send_ep.peer, send_ep.tag, d2h.end);
+      mpi::Request sreq = send_ep.comm->isend(out.span(), send_ep.peer, send_ep.tag,
+                                              d2h.end, single_message_opts());
 
       // Inbound: receive into a bounce buffer posted right away, stage up on
       // arrival.
-      std::vector<std::byte> in(recv_ep.size);
-      mpi::Request rreq = recv_ep.comm->irecv(in, recv_ep.peer, recv_ep.tag, setup.end);
+      StagingPool::Buffer in = pool_for(recv_ep).acquire(recv_ep.size);
+      mpi::Request rreq = recv_ep.comm->irecv(in.span(), recv_ep.peer, recv_ep.tag,
+                                              setup.end, single_message_opts());
       std::exception_ptr first;
       vt::TimePoint h2d_end{};
       try {
@@ -286,7 +316,8 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
       // Mapping both regions is host-side latency only (no DMA engine).
       const vt::TimePoint mapped_at =
           ready + prof.pcie.map_setup + prof.pcie.map_setup;
-      mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second};
+      mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second,
+                           .wire_decomp = 0};
       auto out = send_ep.buf->storage().subspan(send_ep.offset, send_ep.size);
       auto in = recv_ep.buf->storage().subspan(recv_ep.offset, recv_ep.size);
       std::vector<mpi::Request> reqs;
@@ -303,30 +334,34 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
       const auto setup = dev.copy_engine().acquire(ready, prof.pcie.pin_setup);
 
       // Post every inbound block receive up front.
-      std::vector<std::vector<std::byte>> in(in_blocks);
+      std::vector<StagingPool::Buffer> in;
+      in.reserve(in_blocks);
       std::vector<mpi::Request> rreqs;
       rreqs.reserve(in_blocks);
       for (std::size_t k = 0; k < in_blocks; ++k) {
-        in[k].resize(block_bytes(recv_ep.size, block, k));
+        in.push_back(pool_for(recv_ep).acquire(block_bytes(recv_ep.size, block, k)));
         rreqs.push_back(recv_ep.comm->irecv(
-            in[k], recv_ep.peer,
-            mpi::detail::pipeline_subtag(recv_ep.tag, static_cast<int>(k)), setup.end));
+            in[k].span(), recv_ep.peer,
+            mpi::detail::pipeline_subtag(recv_ep.tag, static_cast<int>(k)), setup.end,
+            pipelined_opts(block)));
       }
 
       // Stream the outbound blocks down and onto the wire.
-      std::vector<std::vector<std::byte>> out(out_blocks);
+      std::vector<StagingPool::Buffer> out;
+      out.reserve(out_blocks);
       std::vector<mpi::Request> sreqs;
       sreqs.reserve(out_blocks);
       for (std::size_t k = 0; k < out_blocks; ++k) {
         const std::size_t n = block_bytes(send_ep.size, block, k);
         const auto dma =
             dev.charge_dma(setup.end, n, /*to_device=*/false, /*pinned_host=*/true);
-        out[k].resize(n);
+        out.push_back(pool_for(send_ep).acquire(n));
         std::memcpy(out[k].data(),
                     send_ep.buf->storage().data() + send_ep.offset + k * block, n);
         sreqs.push_back(send_ep.comm->isend(
-            out[k], send_ep.peer,
-            mpi::detail::pipeline_subtag(send_ep.tag, static_cast<int>(k)), dma.end));
+            out[k].span(), send_ep.peer,
+            mpi::detail::pipeline_subtag(send_ep.tag, static_cast<int>(k)), dma.end,
+            pipelined_opts(block)));
       }
 
       // Stage inbound blocks up as they arrive; drain every request even on
@@ -365,8 +400,10 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
       auto out = send_ep.buf->storage().subspan(send_ep.offset, send_ep.size);
       auto in = recv_ep.buf->storage().subspan(recv_ep.offset, recv_ep.size);
       std::vector<mpi::Request> reqs;
-      reqs.push_back(send_ep.comm->isend(out, send_ep.peer, send_ep.tag, at));
-      reqs.push_back(recv_ep.comm->irecv(in, recv_ep.peer, recv_ep.tag, at));
+      reqs.push_back(
+          send_ep.comm->isend(out, send_ep.peer, send_ep.tag, at, single_message_opts()));
+      reqs.push_back(
+          recv_ep.comm->irecv(in, recv_ep.peer, recv_ep.tag, at, single_message_opts()));
       return wait_all_collect(reqs);
     }
   }
@@ -377,7 +414,7 @@ vt::TimePoint send_host(mpi::Comm& comm, std::span<const std::byte> data, int pe
                         const Strategy& strategy, vt::TimePoint ready) {
   CLMPI_REQUIRE(!data.empty(), "empty transfer");
   if (strategy.kind != StrategyKind::pipelined) {
-    mpi::Request req = comm.isend(data, peer, tag, ready);
+    mpi::Request req = comm.isend(data, peer, tag, ready, single_message_opts());
     return req.wait();
   }
   const std::size_t nblocks = pipeline_block_count(data.size(), strategy.block);
@@ -387,7 +424,7 @@ vt::TimePoint send_host(mpi::Comm& comm, std::span<const std::byte> data, int pe
     const std::size_t n = block_bytes(data.size(), strategy.block, k);
     reqs.push_back(comm.isend(data.subspan(k * strategy.block, n), peer,
                               mpi::detail::pipeline_subtag(tag, static_cast<int>(k)),
-                              ready));
+                              ready, pipelined_opts(strategy.block)));
   }
   return wait_all_collect(reqs);
 }
@@ -396,7 +433,7 @@ vt::TimePoint recv_host(mpi::Comm& comm, std::span<std::byte> data, int peer, in
                         const Strategy& strategy, vt::TimePoint ready) {
   CLMPI_REQUIRE(!data.empty(), "empty transfer");
   if (strategy.kind != StrategyKind::pipelined) {
-    mpi::Request req = comm.irecv(data, peer, tag, ready);
+    mpi::Request req = comm.irecv(data, peer, tag, ready, single_message_opts());
     return req.wait();
   }
   const std::size_t nblocks = pipeline_block_count(data.size(), strategy.block);
@@ -406,7 +443,7 @@ vt::TimePoint recv_host(mpi::Comm& comm, std::span<std::byte> data, int peer, in
     const std::size_t n = block_bytes(data.size(), strategy.block, k);
     reqs.push_back(comm.irecv(data.subspan(k * strategy.block, n), peer,
                               mpi::detail::pipeline_subtag(tag, static_cast<int>(k)),
-                              ready));
+                              ready, pipelined_opts(strategy.block)));
   }
   return wait_all_collect(reqs);
 }
@@ -448,7 +485,42 @@ vt::Duration predict_transfer(const sys::SystemProfile& profile, std::size_t siz
   throw PreconditionError("unknown transfer strategy");
 }
 
-Strategy select(const sys::SystemProfile& profile, std::size_t size, SelectionMode mode) {
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t double_bits(double d) noexcept {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+/// Content fingerprint over exactly the profile fields `select()` /
+/// `predict_transfer()` read. Identifying profiles by address would be
+/// wrong: benches and tests run on modified copies of the stock profiles
+/// (same address lifetime, different knobs).
+std::uint64_t selection_fingerprint(const sys::SystemProfile& p) noexcept {
+  std::uint64_t h = 0x243F6A8885A308D3ull;
+  h = mix(h, p.nic.rdma_direct ? 1 : 0);
+  h = mix(h, double_bits(p.nic.rdma_setup.s));
+  h = mix(h, double_bits(p.nic.wire.latency.s));
+  h = mix(h, double_bits(p.nic.wire.bytes_per_second));
+  h = mix(h, double_bits(p.pcie.pinned.latency.s));
+  h = mix(h, double_bits(p.pcie.pinned.bytes_per_second));
+  h = mix(h, double_bits(p.pcie.mapped.latency.s));
+  h = mix(h, double_bits(p.pcie.mapped.bytes_per_second));
+  h = mix(h, double_bits(p.pcie.pin_setup.s));
+  h = mix(h, double_bits(p.pcie.map_setup.s));
+  h = mix(h, static_cast<std::uint64_t>(p.small_preference));
+  h = mix(h, p.pipeline_threshold);
+  return h;
+}
+
+Strategy select_uncached(const sys::SystemProfile& profile, std::size_t size,
+                         SelectionMode mode) {
   // GPUDirect-capable hardware short-circuits both policies: the direct
   // path dominates every staged one (§VI: applications benefit from new
   // hardware without a code change).
@@ -479,6 +551,33 @@ Strategy select(const sys::SystemProfile& profile, std::size_t size, SelectionMo
     consider(Strategy::pipelined(block));
   }
   return best;
+}
+
+}  // namespace
+
+Strategy select(const sys::SystemProfile& profile, std::size_t size, SelectionMode mode) {
+  // Memoized front-end: selection is a pure function of (profile content,
+  // size, mode), so re-running the predictive argmin per message is wasted
+  // work on the steady-state path where sizes repeat. A direct-mapped,
+  // thread-local cache indexed by size-class and validated on the EXACT
+  // (fingerprint, size, mode) key — size-class-granular keys would return
+  // the wrong strategy near policy thresholds and in predictive mode, which
+  // would change wire decompositions and break trace neutrality.
+  struct MemoEntry {
+    std::uint64_t fp{0};
+    std::size_t size{0};
+    SelectionMode mode{SelectionMode::heuristic};
+    Strategy result{};
+    bool valid{false};
+  };
+  thread_local std::array<MemoEntry, 64> memo;
+
+  const std::uint64_t fp = selection_fingerprint(profile);
+  MemoEntry& e = memo[static_cast<std::size_t>(std::bit_width(size)) & 63];
+  if (e.valid && e.fp == fp && e.size == size && e.mode == mode) return e.result;
+  const Strategy result = select_uncached(profile, size, mode);
+  e = MemoEntry{fp, size, mode, result, true};
+  return result;
 }
 
 std::size_t default_pipeline_block(const sys::SystemProfile& /*profile*/, std::size_t size) {

@@ -45,6 +45,11 @@ struct Strategy {
   /// Pipeline block size in bytes (pipelined only).
   std::size_t block{0};
 
+  /// Strategies compare by wire behaviour: kind and pipeline block. The
+  /// factories zero `block` for non-pipelined kinds, so default memberwise
+  /// equality is exact.
+  friend bool operator==(const Strategy&, const Strategy&) = default;
+
   static Strategy pinned() { return {StrategyKind::pinned, 0}; }
   static Strategy mapped() { return {StrategyKind::mapped, 0}; }
   static Strategy pipelined(std::size_t block_bytes) {

@@ -1,0 +1,398 @@
+// Hot-path overhaul regression suite: staging-buffer pool accounting and
+// reuse, eager fast-path boundary sizes, sharded-mailbox matching (specific,
+// wildcard, probe), strategy equality / wire-decomposition agreement, and a
+// determinism regression pinning seed-identical trace hashes across the
+// sharded refactor. Everything here is wall-clock-only machinery whose
+// virtual-time behaviour must be indistinguishable from the single-queue
+// engine.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simmpi/cluster.hpp"
+#include "simmpi/datatype.hpp"
+#include "simmpi/fault.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/units.hpp"
+#include "transfer/pool.hpp"
+#include "transfer/strategy.hpp"
+#include "vt/tracer.hpp"
+
+namespace clmpi {
+namespace {
+
+// --- staging pool ------------------------------------------------------------
+
+TEST(StagingPool, AcquireHandsOutRequestedSizeWithinSizeClass) {
+  xfer::StagingPool pool;
+  auto buf = pool.acquire(300);
+  EXPECT_EQ(buf.size(), 300u);
+  EXPECT_EQ(buf.span().size(), 300u);
+  // Accounting is at size-class granularity (300 -> 512).
+  const auto s = pool.stats();
+  EXPECT_EQ(s.acquires, 1u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.bytes_in_use, 512u);
+  EXPECT_EQ(s.high_water_in_use, 512u);
+}
+
+TEST(StagingPool, ZeroByteAcquireIsEmpty) {
+  xfer::StagingPool pool;
+  auto buf = pool.acquire(0);
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(pool.stats().acquires, 0u);
+}
+
+TEST(StagingPool, ReleasedBufferIsReusedAsAHit) {
+  xfer::StagingPool pool;
+  const std::byte* first_ptr = nullptr;
+  {
+    auto buf = pool.acquire(64_KiB);
+    first_ptr = buf.data();
+  }  // returned to the free list
+  EXPECT_EQ(pool.stats().bytes_retained, 64_KiB);
+
+  // Same size class (even a different size within it) reuses the storage.
+  auto again = pool.acquire(40_KiB);
+  const auto s = pool.stats();
+  EXPECT_EQ(s.acquires, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.bytes_retained, 0u);
+  EXPECT_EQ(again.data(), first_ptr);
+}
+
+TEST(StagingPool, HighWaterMarksAreMonotone) {
+  xfer::StagingPool pool;
+  {
+    auto a = pool.acquire(1_KiB);
+    auto b = pool.acquire(1_KiB);
+    EXPECT_EQ(pool.stats().bytes_in_use, 2_KiB);
+    EXPECT_EQ(pool.stats().high_water_in_use, 2_KiB);
+  }
+  EXPECT_EQ(pool.stats().bytes_in_use, 0u);
+  EXPECT_EQ(pool.stats().high_water_in_use, 2_KiB);  // monotone
+  EXPECT_EQ(pool.stats().bytes_retained, 2_KiB);
+  EXPECT_EQ(pool.stats().high_water_retained, 2_KiB);
+
+  {
+    auto c = pool.acquire(1_KiB);  // a hit; only one buffer out
+    EXPECT_EQ(pool.stats().high_water_in_use, 2_KiB);
+  }
+}
+
+TEST(StagingPool, MovedFromBufferReleasesNothing) {
+  xfer::StagingPool pool;
+  {
+    auto a = pool.acquire(1_KiB);
+    auto b = std::move(a);
+    EXPECT_EQ(b.size(), 1_KiB);
+    EXPECT_EQ(pool.stats().bytes_in_use, 1_KiB);
+  }  // exactly one release
+  EXPECT_EQ(pool.stats().bytes_in_use, 0u);
+  EXPECT_EQ(pool.stats().bytes_retained, 1_KiB);
+}
+
+TEST(StagingPool, TrimDropsRetainedStorage) {
+  xfer::StagingPool pool;
+  { auto a = pool.acquire(4_KiB); }
+  EXPECT_EQ(pool.stats().bytes_retained, 4_KiB);
+  pool.trim();
+  EXPECT_EQ(pool.stats().bytes_retained, 0u);
+  // A fresh acquire after trim is a miss again.
+  auto b = pool.acquire(4_KiB);
+  EXPECT_EQ(pool.stats().hits, 0u);
+}
+
+TEST(StagingPool, PerNodePoolsAreDistinct) {
+  EXPECT_NE(&xfer::StagingPool::for_node(1001), &xfer::StagingPool::for_node(1002));
+  EXPECT_EQ(&xfer::StagingPool::for_node(1001), &xfer::StagingPool::for_node(1001));
+}
+
+// --- strategy equality -------------------------------------------------------
+
+TEST(Strategy, EqualityComparesKindAndBlock) {
+  EXPECT_EQ(xfer::Strategy::pinned(), xfer::Strategy::pinned());
+  EXPECT_EQ(xfer::Strategy::pipelined(64_KiB), xfer::Strategy::pipelined(64_KiB));
+  EXPECT_NE(xfer::Strategy::pipelined(64_KiB), xfer::Strategy::pipelined(128_KiB));
+  EXPECT_NE(xfer::Strategy::pinned(), xfer::Strategy::mapped());
+  EXPECT_NE(xfer::Strategy::pinned(), xfer::Strategy::pipelined(64_KiB));
+}
+
+TEST(Strategy, SelectIsStableUnderMemoization) {
+  // The memoized selector must return exactly what the policy dictates for
+  // repeated and for alternating (profile, size) queries — including near
+  // the pipeline threshold, where a size-class-granular cache would go wrong.
+  const sys::SystemProfile& ricc = sys::ricc();
+  sys::SystemProfile modified = ricc;  // same sizes, different knobs
+  modified.pipeline_threshold = 1_MiB;
+  ASSERT_EQ(ricc.pipeline_threshold, 512_KiB);
+  ASSERT_EQ(ricc.small_preference, sys::SmallTransferPreference::pinned);
+
+  const std::size_t at = ricc.pipeline_threshold;
+  for (int round = 0; round < 3; ++round) {
+    // Exact-size boundary: a size-class-granular cache would conflate these.
+    EXPECT_EQ(xfer::select(ricc, at - 1).kind, xfer::StrategyKind::pinned);
+    EXPECT_EQ(xfer::select(ricc, at).kind, xfer::StrategyKind::pipelined);
+    // 768 KiB lands in the same cache slot for both profiles but the two
+    // policies disagree: the memo must key on profile content, not identity.
+    EXPECT_EQ(xfer::select(ricc, 768_KiB).kind, xfer::StrategyKind::pipelined);
+    EXPECT_EQ(xfer::select(modified, 768_KiB).kind, xfer::StrategyKind::pinned);
+  }
+  // Predictive mode answers are memoized separately from heuristic ones.
+  for (int round = 0; round < 2; ++round) {
+    const xfer::Strategy h = xfer::select(ricc, 8_MiB, xfer::SelectionMode::heuristic);
+    const xfer::Strategy p = xfer::select(ricc, 8_MiB, xfer::SelectionMode::predictive);
+    EXPECT_EQ(h, xfer::select(ricc, 8_MiB, xfer::SelectionMode::heuristic));
+    EXPECT_EQ(p, xfer::select(ricc, 8_MiB, xfer::SelectionMode::predictive));
+  }
+}
+
+// --- eager fast-path boundaries ----------------------------------------------
+
+/// Byte-exact delivery at the inline-store boundary (256 B) and the
+/// eager/rendezvous threshold, on both sides of each edge.
+TEST(EagerBoundaries, ByteExactDeliveryAcrossThresholds) {
+  const std::size_t eager = sys::ricc().nic.eager_threshold;
+  const std::vector<std::size_t> sizes = {1,         255,       256, 257,
+                                          eager - 1, eager,     eager + 1};
+
+  mpi::Cluster::Options o;
+  o.nranks = 2;
+  o.profile = &sys::ricc();
+  o.watchdog_seconds = testutil::watchdog_seconds(20.0);
+  mpi::Cluster::run(o, [&](mpi::Rank& rank) {
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const std::size_t n = sizes[i];
+      const std::uint64_t pattern = derive_seed(0xEA6E4u, i);
+      std::vector<std::byte> buf(n);
+      if (rank.rank() == 0) {
+        fill_pattern(buf, pattern);
+        rank.world().send(buf, 1, static_cast<int>(i), rank.clock());
+      } else {
+        const mpi::MsgStatus st =
+            rank.world().recv(buf, 0, static_cast<int>(i), rank.clock());
+        EXPECT_EQ(st.bytes, n);
+        EXPECT_TRUE(check_pattern(buf, pattern)) << "size " << n;
+      }
+    }
+  });
+}
+
+/// Sender buffer reuse after an eager send: the payload must have been
+/// copied out (inline store below 256 B, heap above) before send() returns.
+TEST(EagerBoundaries, SenderBufferReusableAfterEagerSend) {
+  mpi::Cluster::Options o;
+  o.nranks = 2;
+  o.profile = &sys::ricc();
+  o.watchdog_seconds = testutil::watchdog_seconds(20.0);
+  const std::vector<std::size_t> sizes = {64, 256, 4096};
+  mpi::Cluster::run(o, [&](mpi::Rank& rank) {
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const std::size_t n = sizes[i];
+      const std::uint64_t pattern = derive_seed(0x5E4Du, i);
+      if (rank.rank() == 0) {
+        std::vector<std::byte> buf(n);
+        fill_pattern(buf, pattern);
+        rank.world().send(buf, 1, static_cast<int>(i), rank.clock());
+        // Eager: the send completes once injected; scribbling over the
+        // buffer must not affect what the receiver sees.
+        fill_pattern(buf, ~pattern);
+      } else {
+        rank.compute(vt::microseconds(200.0));  // let the scribble race run
+        std::vector<std::byte> buf(n);
+        rank.world().recv(buf, 0, static_cast<int>(i), rank.clock());
+        EXPECT_TRUE(check_pattern(buf, pattern)) << "size " << n;
+      }
+    }
+  });
+}
+
+// --- sharded mailbox ---------------------------------------------------------
+
+/// Many channels concurrently (all shards exercised), then wildcard receives
+/// draining in global arrival order.
+TEST(ShardedMailbox, SpecificAndWildcardMatching) {
+  constexpr int kMsgs = 48;
+  mpi::Cluster::Options o;
+  o.nranks = 2;
+  o.profile = &sys::ricc();
+  o.watchdog_seconds = testutil::watchdog_seconds(20.0);
+  mpi::Cluster::run(o, [&](mpi::Rank& rank) {
+    if (rank.rank() == 0) {
+      std::vector<std::vector<std::byte>> bufs(kMsgs, std::vector<std::byte>(64));
+      std::vector<mpi::Request> reqs;
+      for (int i = 0; i < kMsgs; ++i) {
+        fill_pattern(bufs[static_cast<std::size_t>(i)],
+                     derive_seed(0xABCu, static_cast<std::uint64_t>(i)));
+        reqs.push_back(rank.world().isend(bufs[static_cast<std::size_t>(i)], 1, i,
+                                          rank.clock()));
+      }
+      for (auto& r : reqs) r.wait(rank.clock());
+      rank.world().barrier(rank.clock());
+    } else {
+      rank.world().barrier(rank.clock());  // all sends posted (and eager-buffered)
+      // Wildcard receives drain the unexpected queues in arrival order,
+      // which for a single sender thread is tag order.
+      for (int i = 0; i < kMsgs; ++i) {
+        std::vector<std::byte> buf(64);
+        const mpi::MsgStatus st =
+            rank.world().recv(buf, mpi::any_source, mpi::any_tag, rank.clock());
+        EXPECT_EQ(st.tag, i);
+        EXPECT_TRUE(
+            check_pattern(buf, derive_seed(0xABCu, static_cast<std::uint64_t>(st.tag))));
+      }
+    }
+  });
+}
+
+TEST(ShardedMailbox, ProbeAndIprobeSeeUnexpectedMessages) {
+  mpi::Cluster::Options o;
+  o.nranks = 2;
+  o.profile = &sys::ricc();
+  o.watchdog_seconds = testutil::watchdog_seconds(20.0);
+  mpi::Cluster::run(o, [&](mpi::Rank& rank) {
+    if (rank.rank() == 0) {
+      std::vector<std::byte> buf(128, std::byte{0x7C});
+      rank.world().send(buf, 1, 42, rank.clock());
+    } else {
+      // Blocking probe: returns the status without consuming the message.
+      const mpi::MsgStatus st = rank.world().probe(mpi::any_source, mpi::any_tag,
+                                                   rank.clock());
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 42);
+      EXPECT_EQ(st.bytes, 128u);
+      // iprobe agrees, and the message is still there.
+      const auto peek = rank.world().iprobe(0, 42);
+      ASSERT_TRUE(peek.has_value());
+      EXPECT_EQ(peek->bytes, 128u);
+      std::vector<std::byte> buf(128);
+      rank.world().recv(buf, 0, 42, rank.clock());
+      EXPECT_FALSE(rank.world().iprobe(0, 42).has_value());
+    }
+  });
+}
+
+// --- determinism regression --------------------------------------------------
+
+struct Fingerprint {
+  std::uint64_t trace_hash{0};
+  double makespan_s{0.0};
+  mpi::FaultCounters counters;
+};
+
+/// A mixed workload exercising every mailbox path: eager inline, eager heap,
+/// rendezvous, wildcards, multiple channels, four ranks — with and without
+/// fault injection. Identical seeds must fingerprint identically.
+Fingerprint run_mixed_workload(std::uint64_t seed, bool faults) {
+  vt::Tracer tracer;
+  mpi::Cluster::Options o;
+  o.nranks = 4;
+  o.profile = &sys::ricc();
+  o.tracer = &tracer;
+  o.watchdog_seconds = testutil::watchdog_seconds(30.0);
+  if (faults) {
+    o.faults.seed = seed;
+    o.faults.duplicate_rate = 0.3;
+    o.faults.latency_spike_rate = 0.4;
+  }
+  const mpi::RunResult res = mpi::Cluster::run(o, [&](mpi::Rank& rank) {
+    Rng rng(derive_seed(seed, static_cast<std::uint64_t>(0xD15Cu)));
+    // Ring traffic: every rank sends to the next, receives from the
+    // previous; sizes sweep the eager-inline / eager-heap / rendezvous
+    // regimes. Identical rng draws on every rank keep the ranks lockstep.
+    for (int i = 0; i < 12; ++i) {
+      const std::size_t n = 1 + rng.below(128_KiB);
+      const int to = (rank.rank() + 1) % rank.size();
+      const int from = (rank.rank() + rank.size() - 1) % rank.size();
+      std::vector<std::byte> out(n);
+      std::vector<std::byte> in(n);
+      fill_pattern(out, derive_seed(seed, static_cast<std::uint64_t>(i)));
+      const bool wildcard = (rng.next_u64() & 1u) != 0;
+      mpi::Request rr = wildcard
+                            ? rank.world().irecv(in, mpi::any_source, i, rank.clock())
+                            : rank.world().irecv(in, from, i, rank.clock());
+      mpi::Request sr = rank.world().isend(out, to, i, rank.clock());
+      try {
+        sr.wait(rank.clock());
+        rr.wait(rank.clock());
+        EXPECT_TRUE(check_pattern(in, derive_seed(seed, static_cast<std::uint64_t>(i))));
+      } catch (const Error& e) {
+        ADD_FAILURE() << "unexpected failure: " << e.what();
+      }
+    }
+    rank.world().barrier(rank.clock());
+  });
+  Fingerprint f;
+  f.trace_hash = tracer.hash();
+  f.makespan_s = res.makespan_s;
+  f.counters = res.faults;
+  return f;
+}
+
+TEST(DeterminismRegression, SeedIdenticalTraceHashes) {
+  for (std::uint64_t seed : {0x1111u, 0xBEEFu}) {
+    const Fingerprint a = run_mixed_workload(seed, /*faults=*/false);
+    const Fingerprint b = run_mixed_workload(seed, /*faults=*/false);
+    EXPECT_EQ(a.trace_hash, b.trace_hash) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s) << "seed " << seed;
+  }
+}
+
+TEST(DeterminismRegression, SeedIdenticalUnderFaultInjection) {
+  const Fingerprint a = run_mixed_workload(0xFA57u, /*faults=*/true);
+  const Fingerprint b = run_mixed_workload(0xFA57u, /*faults=*/true);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.counters.messages, b.counters.messages);
+  EXPECT_EQ(a.counters.duplicates, b.counters.duplicates);
+  EXPECT_EQ(a.counters.delays, b.counters.delays);
+}
+
+// --- wire-decomposition agreement (debug builds) -----------------------------
+
+#ifndef NDEBUG
+/// Forced pipelined strategies with different block sizes on the two
+/// endpoints: the debug check fails both sides with a defined
+/// PreconditionError naming the mismatch, instead of an obscure truncation.
+/// Block sizes are chosen so both decompositions have the SAME sub-message
+/// count (the check can only fire on messages that tag-match).
+TEST(WireDecomposition, ForcedStrategyMismatchFailsBothEndpoints) {
+  constexpr std::size_t kTotal = 256_KiB;
+  mpi::Cluster::Options o;
+  o.nranks = 2;
+  o.profile = &sys::ricc();
+  o.watchdog_seconds = testutil::watchdog_seconds(20.0);
+  std::mutex mu;
+  int failures = 0;
+  mpi::Cluster::run(o, [&](mpi::Rank& rank) {
+    std::vector<std::byte> data(kTotal, std::byte{0x11});
+    try {
+      if (rank.rank() == 0) {
+        xfer::send_host(rank.world(), data, 1, 3, xfer::Strategy::pipelined(192_KiB),
+                        rank.clock().now());
+      } else {
+        xfer::recv_host(rank.world(), data, 0, 3, xfer::Strategy::pipelined(224_KiB),
+                        rank.clock().now());
+      }
+      ADD_FAILURE() << "mismatched wire decomposition was not diagnosed";
+    } catch (const PreconditionError& e) {
+      EXPECT_NE(std::string(e.what()).find("wire decomposition mismatch"),
+                std::string::npos);
+      const std::lock_guard<std::mutex> lock(mu);
+      ++failures;
+    }
+  });
+  EXPECT_EQ(failures, 2);  // both endpoints diagnosed
+}
+#endif
+
+}  // namespace
+}  // namespace clmpi
