@@ -31,6 +31,7 @@
 
 #include "bench_util.hpp"
 #include "clmpi/runtime.hpp"
+#include "obs/metrics.hpp"
 #include "ocl/context.hpp"
 #include "ocl/platform.hpp"
 #include "ocl/queue.hpp"
@@ -67,7 +68,17 @@ struct ScenarioResult {
   mpi::FaultCounters counters;
   double pool_hit_rate{-1.0};   ///< -1 when the build has no staging pool
   std::size_t pool_high_water{0};
+  std::vector<obs::Sample> metrics;  ///< nonzero obs counters from the timed reps
 };
+
+/// Registry counters accumulated over the timed repetitions, nonzero only.
+std::vector<obs::Sample> drain_metrics() {
+  std::vector<obs::Sample> kept;
+  for (auto& s : obs::Registry::instance().snapshot()) {
+    if (s.value != 0) kept.push_back(std::move(s));
+  }
+  return kept;
+}
 
 double msgs_per_sec(const ScenarioResult& r) {
   return r.wall.median_s > 0.0 ? r.msgs_per_rep / r.wall.median_s : 0.0;
@@ -98,6 +109,7 @@ ScenarioResult run_scenario(const Config& cfg, std::string name, int nranks,
 #ifdef CLMPI_BENCH_HAVE_POOL
   xfer::StagingPool::reset_all_stats();
 #endif
+  obs::Registry::instance().reset();
   r.wall = benchutil::time_wall(cfg.warmup, cfg.reps, [&] {
     mpi::Cluster::Options o;
     o.nranks = nranks;
@@ -105,6 +117,7 @@ ScenarioResult run_scenario(const Config& cfg, std::string name, int nranks,
     o.faults = faults;
     mpi::Cluster::run(o, body);
   });
+  r.metrics = drain_metrics();
 #ifdef CLMPI_BENCH_HAVE_POOL
   const xfer::StagingPool::Stats stats = xfer::StagingPool::aggregate_stats();
   r.pool_hit_rate = stats.acquires > 0
@@ -287,7 +300,9 @@ ScenarioResult chaos_replay(const Config& cfg) {
 
   vt::Tracer probe;
   r.trace_hash = run_grid(&probe);
+  obs::Registry::instance().reset();
   r.wall = benchutil::time_wall(cfg.warmup, cfg.reps, [&] { run_grid(nullptr); });
+  r.metrics = drain_metrics();
   return r;
 }
 
@@ -334,7 +349,12 @@ void write_json(const std::vector<ScenarioResult>& results, const Config& cfg) {
       out << ", \"pool_hit_rate\": " << r.pool_hit_rate
           << ", \"pool_high_water_bytes\": " << r.pool_high_water;
     }
-    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    out << ", \"counters\": {";
+    for (std::size_t c = 0; c < r.metrics.size(); ++c) {
+      out << (c > 0 ? ", " : "") << "\"" << r.metrics[c].name
+          << "\": " << r.metrics[c].value;
+    }
+    out << "}}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::printf("wrote %s\n", cfg.out_path.c_str());
@@ -359,6 +379,11 @@ int main(int argc, char** argv) {
     }
   }
   if (cfg.smoke) cfg.reps = 3;
+
+  // Counter snapshots ride along with the wall numbers: the gate compares
+  // both, so a hot-path regression and a behaviour change (hit rates,
+  // slow-path counts) are caught by the same artifact.
+  obs::set_metrics_enabled(true);
 
   const int pp_rounds = cfg.smoke ? 200 : 1500;
   const int rv_rounds = cfg.smoke ? 100 : 600;

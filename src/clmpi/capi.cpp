@@ -1,9 +1,13 @@
 #include "clmpi/capi.h"
 
+#include <cstring>
 #include <mutex>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 #include "simmpi/datatype.hpp"
 #include "support/error.hpp"
 
@@ -42,28 +46,45 @@ Binding& binding() {
   return t_binding;
 }
 
-/// Registry of live cl_event handles. Released handles are erased, so a
+/// Registry of live handles of one kind. Released handles are erased, so a
 /// use-after-release is detected (best effort: an address reused by a new
-/// handle cannot be told apart) and reported as CL_INVALID_EVENT instead of
-/// dereferencing freed memory.
-std::mutex g_events_mutex;
-std::unordered_set<cl_event> g_live_events;
+/// handle cannot be told apart) and reported as the matching CL_INVALID_*
+/// status instead of dereferencing freed memory.
+template <typename Handle>
+class HandleRegistry {
+ public:
+  void add(Handle handle) {
+    std::lock_guard lock(mutex_);
+    live_.insert(handle);
+  }
+  void remove(Handle handle) {
+    std::lock_guard lock(mutex_);
+    live_.erase(handle);
+  }
+  [[nodiscard]] bool live(Handle handle) const {
+    if (handle == nullptr) return false;
+    std::lock_guard lock(mutex_);
+    return live_.count(handle) != 0;
+  }
 
-void register_event(cl_event handle) {
-  std::lock_guard lock(g_events_mutex);
-  g_live_events.insert(handle);
-}
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_set<Handle> live_;
+};
 
-void unregister_event(cl_event handle) {
-  std::lock_guard lock(g_events_mutex);
-  g_live_events.erase(handle);
-}
+HandleRegistry<cl_event> g_events;
+HandleRegistry<cl_mem> g_mems;
+HandleRegistry<cl_command_queue> g_queues;
 
-bool event_live(cl_event handle) {
-  if (handle == nullptr) return false;
-  std::lock_guard lock(g_events_mutex);
-  return g_live_events.count(handle) != 0;
-}
+void register_event(cl_event handle) { g_events.add(handle); }
+void unregister_event(cl_event handle) { g_events.remove(handle); }
+bool event_live(cl_event handle) { return g_events.live(handle); }
+void register_mem(cl_mem handle) { g_mems.add(handle); }
+void unregister_mem(cl_mem handle) { g_mems.remove(handle); }
+bool mem_live(cl_mem handle) { return g_mems.live(handle); }
+void register_queue(cl_command_queue handle) { g_queues.add(handle); }
+void unregister_queue(cl_command_queue handle) { g_queues.remove(handle); }
+bool queue_live(cl_command_queue handle) { return g_queues.live(handle); }
 
 std::vector<ocl::EventPtr> to_waitlist(cl_uint numevts, const cl_event* wlist) {
   if ((numevts == 0) != (wlist == nullptr)) {
@@ -147,7 +168,11 @@ clmpi::rt::Runtime& runtime_ctx() { return clmpi::capi::bound_runtime(); }
 // OpenCL core subset ----------------------------------------------------------
 
 cl_context clmpiCreateContext(clmpi::ocl::Context& cxx_context) {
-  return new _cl_context{&cxx_context};
+  cl_context handle = nullptr;
+  // guarded: allocation failure must surface as a null handle, not unwind
+  // through what the paper presents as a C entry point.
+  clmpi::capi::guarded([&] { handle = new _cl_context{&cxx_context}; });
+  return handle;
 }
 
 cl_int clReleaseContext(cl_context context) {
@@ -161,15 +186,21 @@ cl_command_queue clCreateCommandQueue(cl_context context, cl_int* errcode_ret) {
     if (errcode_ret != nullptr) *errcode_ret = CL_INVALID_CONTEXT;
     return nullptr;
   }
-  auto* handle = new _cl_command_queue{context->ctx->create_queue()};
-  if (errcode_ret != nullptr) *errcode_ret = CL_SUCCESS;
+  cl_command_queue handle = nullptr;
+  const cl_int status = clmpi::capi::guarded([&] {
+    handle = new _cl_command_queue{context->ctx->create_queue()};
+    clmpi::capi::register_queue(handle);
+  });
+  if (errcode_ret != nullptr) *errcode_ret = status;
   return handle;
 }
 
 cl_int clReleaseCommandQueue(cl_command_queue queue) {
-  if (queue == nullptr) return CL_INVALID_COMMAND_QUEUE;
-  delete queue;  // the queue destructor drains pending commands
-  return CL_SUCCESS;
+  if (!clmpi::capi::queue_live(queue)) return CL_INVALID_COMMAND_QUEUE;
+  clmpi::capi::unregister_queue(queue);
+  // The queue destructor drains pending commands and joins its worker
+  // thread; a failure there must not unwind through the C boundary.
+  return clmpi::capi::guarded([&] { delete queue; });
 }
 
 cl_mem clCreateBuffer(cl_context context, std::size_t size, cl_int* errcode_ret) {
@@ -180,32 +211,41 @@ cl_mem clCreateBuffer(cl_context context, std::size_t size, cl_int* errcode_ret)
   cl_mem handle = nullptr;
   const cl_int status = clmpi::capi::guarded([&] {
     handle = new _cl_mem{context->ctx->create_buffer(size)};
+    clmpi::capi::register_mem(handle);
   });
   if (errcode_ret != nullptr) *errcode_ret = status;
   return handle;
 }
 
 cl_int clReleaseMemObject(cl_mem mem) {
-  if (mem == nullptr) return CL_INVALID_MEM_OBJECT;
-  delete mem;
-  return CL_SUCCESS;
+  if (!clmpi::capi::mem_live(mem)) return CL_INVALID_MEM_OBJECT;
+  clmpi::capi::unregister_mem(mem);
+  return clmpi::capi::guarded([&] { delete mem; });
 }
 
-clmpi::ocl::BufferPtr clmpiGetBuffer(cl_mem mem) {
-  CLMPI_REQUIRE(mem != nullptr, "null cl_mem handle");
+clmpi::ocl::BufferPtr clmpiGetBuffer(cl_mem mem, cl_int* errcode_ret) {
+  if (!clmpi::capi::mem_live(mem)) {
+    if (errcode_ret != nullptr) *errcode_ret = CLMPI_INVALID_MEM_OBJECT;
+    return nullptr;
+  }
+  if (errcode_ret != nullptr) *errcode_ret = CL_SUCCESS;
   return mem->buf;
 }
 
-clmpi::ocl::CommandQueue& clmpiGetQueue(cl_command_queue queue) {
-  CLMPI_REQUIRE(queue != nullptr, "null cl_command_queue handle");
-  return *queue->queue;
+clmpi::ocl::CommandQueue* clmpiGetQueue(cl_command_queue queue, cl_int* errcode_ret) {
+  if (!clmpi::capi::queue_live(queue)) {
+    if (errcode_ret != nullptr) *errcode_ret = CLMPI_INVALID_QUEUE;
+    return nullptr;
+  }
+  if (errcode_ret != nullptr) *errcode_ret = CL_SUCCESS;
+  return queue->queue.get();
 }
 
 cl_int clEnqueueReadBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
                            std::size_t offset, std::size_t size, void* hbuf,
                            cl_uint numevts, const cl_event* wlist, cl_event* evtret) {
-  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
-  if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (!clmpi::capi::queue_live(cmd)) return CL_INVALID_COMMAND_QUEUE;
+  if (!clmpi::capi::mem_live(buf)) return CL_INVALID_MEM_OBJECT;
   return clmpi::capi::guarded([&] {
     const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
     auto ev = cmd->queue->enqueue_read_buffer(buf->buf, blocking == CL_TRUE, offset, size,
@@ -217,8 +257,8 @@ cl_int clEnqueueReadBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
 cl_int clEnqueueWriteBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
                             std::size_t offset, std::size_t size, const void* hbuf,
                             cl_uint numevts, const cl_event* wlist, cl_event* evtret) {
-  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
-  if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (!clmpi::capi::queue_live(cmd)) return CL_INVALID_COMMAND_QUEUE;
+  if (!clmpi::capi::mem_live(buf)) return CL_INVALID_MEM_OBJECT;
   return clmpi::capi::guarded([&] {
     const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
     auto ev = cmd->queue->enqueue_write_buffer(buf->buf, blocking == CL_TRUE, offset, size,
@@ -231,9 +271,15 @@ void* clEnqueueMapBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
                          std::size_t offset, std::size_t size, cl_uint numevts,
                          const cl_event* wlist, cl_event* evtret, cl_int* errcode_ret) {
   void* ptr = nullptr;
+  if (!clmpi::capi::queue_live(cmd)) {
+    if (errcode_ret != nullptr) *errcode_ret = CL_INVALID_COMMAND_QUEUE;
+    return nullptr;
+  }
+  if (!clmpi::capi::mem_live(buf)) {
+    if (errcode_ret != nullptr) *errcode_ret = CL_INVALID_MEM_OBJECT;
+    return nullptr;
+  }
   const cl_int status = clmpi::capi::guarded([&] {
-    CLMPI_REQUIRE(cmd != nullptr, "null command queue");
-    CLMPI_REQUIRE(buf != nullptr, "null buffer");
     const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
     auto mapping = cmd->queue->enqueue_map_buffer(buf->buf, blocking == CL_TRUE, offset,
                                                   size, waits, rank_ctx().clock());
@@ -246,8 +292,8 @@ void* clEnqueueMapBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
 
 cl_int clEnqueueUnmapMemObject(cl_command_queue cmd, cl_mem buf, void* mapped_ptr,
                                cl_uint numevts, const cl_event* wlist, cl_event* evtret) {
-  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
-  if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (!clmpi::capi::queue_live(cmd)) return CL_INVALID_COMMAND_QUEUE;
+  if (!clmpi::capi::mem_live(buf)) return CL_INVALID_MEM_OBJECT;
   return clmpi::capi::guarded([&] {
     const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
     auto ev = cmd->queue->enqueue_unmap(buf->buf, static_cast<std::byte*>(mapped_ptr),
@@ -259,7 +305,7 @@ cl_int clEnqueueUnmapMemObject(cl_command_queue cmd, cl_mem buf, void* mapped_pt
 cl_int clEnqueueNDRangeKernel(cl_command_queue cmd, const clmpi::ocl::KernelPtr& kernel,
                               const clmpi::ocl::NDRange& range, cl_uint numevts,
                               const cl_event* wlist, cl_event* evtret) {
-  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (!clmpi::capi::queue_live(cmd)) return CL_INVALID_COMMAND_QUEUE;
   return clmpi::capi::guarded([&] {
     const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
     auto ev = cmd->queue->enqueue_ndrange(kernel, range, waits, rank_ctx().clock());
@@ -268,7 +314,7 @@ cl_int clEnqueueNDRangeKernel(cl_command_queue cmd, const clmpi::ocl::KernelPtr&
 }
 
 cl_int clFinish(cl_command_queue cmd) {
-  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (!clmpi::capi::queue_live(cmd)) return CL_INVALID_COMMAND_QUEUE;
   return clmpi::capi::guarded([&] { cmd->queue->finish(rank_ctx().clock()); });
 }
 
@@ -303,8 +349,8 @@ cl_int clEnqueueSendBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
                            std::size_t offset, std::size_t size, int dst, int tag,
                            MPI_Comm comm, cl_uint numevts, const cl_event* wlist,
                            cl_event* evtret) {
-  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
-  if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (!clmpi::capi::queue_live(cmd)) return CL_INVALID_COMMAND_QUEUE;
+  if (!clmpi::capi::mem_live(buf)) return CL_INVALID_MEM_OBJECT;
   if (comm == nullptr) return CLMPI_INVALID_COMMUNICATOR;
   return clmpi::capi::guarded([&] {
     const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
@@ -318,8 +364,8 @@ cl_int clEnqueueRecvBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
                            std::size_t offset, std::size_t size, int src, int tag,
                            MPI_Comm comm, cl_uint numevts, const cl_event* wlist,
                            cl_event* evtret) {
-  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
-  if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (!clmpi::capi::queue_live(cmd)) return CL_INVALID_COMMAND_QUEUE;
+  if (!clmpi::capi::mem_live(buf)) return CL_INVALID_MEM_OBJECT;
   if (comm == nullptr) return CLMPI_INVALID_COMMUNICATOR;
   return clmpi::capi::guarded([&] {
     const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
@@ -346,8 +392,8 @@ cl_event clCreateEventFromMPIRequest(cl_context /*context*/, MPI_Request* reques
 cl_int clEnqueueBcastBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
                             std::size_t offset, std::size_t size, int root, MPI_Comm comm,
                             cl_uint numevts, const cl_event* wlist, cl_event* evtret) {
-  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
-  if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (!clmpi::capi::queue_live(cmd)) return CL_INVALID_COMMAND_QUEUE;
+  if (!clmpi::capi::mem_live(buf)) return CL_INVALID_MEM_OBJECT;
   if (comm == nullptr) return CLMPI_INVALID_COMMUNICATOR;
   return clmpi::capi::guarded([&] {
     const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
@@ -360,8 +406,8 @@ cl_int clEnqueueBcastBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
 cl_int clEnqueueWriteFile(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
                           std::size_t offset, std::size_t size, const char* path,
                           cl_uint numevts, const cl_event* wlist, cl_event* evtret) {
-  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
-  if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (!clmpi::capi::queue_live(cmd)) return CL_INVALID_COMMAND_QUEUE;
+  if (!clmpi::capi::mem_live(buf)) return CL_INVALID_MEM_OBJECT;
   if (path == nullptr) return CL_INVALID_VALUE;
   return clmpi::capi::guarded([&] {
     const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
@@ -374,14 +420,53 @@ cl_int clEnqueueWriteFile(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
 cl_int clEnqueueReadFile(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
                          std::size_t offset, std::size_t size, const char* path,
                          cl_uint numevts, const cl_event* wlist, cl_event* evtret) {
-  if (cmd == nullptr) return CL_INVALID_COMMAND_QUEUE;
-  if (buf == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (!clmpi::capi::queue_live(cmd)) return CL_INVALID_COMMAND_QUEUE;
+  if (!clmpi::capi::mem_live(buf)) return CL_INVALID_MEM_OBJECT;
   if (path == nullptr) return CL_INVALID_VALUE;
   return clmpi::capi::guarded([&] {
     const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
     auto ev = runtime_ctx().enqueue_read_file(*cmd->queue, buf->buf, blocking == CL_TRUE,
                                               offset, size, path, waits);
     clmpi::capi::return_event(evtret, std::move(ev));
+  });
+}
+
+// Observability introspection -------------------------------------------------
+
+cl_int clmpiGetCounter(const char* name, cl_ulong* value) {
+  if (name == nullptr || value == nullptr) return CL_INVALID_VALUE;
+  std::uint64_t v = 0;
+  if (!clmpi::obs::Registry::instance().value(name, v)) return CL_INVALID_VALUE;
+  *value = v;
+  return CL_SUCCESS;
+}
+
+cl_int clmpiListCounters(char* buf, std::size_t cap, std::size_t* size_ret) {
+  std::string names;
+  for (const auto& sample : clmpi::obs::Registry::instance().snapshot()) {
+    names += sample.name;
+    names += '\n';
+  }
+  const std::size_t needed = names.size() + 1;  // includes the terminating NUL
+  if (size_ret != nullptr) *size_ret = needed;
+  if (buf == nullptr) return CL_SUCCESS;  // size query
+  if (cap < needed) return CL_INVALID_VALUE;
+  std::memcpy(buf, names.c_str(), needed);
+  return CL_SUCCESS;
+}
+
+cl_int clmpiDumpTrace(const char* path) {
+  if (path == nullptr) return CL_INVALID_VALUE;
+  return clmpi::capi::guarded([&] {
+    const clmpi::vt::Tracer* tracer = clmpi::capi::bound_rank().tracer();
+    if (tracer == nullptr) {
+      throw clmpi::Error("clmpiDumpTrace: run has no tracer attached (set CLMPI_TRACE=1)",
+                         clmpi::Status::invalid_operation);
+    }
+    if (!clmpi::obs::write_trace_file(*tracer, path)) {
+      throw clmpi::Error(std::string("clmpiDumpTrace: cannot write ") + path,
+                         clmpi::Status::invalid_value);
+    }
   });
 }
 

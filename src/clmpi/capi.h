@@ -28,6 +28,7 @@
 using cl_int = std::int32_t;
 using cl_uint = std::uint32_t;
 using cl_bool = std::uint32_t;
+using cl_ulong = std::uint64_t;
 
 inline constexpr cl_bool CL_TRUE = 1;
 inline constexpr cl_bool CL_FALSE = 0;
@@ -47,6 +48,10 @@ inline constexpr cl_int CLMPI_INVALID_REQUEST = -1004;
 inline constexpr cl_int CLMPI_RUNTIME_SHUTDOWN = -1005;
 /// The command's message was lost in transit (fault injection / NIC loss).
 inline constexpr cl_int CLMPI_MESSAGE_DROPPED = -1006;
+// Extension-namespaced aliases for stale/invalid handle lookups through the
+// clmpiGet* escape hatches; same numeric values as the OpenCL codes.
+inline constexpr cl_int CLMPI_INVALID_MEM_OBJECT = CL_INVALID_MEM_OBJECT;
+inline constexpr cl_int CLMPI_INVALID_QUEUE = CL_INVALID_COMMAND_QUEUE;
 
 // --- opaque handles ----------------------------------------------------------
 
@@ -126,9 +131,14 @@ cl_mem clCreateBuffer(cl_context context, std::size_t size, cl_int* errcode_ret)
 cl_int clReleaseMemObject(cl_mem mem);
 
 /// Runtime-internal escape hatch: the C++ buffer behind a handle (examples
-/// use it to initialize device data through kernels or typed views).
-clmpi::ocl::BufferPtr clmpiGetBuffer(cl_mem mem);
-clmpi::ocl::CommandQueue& clmpiGetQueue(cl_command_queue queue);
+/// use it to initialize device data through kernels or typed views). A null,
+/// released or otherwise unknown handle yields a null BufferPtr and
+/// CLMPI_INVALID_MEM_OBJECT in `*errcode_ret` — it never throws.
+clmpi::ocl::BufferPtr clmpiGetBuffer(cl_mem mem, cl_int* errcode_ret = nullptr);
+/// The C++ queue behind a handle; nullptr + CLMPI_INVALID_QUEUE on a null or
+/// released handle.
+clmpi::ocl::CommandQueue* clmpiGetQueue(cl_command_queue queue,
+                                        cl_int* errcode_ret = nullptr);
 
 cl_int clEnqueueReadBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
                            std::size_t offset, std::size_t size, void* hbuf,
@@ -179,6 +189,27 @@ cl_int clEnqueueWriteFile(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
 cl_int clEnqueueReadFile(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
                          std::size_t offset, std::size_t size, const char* path,
                          cl_uint numevts, const cl_event* wlist, cl_event* evtret);
+
+// --- observability introspection (clMPI extension) ---------------------------
+
+/// Read one metric by name ("simmpi.mailbox.shard_hit", gauge high-waters as
+/// "<name>.hwm", ...; see docs/OBSERVABILITY.md for the catalog). Returns
+/// CL_INVALID_VALUE for an unknown name or null arguments. Counters exist
+/// once their subsystem first records under CLMPI_METRICS=1 (or
+/// clmpi::obs::set_metrics_enabled(true)).
+cl_int clmpiGetCounter(const char* name, cl_ulong* value);
+
+/// List registered metric names, newline-separated and NUL-terminated.
+/// Two-call pattern: pass buf == nullptr to query the required size via
+/// `*size_ret`, then call again with a buffer of at least that capacity.
+/// Returns CL_INVALID_VALUE when `cap` is too small.
+cl_int clmpiListCounters(char* buf, std::size_t cap, std::size_t* size_ret);
+
+/// Export the bound rank's trace as Chrome/Perfetto trace_event JSON at
+/// `path`. CL_INVALID_OPERATION when the run has no tracer attached (attach
+/// one via mpi::Cluster::Options::tracer or CLMPI_TRACE=1), CL_INVALID_VALUE
+/// when the file cannot be written.
+cl_int clmpiDumpTrace(const char* path);
 
 // --- MPI subset (wrappers honouring MPI_CL_MEM) --------------------------------------
 

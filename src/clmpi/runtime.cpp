@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "simmpi/datatype.hpp"
 #include "support/log.hpp"
 #include "transfer/async.hpp"
@@ -130,6 +131,12 @@ void Runtime::dispatcher_loop() {
       if (jobs_.empty()) return;  // shutdown with a drained queue
       batch.swap(jobs_);
     }
+    if (obs::metrics_enabled()) {
+      static auto& batches = obs::Registry::instance().counter("rt.dispatcher.batches");
+      static auto& batch_jobs = obs::Registry::instance().gauge("rt.dispatcher.batch_jobs");
+      batches.add();
+      batch_jobs.record(batch.size());
+    }
     for (Job& job : batch) {
       // Release the command once its wait list fires (§IV-B): commands are
       // released in enqueue order, which preserves MPI tag-matching order.
@@ -165,14 +172,40 @@ ocl::EventPtr Runtime::submit(ocl::CommandQueue& queue, std::string label,
   job.fail = [ev](vt::TimePoint when, std::exception_ptr error) {
     ev->mark_failed(when, std::move(error));
   };
+  std::size_t depth = 0;
   {
     std::lock_guard lock(mutex_);
     CLMPI_REQUIRE(!shutdown_, "enqueue on a shut-down clMPI runtime");
     jobs_.push_back(std::move(job));
     issued_.push_back(ev);
+    depth = jobs_.size();
   }
   cv_.notify_all();
+  if (obs::metrics_enabled()) {
+    static auto& submitted = obs::Registry::instance().counter("rt.dispatcher.jobs");
+    static auto& queue_depth = obs::Registry::instance().gauge("rt.dispatcher.queue_depth");
+    submitted.add();
+    queue_depth.record(depth);
+  }
   return ev;
+}
+
+void Runtime::traced_wait(const ocl::EventPtr& ev, std::string what) {
+  vt::Clock& clock = rank_->clock();
+  vt::Tracer* tracer = rank_->tracer();
+  if (tracer == nullptr) {
+    ev->wait(clock);
+    return;
+  }
+  // Failed waits rethrow without recording a span; both outcomes are
+  // deterministic functions of the virtual schedule.
+  const vt::TimePoint t0 = clock.now();
+  ev->wait(clock);
+  const vt::TimePoint t1 = clock.now();
+  if (t1.s > t0.s) {
+    tracer->record("host" + std::to_string(rank_->rank()), std::move(what),
+                   vt::SpanKind::wait, t0, t1);
+  }
 }
 
 xfer::Strategy Runtime::policy(std::size_t size) const {
@@ -185,7 +218,14 @@ void Runtime::finish(vt::Clock& clock) {
     std::lock_guard lock(mutex_);
     snapshot = issued_;
   }
+  vt::Tracer* tracer = rank_->tracer();
+  const vt::TimePoint t0 = clock.now();
   for (const auto& ev : snapshot) ev->wait(clock);
+  const vt::TimePoint t1 = clock.now();
+  if (tracer != nullptr && t1.s > t0.s) {
+    tracer->record("host" + std::to_string(rank_->rank()), "clmpiFinish",
+                   vt::SpanKind::wait, t0, t1);
+  }
 }
 
 ocl::EventPtr Runtime::enqueue_send_buffer(ocl::CommandQueue& queue,
@@ -212,7 +252,7 @@ ocl::EventPtr Runtime::enqueue_send_buffer(ocl::CommandQueue& queue,
               }
             });
       });
-  if (blocking) ev->wait(rank_->clock());
+  if (blocking) traced_wait(ev, "wait " + ev->label());
   return ev;
 }
 
@@ -239,7 +279,7 @@ ocl::EventPtr Runtime::enqueue_recv_buffer(ocl::CommandQueue& queue,
               }
             });
       });
-  if (blocking) ev->wait(rank_->clock());
+  if (blocking) traced_wait(ev, "wait " + ev->label());
   return ev;
 }
 
@@ -291,7 +331,7 @@ ocl::EventPtr Runtime::enqueue_bcast_buffer(ocl::CommandQueue& queue,
           static_cast<ocl::UserEvent&>(*event).set_complete(h2d.end);
         });
       });
-  if (blocking) ev->wait(rank_->clock());
+  if (blocking) traced_wait(ev, "wait " + ev->label());
   return ev;
 }
 
@@ -324,7 +364,7 @@ ocl::EventPtr Runtime::enqueue_write_file(ocl::CommandQueue& queue,
         out.close();
         static_cast<ocl::UserEvent&>(*event).set_complete(io.end);
       });
-  if (blocking) ev->wait(rank_->clock());
+  if (blocking) traced_wait(ev, "wait " + ev->label());
   return ev;
 }
 
@@ -356,7 +396,7 @@ ocl::EventPtr Runtime::enqueue_read_file(ocl::CommandQueue& queue, const ocl::Bu
             dev->charge_dma(setup.end, size, /*to_device=*/true, /*pinned_host=*/true);
         static_cast<ocl::UserEvent&>(*event).set_complete(h2d.end);
       });
-  if (blocking) ev->wait(rank_->clock());
+  if (blocking) traced_wait(ev, "wait " + ev->label());
   return ev;
 }
 

@@ -150,6 +150,9 @@ class Runtime {
   ocl::EventPtr submit(ocl::CommandQueue& queue, std::string label, ocl::WaitList waits,
                        std::function<void(vt::TimePoint, const ocl::EventPtr&)> post);
   void dispatcher_loop();
+  /// Blocking wait on a command's event, recorded as a wait span on the
+  /// rank's host lane when a tracer is attached.
+  void traced_wait(const ocl::EventPtr& ev, std::string what);
 
   mpi::Rank* rank_;
   ocl::Device* device_;

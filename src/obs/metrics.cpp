@@ -1,0 +1,171 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace clmpi::obs {
+
+namespace {
+
+bool env_truthy(const char* v) noexcept {
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool>& metrics_flag() noexcept {
+  static std::atomic<bool> flag{env_truthy(std::getenv("CLMPI_METRICS"))};
+  return flag;
+}
+
+std::atomic<bool>& trace_flag() noexcept {
+  static std::atomic<bool> flag{env_truthy(std::getenv("CLMPI_TRACE"))};
+  return flag;
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return metrics_flag().load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) noexcept {
+  metrics_flag().store(on, std::memory_order_relaxed);
+}
+
+bool trace_enabled() noexcept { return trace_flag().load(std::memory_order_relaxed); }
+
+void set_trace_enabled(bool on) noexcept {
+  trace_flag().store(on, std::memory_order_relaxed);
+}
+
+const std::string& trace_export_path() {
+  static const std::string path = [] {
+    const char* v = std::getenv("CLMPI_TRACE");
+    if (v == nullptr) return std::string{};
+    const std::string s{v};
+    // "0"/"1" are plain on/off switches, not paths.
+    if (s.empty() || s == "0" || s == "1") return std::string{};
+    return s;
+  }();
+  return path;
+}
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // Deques keep metric addresses stable while the registry grows.
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<std::string> counter_names;
+  std::deque<std::string> gauge_names;
+  std::unordered_map<std::string, Counter*> counter_index;
+  std::unordered_map<std::string, Gauge*> gauge_index;
+};
+
+Registry::Impl& Registry::impl() const {
+  // Leaked on purpose: producers cache metric references in function-local
+  // statics, which may be touched during static destruction.
+  static auto* impl = new Impl();
+  return *impl;
+}
+
+Registry& Registry::instance() {
+  static auto* reg = new Registry();
+  return *reg;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  const std::string key{name};
+  if (auto it = i.counter_index.find(key); it != i.counter_index.end()) return *it->second;
+  Counter& c = i.counters.emplace_back();
+  i.counter_names.push_back(key);
+  i.counter_index.emplace(key, &c);
+  return c;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  const std::string key{name};
+  if (auto it = i.gauge_index.find(key); it != i.gauge_index.end()) return *it->second;
+  Gauge& g = i.gauges.emplace_back();
+  i.gauge_names.push_back(key);
+  i.gauge_index.emplace(key, &g);
+  return g;
+}
+
+std::vector<Sample> Registry::snapshot() const {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+
+  auto read_all = [&](std::vector<std::uint64_t>& values) {
+    values.clear();
+    for (const Counter& c : i.counters) values.push_back(c.value());
+    for (const Gauge& g : i.gauges) {
+      values.push_back(g.value());
+      values.push_back(g.high_water());
+    }
+  };
+
+  // Double-read until two consecutive passes agree: a stable pair means no
+  // producer interleaved the read, i.e. a consistent cut. Under sustained
+  // concurrent traffic the bounded loop settles for the last pass, which
+  // still holds values each metric actually reached.
+  std::vector<std::uint64_t> values;
+  std::vector<std::uint64_t> check;
+  read_all(values);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    read_all(check);
+    if (check == values) break;
+    values.swap(check);
+  }
+
+  std::vector<Sample> out;
+  out.reserve(values.size());
+  std::size_t v = 0;
+  for (const std::string& name : i.counter_names) out.push_back({name, values[v++]});
+  for (const std::string& name : i.gauge_names) {
+    out.push_back({name, values[v++]});
+    out.push_back({name + ".hwm", values[v++]});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+bool Registry::value(std::string_view name, std::uint64_t& out) const {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  const std::string key{name};
+  if (auto it = i.counter_index.find(key); it != i.counter_index.end()) {
+    out = it->second->value();
+    return true;
+  }
+  if (auto it = i.gauge_index.find(key); it != i.gauge_index.end()) {
+    out = it->second->value();
+    return true;
+  }
+  if (key.size() > 4 && key.ends_with(".hwm")) {
+    if (auto it = i.gauge_index.find(key.substr(0, key.size() - 4));
+        it != i.gauge_index.end()) {
+      out = it->second->high_water();
+      return true;
+    }
+  }
+  return false;
+}
+
+void Registry::reset() {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  for (Counter& c : i.counters) c.value_.store(0, std::memory_order_relaxed);
+  for (Gauge& g : i.gauges) {
+    g.value_.store(0, std::memory_order_relaxed);
+    g.hwm_.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace clmpi::obs

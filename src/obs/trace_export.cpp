@@ -1,0 +1,119 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace clmpi::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Fixed-precision microseconds: deterministic for identical doubles.
+std::string format_us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+const char* category(vt::SpanKind kind) noexcept {
+  switch (kind) {
+    case vt::SpanKind::compute: return "compute";
+    case vt::SpanKind::host_to_device: return "h2d";
+    case vt::SpanKind::device_to_host: return "d2h";
+    case vt::SpanKind::wire: return "wire";
+    case vt::SpanKind::wait: return "wait";
+    case vt::SpanKind::other: return "other";
+  }
+  return "other";
+}
+
+std::string perfetto_json(std::vector<vt::TraceSpan> spans) {
+  // Content order, not record order: the Tracer's span vector reflects the
+  // real-time interleaving of recording threads, which varies run to run
+  // even for a fully deterministic virtual schedule.
+  std::sort(spans.begin(), spans.end(), [](const vt::TraceSpan& a, const vt::TraceSpan& b) {
+    return std::tie(a.lane, a.start.s, a.end.s, a.label, a.kind) <
+           std::tie(b.lane, b.start.s, b.end.s, b.label, b.kind);
+  });
+
+  // Lanes become named threads; tids in sorted-lane order.
+  std::map<std::string, int> tids;
+  for (const auto& s : spans) tids.emplace(s.lane, 0);
+  int next_tid = 0;
+  for (auto& [lane, tid] : tids) tid = next_tid++;
+
+  std::string out;
+  out.reserve(128 + spans.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  for (const auto& [lane, tid] : tids) {
+    sep();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":\"clmpi\"}}";
+    sep();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":\"";
+    append_escaped(out, lane);
+    out += "\"}}";
+  }
+  for (const auto& s : spans) {
+    sep();
+    out += "{\"name\":\"";
+    append_escaped(out, s.label);
+    out += "\",\"cat\":\"";
+    out += category(s.kind);
+    out += "\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+    out += std::to_string(tids[s.lane]);
+    out += ",\"ts\":";
+    out += format_us(s.start.s);
+    out += ",\"dur\":";
+    out += format_us((s.end - s.start).s);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string perfetto_json(const vt::Tracer& tracer) { return perfetto_json(tracer.spans()); }
+
+bool write_trace_file(const vt::Tracer& tracer, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return false;
+  const std::string json = perfetto_json(tracer);
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.close();
+  return out.good();
+}
+
+}  // namespace clmpi::obs

@@ -1,0 +1,34 @@
+// Chrome/Perfetto trace_event JSON export of a vt::Tracer.
+//
+// The ASCII gantt is good for tests and terminals; real timeline debugging
+// wants Perfetto (ui.perfetto.dev) or chrome://tracing. This exporter emits
+// the JSON object form of the trace_event format: one "X" (complete) event
+// per span, one named thread per lane, virtual microseconds as timestamps.
+//
+// Output is byte-deterministic for a deterministic workload: Tracer records
+// spans in real-time interleaving order, so the exporter sorts them (and the
+// lane -> tid mapping) by content before emitting. Two runs of the same
+// seeded workload therefore produce identical bytes — the property the obs
+// golden tests pin down.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vt/tracer.hpp"
+
+namespace clmpi::obs {
+
+/// Spelled-out trace_event category for a span kind: "compute", "h2d",
+/// "d2h", "wire", "wait" or "other".
+[[nodiscard]] const char* category(vt::SpanKind kind) noexcept;
+
+/// Serialize spans as a trace_event JSON object ({"traceEvents": [...]}).
+[[nodiscard]] std::string perfetto_json(std::vector<vt::TraceSpan> spans);
+[[nodiscard]] std::string perfetto_json(const vt::Tracer& tracer);
+
+/// Write perfetto_json(tracer) to `path`. Returns false if the file cannot
+/// be opened or fully written.
+bool write_trace_file(const vt::Tracer& tracer, const std::string& path);
+
+}  // namespace clmpi::obs

@@ -11,6 +11,25 @@ namespace clmpi::ocl {
 namespace {
 /// Host CPU cost of one enqueue call (driver overhead).
 constexpr vt::Duration kEnqueueOverhead = vt::microseconds(2.0);
+
+/// Blocking host-side wait, recorded as a wait span on the host lane (the
+/// time the calling thread spent stalled on the device, Figure 4's idle
+/// segments). Failed waits rethrow without recording: the failure time is
+/// deterministic, so the trace stays seed-stable either way.
+void traced_wait(Device& dev, const EventPtr& ev, vt::Clock& clock, std::string what) {
+  vt::Tracer* tracer = dev.tracer();
+  if (tracer == nullptr) {
+    ev->wait(clock);
+    return;
+  }
+  const vt::TimePoint t0 = clock.now();
+  ev->wait(clock);
+  const vt::TimePoint t1 = clock.now();
+  if (t1.s > t0.s) {
+    tracer->record("host" + std::to_string(dev.node()), std::move(what), vt::SpanKind::wait,
+                   t0, t1);
+  }
+}
 }  // namespace
 
 CommandQueue::CommandQueue(Context& ctx, Device& dev, std::string label, QueueOrder order)
@@ -122,7 +141,7 @@ EventPtr CommandQueue::enqueue_read_buffer(const BufferPtr& buf, bool blocking,
         std::memcpy(dst, buf->storage().data() + offset, size);
         return span;
       });
-  if (blocking) ev->wait(clock);
+  if (blocking) traced_wait(*device_, ev, clock, "wait read " + buf->label());
   return ev;
 }
 
@@ -140,7 +159,7 @@ EventPtr CommandQueue::enqueue_write_buffer(const BufferPtr& buf, bool blocking,
         std::memcpy(buf->storage().data() + offset, src, size);
         return span;
       });
-  if (blocking) ev->wait(clock);
+  if (blocking) traced_wait(*device_, ev, clock, "wait write " + buf->label());
   return ev;
 }
 
@@ -174,7 +193,7 @@ CommandQueue::Mapping CommandQueue::enqueue_map_buffer(const BufferPtr& buf, boo
                        const auto cost = dev->profile().pcie.map_setup;
                        return dev->copy_engine().acquire(ready, cost);
                      });
-  if (blocking) ev->wait(clock);
+  if (blocking) traced_wait(*device_, ev, clock, "wait map " + buf->label());
   return {ptr, ev};
 }
 
@@ -229,7 +248,7 @@ void CommandQueue::finish(vt::Clock& clock) {
   // A barrier covers both orderings: on an in-order queue it drains by
   // queue position; on an out-of-order queue it waits everything enqueued.
   EventPtr barrier = enqueue_barrier({}, clock);
-  barrier->wait(clock);
+  traced_wait(*device_, barrier, clock, "clFinish " + label_);
 }
 
 EventPtr CommandQueue::enqueue_custom(std::string op_label, vt::SpanKind /*kind*/,

@@ -9,6 +9,8 @@
 #include <numeric>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 #include "simmpi/cluster_core.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
@@ -48,11 +50,17 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
   detail::ClusterCore core;
   core.profile = options.profile;
   core.tracer = options.tracer;
+  // CLMPI_TRACE: when the caller did not attach a tracer, attach an
+  // internally owned one so clmpiDumpTrace (and the optional auto-export
+  // below) see the run. Tracing is passive — it never advances a clock — so
+  // the virtual schedule is identical either way.
+  vt::Tracer env_tracer;
+  if (core.tracer == nullptr && obs::trace_enabled()) core.tracer = &env_tracer;
   if (options.faults.enabled()) {
     core.faults = std::make_unique<FaultEngine>(options.faults);
   }
   core.network = std::make_unique<Network>(options.profile->nic, options.nranks,
-                                           options.tracer, core.faults.get());
+                                           core.tracer, core.faults.get());
   for (int n = 0; n < options.nranks; ++n) core.mailboxes.emplace_back(*core.network, n);
 
   RunResult result;
@@ -111,6 +119,11 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
     for (auto& t : core.aux_threads) t.join();
   }
   if (core.faults) result.faults = core.faults->counters();
+  // CLMPI_TRACE=<path>: auto-export the env-attached tracer as Perfetto
+  // JSON. Last run wins when a process runs several clusters.
+  if (core.tracer == &env_tracer && !obs::trace_export_path().empty()) {
+    obs::write_trace_file(env_tracer, obs::trace_export_path());
+  }
   if (first_error) std::rethrow_exception(first_error);
 
   result.makespan_s = 0.0;

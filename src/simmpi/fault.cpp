@@ -1,5 +1,6 @@
 #include "simmpi/fault.hpp"
 
+#include "obs/metrics.hpp"
 #include "support/rng.hpp"
 
 namespace clmpi::mpi {
@@ -47,6 +48,16 @@ FaultDecision FaultEngine::decide(int src_node, int dst_node, int context, int t
     if (d.drop) ++counters_.drops;
     if (d.duplicate) ++counters_.duplicates;
     if (d.delay > vt::Duration{}) ++counters_.delays;
+  }
+  if (obs::metrics_enabled()) {
+    static auto& messages = obs::Registry::instance().counter("fault.messages");
+    static auto& drops = obs::Registry::instance().counter("fault.drops");
+    static auto& duplicates = obs::Registry::instance().counter("fault.duplicates");
+    static auto& delays = obs::Registry::instance().counter("fault.delays");
+    messages.add();
+    if (d.drop) drops.add();
+    if (d.duplicate) duplicates.add();
+    if (d.delay > vt::Duration{}) delays.add();
   }
   return d;
 }

@@ -5,11 +5,31 @@
 #include <iterator>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace clmpi::mpi::detail {
 
 namespace {
+
+/// Producer-side metric handles, resolved once (metric addresses are stable
+/// for the process lifetime). Leaked so completion callbacks running during
+/// static destruction still find them.
+struct MailboxMetrics {
+  obs::Counter& shard_hit = obs::Registry::instance().counter("simmpi.mailbox.shard_hit");
+  obs::Counter& wildcard_slowpath =
+      obs::Registry::instance().counter("simmpi.mailbox.wildcard_slowpath");
+  obs::Counter& probe_wakeup =
+      obs::Registry::instance().counter("simmpi.mailbox.probe_wakeup");
+  obs::Counter& eager_inline =
+      obs::Registry::instance().counter("simmpi.mailbox.eager_inline");
+  obs::Counter& unexpected = obs::Registry::instance().counter("simmpi.mailbox.unexpected");
+};
+
+MailboxMetrics& metrics() {
+  static auto* m = new MailboxMetrics();
+  return *m;
+}
 
 std::exception_ptr drop_error(const Envelope& env) {
   return std::make_exception_ptr(MessageDroppedError(
@@ -95,6 +115,7 @@ void Mailbox::settle(std::vector<Completion>& batch) {
 void Mailbox::note_arrival() {
   arrivals_.fetch_add(1, std::memory_order_seq_cst);
   if (probe_waiters_.load(std::memory_order_seq_cst) > 0) {
+    if (obs::metrics_enabled()) metrics().probe_wakeup.add();
     // Empty critical section: a probe between its predicate check and its
     // block would otherwise miss the notification.
     { std::lock_guard lock(probe_mutex_); }
@@ -110,6 +131,7 @@ void Mailbox::inject_eager(Envelope& env, std::vector<Completion>& out) {
     if (env.bytes <= Envelope::kInlineEagerBytes) {
       std::memcpy(env.inline_store.data(), env.payload.data(), env.bytes);
       env.inlined = true;
+      if (obs::metrics_enabled()) metrics().eager_inline.add();
     } else {
       env.eager_copy.assign(env.payload.begin(), env.payload.end());
     }
@@ -180,8 +202,10 @@ void Mailbox::post_send(Envelope env) {
     }
   }
   if (matched) {
+    if (obs::metrics_enabled()) metrics().shard_hit.add();
     deliver(env, pr, batch);
   } else {
+    if (obs::metrics_enabled()) metrics().unexpected.add();
     note_arrival();
   }
   settle(batch);
@@ -209,6 +233,7 @@ void Mailbox::post_recv(PostedRecv pr) {
       }
     }
     if (found) {
+      if (obs::metrics_enabled()) metrics().shard_hit.add();
       deliver(env, pr, batch);
       settle(batch);
     }
@@ -217,6 +242,7 @@ void Mailbox::post_recv(PostedRecv pr) {
 
   // Wildcard: match in global arrival order across every shard. Lock order:
   // all shards ascending, then the wildcard queue.
+  if (obs::metrics_enabled()) metrics().wildcard_slowpath.add();
   Envelope env;
   bool found = false;
   {
@@ -283,6 +309,7 @@ std::pair<MsgStatus, vt::TimePoint> Mailbox::probe(int src_rank, int tag, int co
         available = (it->eager && it->injected) ? it->arrival : it->post_time;
       }
     } else {
+      if (obs::metrics_enabled()) metrics().wildcard_slowpath.add();
       std::array<std::unique_lock<std::mutex>, kShards> locks;
       for (std::size_t s = 0; s < kShards; ++s) {
         locks[s] = std::unique_lock(shards_[s].mutex);
@@ -323,6 +350,7 @@ std::optional<MsgStatus> Mailbox::iprobe(int src_rank, int tag, int context) {
     return MsgStatus{it->src_rank, it->tag, it->bytes};
   }
 
+  if (obs::metrics_enabled()) metrics().wildcard_slowpath.add();
   std::array<std::unique_lock<std::mutex>, kShards> locks;
   for (std::size_t s = 0; s < kShards; ++s) {
     locks[s] = std::unique_lock(shards_[s].mutex);

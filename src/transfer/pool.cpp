@@ -1,8 +1,11 @@
 #include "transfer/pool.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <deque>
 #include <utility>
+
+#include "obs/metrics.hpp"
 
 namespace clmpi::xfer {
 
@@ -36,6 +39,10 @@ StagingPool::Buffer StagingPool::acquire(std::size_t bytes) {
   acquires_.fetch_add(1, std::memory_order_relaxed);
 
   if (bytes > (std::size_t{1} << kMaxClassLog2)) {
+    if (obs::metrics_enabled()) {
+      static auto& acquires = obs::Registry::instance().counter("xfer.pool.acquires");
+      acquires.add();
+    }
     // Oversized: plain allocation, never retained.
     return Buffer(nullptr, std::vector<std::byte>(bytes), bytes);
   }
@@ -51,7 +58,8 @@ StagingPool::Buffer StagingPool::acquire(std::size_t bytes) {
       sc.free.pop_back();
     }
   }
-  if (!storage.empty()) {
+  const bool hit = !storage.empty();
+  if (hit) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     bytes_retained_.fetch_sub(class_bytes, std::memory_order_relaxed);
   } else {
@@ -60,6 +68,16 @@ StagingPool::Buffer StagingPool::acquire(std::size_t bytes) {
   const std::size_t in_use =
       bytes_in_use_.fetch_add(class_bytes, std::memory_order_relaxed) + class_bytes;
   raise_high_water(high_water_in_use_, in_use);
+  if (obs::metrics_enabled()) {
+    static auto& acquires = obs::Registry::instance().counter("xfer.pool.acquires");
+    static auto& hits = obs::Registry::instance().counter("xfer.pool.hits");
+    static auto& in_use_gauge = obs::Registry::instance().gauge("xfer.pool.in_use_bytes");
+    acquires.add();
+    if (hit) hits.add();
+    // Per-pool level: the gauge's high-water mark tracks the largest in-use
+    // footprint any single rank's pool reached.
+    in_use_gauge.record(in_use);
+  }
   return Buffer(this, std::move(storage), bytes);
 }
 
@@ -76,13 +94,38 @@ void StagingPool::give_back(std::vector<std::byte> storage) noexcept {
 }
 
 StagingPool::Stats StagingPool::stats() const {
-  Stats s;
-  s.acquires = acquires_.load(std::memory_order_relaxed);
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.bytes_in_use = bytes_in_use_.load(std::memory_order_relaxed);
-  s.high_water_in_use = high_water_in_use_.load(std::memory_order_relaxed);
-  s.bytes_retained = bytes_retained_.load(std::memory_order_relaxed);
-  s.high_water_retained = high_water_retained_.load(std::memory_order_relaxed);
+  // The six atomics are written independently on the allocation fast path,
+  // so naive single reads can produce an impossible snapshot (hits above
+  // acquires mid-acquire, or counters torn against reset_all_stats). Read
+  // the whole set twice until a pass repeats — a stable pair means no writer
+  // interleaved and the cut is consistent. The loop is bounded: under
+  // sustained concurrent traffic it settles for the last pass and clamps the
+  // cross-field invariants instead, keeping the fast path lock-free.
+  auto read_all = [this] {
+    Stats s;
+    s.acquires = acquires_.load(std::memory_order_relaxed);
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.bytes_in_use = bytes_in_use_.load(std::memory_order_relaxed);
+    s.high_water_in_use = high_water_in_use_.load(std::memory_order_relaxed);
+    s.bytes_retained = bytes_retained_.load(std::memory_order_relaxed);
+    s.high_water_retained = high_water_retained_.load(std::memory_order_relaxed);
+    return s;
+  };
+  auto same = [](const Stats& a, const Stats& b) {
+    return a.acquires == b.acquires && a.hits == b.hits &&
+           a.bytes_in_use == b.bytes_in_use && a.high_water_in_use == b.high_water_in_use &&
+           a.bytes_retained == b.bytes_retained &&
+           a.high_water_retained == b.high_water_retained;
+  };
+  Stats s = read_all();
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const Stats check = read_all();
+    if (same(s, check)) break;
+    s = check;
+  }
+  s.hits = std::min(s.hits, s.acquires);
+  s.high_water_in_use = std::max(s.high_water_in_use, s.bytes_in_use);
+  s.high_water_retained = std::max(s.high_water_retained, s.bytes_retained);
   return s;
 }
 

@@ -8,8 +8,10 @@
 #include <exception>
 #include <limits>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "simmpi/datatype.hpp"
 #include "support/error.hpp"
 #include "support/units.hpp"
@@ -519,23 +521,42 @@ std::uint64_t selection_fingerprint(const sys::SystemProfile& p) noexcept {
   return h;
 }
 
+/// Why select_uncached picked its strategy (published as a counter name).
+enum class SelectReason { rdma_shortcut, heuristic_pipeline, heuristic_small, predictive_argmin };
+
+const char* to_string(SelectReason reason) noexcept {
+  switch (reason) {
+    case SelectReason::rdma_shortcut: return "rdma_shortcut";
+    case SelectReason::heuristic_pipeline: return "heuristic_pipeline";
+    case SelectReason::heuristic_small: return "heuristic_small";
+    case SelectReason::predictive_argmin: return "predictive_argmin";
+  }
+  return "?";
+}
+
 Strategy select_uncached(const sys::SystemProfile& profile, std::size_t size,
-                         SelectionMode mode) {
+                         SelectionMode mode, SelectReason& reason) {
   // GPUDirect-capable hardware short-circuits both policies: the direct
   // path dominates every staged one (§VI: applications benefit from new
   // hardware without a code change).
-  if (profile.nic.rdma_direct) return Strategy::gpudirect();
+  if (profile.nic.rdma_direct) {
+    reason = SelectReason::rdma_shortcut;
+    return Strategy::gpudirect();
+  }
 
   if (mode == SelectionMode::heuristic) {
     if (size >= profile.pipeline_threshold) {
+      reason = SelectReason::heuristic_pipeline;
       return Strategy::pipelined(default_pipeline_block(profile, size));
     }
+    reason = SelectReason::heuristic_small;
     return profile.small_preference == sys::SmallTransferPreference::mapped
                ? Strategy::mapped()
                : Strategy::pinned();
   }
 
   // Predictive: argmin of the analytic model over the candidate set.
+  reason = SelectReason::predictive_argmin;
   Strategy best = Strategy::pinned();
   vt::Duration best_cost = predict_transfer(profile, size, best);
   auto consider = [&](const Strategy& candidate) {
@@ -551,6 +572,24 @@ Strategy select_uncached(const sys::SystemProfile& profile, std::size_t size,
     consider(Strategy::pipelined(block));
   }
   return best;
+}
+
+/// One counter per fresh (size, mode) decision, named
+/// "xfer.select.<mode>.<kind>.sz<log2-size-class>.<reason>" — e.g. a 4 MiB
+/// heuristic pick reads "xfer.select.heuristic.pipelined.sz22.heuristic_pipeline".
+/// Registry lookups (not cached references) are fine here: decisions only
+/// happen on the memoized path's misses.
+void count_decision(std::size_t size, SelectionMode mode, const Strategy& result,
+                    SelectReason reason) {
+  std::string name = "xfer.select.";
+  name += mode == SelectionMode::heuristic ? "heuristic" : "predictive";
+  name += '.';
+  name += to_string(result.kind);
+  name += ".sz";
+  name += std::to_string(std::bit_width(size));
+  name += '.';
+  name += to_string(reason);
+  obs::Registry::instance().counter(name).add();
 }
 
 }  // namespace
@@ -574,8 +613,16 @@ Strategy select(const sys::SystemProfile& profile, std::size_t size, SelectionMo
 
   const std::uint64_t fp = selection_fingerprint(profile);
   MemoEntry& e = memo[static_cast<std::size_t>(std::bit_width(size)) & 63];
-  if (e.valid && e.fp == fp && e.size == size && e.mode == mode) return e.result;
-  const Strategy result = select_uncached(profile, size, mode);
+  if (e.valid && e.fp == fp && e.size == size && e.mode == mode) {
+    if (obs::metrics_enabled()) {
+      static auto& memo_hits = obs::Registry::instance().counter("xfer.select.memo_hit");
+      memo_hits.add();
+    }
+    return e.result;
+  }
+  SelectReason reason{};
+  const Strategy result = select_uncached(profile, size, mode, reason);
+  if (obs::metrics_enabled()) count_decision(size, mode, result, reason);
   e = MemoEntry{fp, size, mode, result, true};
   return result;
 }

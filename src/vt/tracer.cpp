@@ -42,6 +42,7 @@ TimePoint Tracer::horizon() const {
 std::string Tracer::gantt(std::size_t width) const {
   const auto all = spans();
   if (all.empty()) return "(empty trace)\n";
+  if (width == 0) width = 1;  // width-1 below must not wrap
 
   TimePoint t0 = all.front().start, t1 = all.front().end;
   for (const auto& s : all) {
@@ -49,6 +50,13 @@ std::string Tracer::gantt(std::size_t width) const {
     t1 = max(t1, s.end);
   }
   const double range = std::max(1e-12, (t1 - t0).s);
+
+  // Column of a [0,1] timeline fraction, clamped into the row buffer: a span
+  // ending exactly at the horizon maps to width, one past the last cell.
+  auto col = [width](double f) {
+    const auto c = static_cast<std::size_t>(std::max(0.0, f) * static_cast<double>(width));
+    return std::min(c, width - 1);
+  };
 
   // Preserve lane discovery order.
   std::vector<std::string> lane_order;
@@ -61,12 +69,10 @@ std::string Tracer::gantt(std::size_t width) const {
       lane_width = std::max(lane_width, s.lane.size());
     }
     auto& row = rows[s.lane];
-    const double f0 = (s.start - t0).s / range;
-    const double f1 = (s.end - t0).s / range;
-    auto c0 = static_cast<std::size_t>(f0 * static_cast<double>(width - 1));
-    auto c1 = static_cast<std::size_t>(f1 * static_cast<double>(width - 1));
-    c1 = std::max(c1, c0);  // zero-length spans still get one cell
-    for (std::size_t c = c0; c <= c1 && c < width; ++c) row[c] = glyph_for(s.kind);
+    const std::size_t c0 = col((s.start - t0).s / range);
+    // Zero-duration spans (and single-instant traces) still paint one cell.
+    const std::size_t c1 = std::max(col((s.end - t0).s / range), c0);
+    for (std::size_t c = c0; c <= c1; ++c) row[c] = glyph_for(s.kind);
   }
 
   std::ostringstream os;

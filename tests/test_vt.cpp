@@ -221,6 +221,41 @@ TEST(Tracer, GanttShowsLanesInDiscoveryOrder) {
   EXPECT_NE(g.find('='), std::string::npos);  // wire glyph
 }
 
+TEST(Tracer, GanttWidthOneStillPaintsSpans) {
+  Tracer tr;
+  tr.record("l", "a", SpanKind::compute, TimePoint{0.0}, TimePoint{1.0});
+  tr.record("l", "b", SpanKind::wire, TimePoint{1.0}, TimePoint{2.0});
+  const std::string g = tr.gantt(1);
+  // One column; the later span overwrites it, and nothing paints off the end.
+  EXPECT_NE(g.find("|=|"), std::string::npos);
+}
+
+TEST(Tracer, GanttWidthZeroIsTreatedAsOne) {
+  Tracer tr;
+  tr.record("l", "a", SpanKind::compute, TimePoint{0.0}, TimePoint{1.0});
+  const std::string g = tr.gantt(0);
+  EXPECT_NE(g.find('#'), std::string::npos);
+}
+
+TEST(Tracer, GanttSingleInstantTracePaintsOneCell) {
+  // All spans zero-length at the same timepoint: the timeline has no extent,
+  // yet every span must still paint at least one cell.
+  Tracer tr;
+  tr.record("l", "tick", SpanKind::other, TimePoint{1.0}, TimePoint{1.0});
+  tr.record("m", "tock", SpanKind::wait, TimePoint{1.0}, TimePoint{1.0});
+  const std::string g = tr.gantt(10);
+  EXPECT_NE(g.find('+'), std::string::npos);
+  EXPECT_NE(g.find('.'), std::string::npos);
+}
+
+TEST(Tracer, GanttTinySpanAtHorizonStillPaints) {
+  Tracer tr;
+  tr.record("big", "a", SpanKind::compute, TimePoint{0.0}, TimePoint{1000.0});
+  tr.record("tiny", "b", SpanKind::wire, TimePoint{999.9999}, TimePoint{1000.0});
+  const std::string g = tr.gantt(20);
+  EXPECT_NE(g.find('='), std::string::npos);  // clamped into the last column
+}
+
 TEST(Tracer, CsvHasHeaderAndRows) {
   Tracer tr;
   tr.record("l", "x", SpanKind::wait, TimePoint{0.0}, TimePoint{1.0});
