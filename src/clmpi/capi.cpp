@@ -448,11 +448,39 @@ cl_int clmpiListCounters(char* buf, std::size_t cap, std::size_t* size_ret) {
     names += '\n';
   }
   const std::size_t needed = names.size() + 1;  // includes the terminating NUL
+  // Always report the CURRENT required size: counters register lazily, so
+  // the registry may have grown between the size query and this fill call,
+  // and the stale size the caller allocated for is not evidence that `cap`
+  // suffices now. The caller retries with the fresh value on truncation.
   if (size_ret != nullptr) *size_ret = needed;
   if (buf == nullptr) return CL_SUCCESS;  // size query
-  if (cap < needed) return CL_INVALID_VALUE;
+  if (cap < needed) {
+    if (cap == 0) return CLMPI_TRUNCATED;  // no room for even the NUL
+    // Fill bounded by `cap`, cut at the last complete name: a partial name
+    // would be indistinguishable from a real (shorter) metric name.
+    std::size_t len = 0;
+    if (cap > 1) {
+      const std::size_t pos = names.rfind('\n', cap - 2);
+      if (pos != std::string::npos) len = pos + 1;
+    }
+    std::memcpy(buf, names.data(), len);
+    buf[len] = '\0';
+    return CLMPI_TRUNCATED;
+  }
   std::memcpy(buf, names.c_str(), needed);
   return CL_SUCCESS;
+}
+
+cl_int clmpiSetOperationTimeout(double seconds) {
+  if (!(seconds >= 0.0)) return CL_INVALID_VALUE;  // rejects negatives and NaN
+  return clmpi::capi::guarded(
+      [&] { runtime_ctx().set_default_deadline(clmpi::vt::Duration{seconds}); });
+}
+
+cl_int clmpiGetOperationTimeout(double* seconds) {
+  if (seconds == nullptr) return CL_INVALID_VALUE;
+  return clmpi::capi::guarded(
+      [&] { *seconds = runtime_ctx().default_deadline().s; });
 }
 
 cl_int clmpiDumpTrace(const char* path) {
@@ -490,6 +518,7 @@ int mpi_guarded(Fn&& body) {
       case clmpi::Status::invalid_communicator: return MPI_ERR_COMM;
       case clmpi::Status::invalid_request: return MPI_ERR_REQUEST;
       case clmpi::Status::invalid_value: return MPI_ERR_ARG;
+      case clmpi::Status::timeout: return MPI_ERR_TIMEOUT;
       default: return MPI_ERR_OTHER;
     }
   } catch (...) {

@@ -48,6 +48,13 @@ inline constexpr cl_int CLMPI_INVALID_REQUEST = -1004;
 inline constexpr cl_int CLMPI_RUNTIME_SHUTDOWN = -1005;
 /// The command's message was lost in transit (fault injection / NIC loss).
 inline constexpr cl_int CLMPI_MESSAGE_DROPPED = -1006;
+/// The operation exceeded its deadline (clmpiSetOperationTimeout) or
+/// exhausted its retransmission budget; it failed at the deadline instead of
+/// hanging until the watchdog killed the run.
+inline constexpr cl_int CLMPI_TIMEOUT = -1007;
+/// The output buffer was too small; it was filled as far as it fits and the
+/// required size was reported (see clmpiListCounters).
+inline constexpr cl_int CLMPI_TRUNCATED = -1008;
 // Extension-namespaced aliases for stale/invalid handle lookups through the
 // clmpiGet* escape hatches; same numeric values as the OpenCL codes.
 inline constexpr cl_int CLMPI_INVALID_MEM_OBJECT = CL_INVALID_MEM_OBJECT;
@@ -90,6 +97,9 @@ inline constexpr int MPI_ERR_RANK = 6;
 inline constexpr int MPI_ERR_REQUEST = 7;
 inline constexpr int MPI_ERR_ARG = 13;
 inline constexpr int MPI_ERR_OTHER = 16;
+/// clMPI extension: the operation exceeded its deadline or exhausted its
+/// retransmission budget (see clmpiSetOperationTimeout).
+inline constexpr int MPI_ERR_TIMEOUT = 17;
 
 /// Resolves to the calling thread's world communicator (see ThreadBinding).
 #define MPI_COMM_WORLD (::clmpi::capi::comm_world())
@@ -202,8 +212,23 @@ cl_int clmpiGetCounter(const char* name, cl_ulong* value);
 /// List registered metric names, newline-separated and NUL-terminated.
 /// Two-call pattern: pass buf == nullptr to query the required size via
 /// `*size_ret`, then call again with a buffer of at least that capacity.
-/// Returns CL_INVALID_VALUE when `cap` is too small.
+/// `*size_ret` always receives the CURRENT required size — the registry may
+/// have grown between the two calls, so the fill call re-reports it. When
+/// `cap` is too small the buffer is filled with as many complete names as
+/// fit (NUL-terminated, never a partial name) and CLMPI_TRUNCATED is
+/// returned; retry with a buffer of the newly reported size.
 cl_int clmpiListCounters(char* buf, std::size_t cap, std::size_t* size_ret);
+
+/// Default deadline, in virtual seconds, applied to every communication
+/// command the bound rank's runtime enqueues after this call (0 disables,
+/// the initial state). A command that cannot resolve by its deadline —
+/// e.g. its retransmission budget is exhausted, or its peer never posts the
+/// matching operation — fails its event with CLMPI_TIMEOUT (MPI wrappers:
+/// MPI_ERR_TIMEOUT) at exactly the deadline instant on the virtual
+/// timeline. Negative or NaN seconds yield CL_INVALID_VALUE.
+cl_int clmpiSetOperationTimeout(double seconds);
+/// Read back the bound runtime's current default deadline.
+cl_int clmpiGetOperationTimeout(double* seconds);
 
 /// Export the bound rank's trace as Chrome/Perfetto trace_event JSON at
 /// `path`. CL_INVALID_OPERATION when the run has no tracer attached (attach

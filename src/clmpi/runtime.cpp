@@ -236,7 +236,8 @@ ocl::EventPtr Runtime::enqueue_send_buffer(ocl::CommandQueue& queue,
   CLMPI_REQUIRE(buf != nullptr, "send from a null buffer");
   validate_transfer_args(buf, offset, size, dst, tag, comm);
   const xfer::Strategy strategy = force.value_or(policy(size));
-  const xfer::DeviceEndpoint ep{&comm, device_, buf.get(), offset, size, dst, tag};
+  const xfer::DeviceEndpoint ep{&comm,  device_, buf.get(), offset,
+                                size,   dst,     tag,       default_deadline()};
 
   ocl::EventPtr ev = submit(
       queue, "clEnqueueSendBuffer -> " + std::to_string(dst), waits,
@@ -264,7 +265,8 @@ ocl::EventPtr Runtime::enqueue_recv_buffer(ocl::CommandQueue& queue,
   CLMPI_REQUIRE(buf != nullptr, "receive into a null buffer");
   validate_transfer_args(buf, offset, size, src, tag, comm);
   const xfer::Strategy strategy = force.value_or(policy(size));
-  const xfer::DeviceEndpoint ep{&comm, device_, buf.get(), offset, size, src, tag};
+  const xfer::DeviceEndpoint ep{&comm,  device_, buf.get(), offset,
+                                size,   src,     tag,       default_deadline()};
 
   ocl::EventPtr ev = submit(
       queue, "clEnqueueRecvBuffer <- " + std::to_string(src), waits,
@@ -418,8 +420,12 @@ ocl::EventPtr Runtime::event_from_request(mpi::Request req) {
 mpi::Request Runtime::isend_cl_mem(std::span<const std::byte> data, int dst, int tag,
                                    mpi::Comm& comm) {
   const xfer::Strategy strategy = policy(data.size());
+  const vt::Duration deadline = default_deadline();
   const vt::TimePoint ready = rank_->clock().now();
   if (strategy.kind != xfer::StrategyKind::pipelined) {
+    if (deadline > vt::Duration{}) {
+      return comm.isend(data, dst, tag, ready, mpi::P2POptions{.deadline = deadline});
+    }
     return comm.isend(data, dst, tag, rank_->clock());
   }
   const std::size_t nblocks = xfer::pipeline_block_count(data.size(), strategy.block);
@@ -428,9 +434,9 @@ mpi::Request Runtime::isend_cl_mem(std::span<const std::byte> data, int dst, int
   for (std::size_t k = 0; k < nblocks; ++k) {
     const std::size_t begin = k * strategy.block;
     const std::size_t n = std::min(strategy.block, data.size() - begin);
-    subs.push_back(comm.isend(data.subspan(begin, n), dst,
-                              mpi::detail::pipeline_subtag(tag, static_cast<int>(k)), ready,
-                              mpi::P2POptions{.wire_decomp = strategy.block}));
+    subs.push_back(comm.isend(
+        data.subspan(begin, n), dst, mpi::detail::pipeline_subtag(tag, static_cast<int>(k)),
+        ready, mpi::P2POptions{.wire_decomp = strategy.block, .deadline = deadline}));
   }
   return aggregate_requests(std::move(subs), mpi::MsgStatus{dst, tag, data.size()});
 }
@@ -438,8 +444,12 @@ mpi::Request Runtime::isend_cl_mem(std::span<const std::byte> data, int dst, int
 mpi::Request Runtime::irecv_cl_mem(std::span<std::byte> data, int src, int tag,
                                    mpi::Comm& comm) {
   const xfer::Strategy strategy = policy(data.size());
+  const vt::Duration deadline = default_deadline();
   const vt::TimePoint ready = rank_->clock().now();
   if (strategy.kind != xfer::StrategyKind::pipelined) {
+    if (deadline > vt::Duration{}) {
+      return comm.irecv(data, src, tag, ready, mpi::P2POptions{.deadline = deadline});
+    }
     return comm.irecv(data, src, tag, rank_->clock());
   }
   const std::size_t nblocks = xfer::pipeline_block_count(data.size(), strategy.block);
@@ -448,9 +458,9 @@ mpi::Request Runtime::irecv_cl_mem(std::span<std::byte> data, int src, int tag,
   for (std::size_t k = 0; k < nblocks; ++k) {
     const std::size_t begin = k * strategy.block;
     const std::size_t n = std::min(strategy.block, data.size() - begin);
-    subs.push_back(comm.irecv(data.subspan(begin, n), src,
-                              mpi::detail::pipeline_subtag(tag, static_cast<int>(k)), ready,
-                              mpi::P2POptions{.wire_decomp = strategy.block}));
+    subs.push_back(comm.irecv(
+        data.subspan(begin, n), src, mpi::detail::pipeline_subtag(tag, static_cast<int>(k)),
+        ready, mpi::P2POptions{.wire_decomp = strategy.block, .deadline = deadline}));
   }
   return aggregate_requests(std::move(subs), mpi::MsgStatus{src, tag, data.size()});
 }

@@ -30,6 +30,7 @@
 // work — the Figure 4(c) behaviour.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -133,6 +134,20 @@ class Runtime {
   /// The strategy the runtime would pick for a message of `size` bytes.
   [[nodiscard]] xfer::Strategy policy(std::size_t size) const;
 
+  // --- recovery (deadlines) -------------------------------------------------
+
+  /// Default per-operation deadline applied to every communication command
+  /// enqueued after the call (clmpiSetOperationTimeout). Relative to each
+  /// operation's ready time; zero (default) disables. An operation that
+  /// cannot resolve by its deadline fails its event/request with
+  /// CLMPI_TIMEOUT instead of hanging until the watchdog kills the run.
+  void set_default_deadline(vt::Duration deadline) noexcept {
+    deadline_s_.store(deadline.s, std::memory_order_relaxed);
+  }
+  [[nodiscard]] vt::Duration default_deadline() const noexcept {
+    return vt::Duration{deadline_s_.load(std::memory_order_relaxed)};
+  }
+
   /// Block until every communication command issued so far has completed,
   /// synchronizing `clock` to the latest completion (the communication
   /// analogue of clFinish).
@@ -157,6 +172,9 @@ class Runtime {
   mpi::Rank* rank_;
   ocl::Device* device_;
   xfer::SelectionMode selection_;
+  /// Default deadline in virtual seconds (0 = none); atomic so the host
+  /// thread can retune it while the dispatcher posts commands.
+  std::atomic<double> deadline_s_{0.0};
   /// Node-local storage; file-I/O commands of this runtime serialize on it.
   vt::Resource disk_;
 

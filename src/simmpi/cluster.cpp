@@ -17,6 +17,59 @@
 
 namespace clmpi::mpi {
 
+namespace detail {
+
+void ClusterCore::register_deadline(std::shared_ptr<RequestState> state) {
+  std::lock_guard lock(deadline_mutex);
+  armed_requests.push_back(std::move(state));
+  if (!deadline_reaper.joinable() && !reaper_stop) {
+    deadline_reaper = std::thread([this] {
+      log::set_thread_label("deadline-reaper");
+      deadline_reaper_loop();
+    });
+  }
+}
+
+void ClusterCore::deadline_reaper_loop() {
+  std::unique_lock lock(deadline_mutex);
+  while (!reaper_stop) {
+    // Tick a few times per grace period: a stale operation is rescued at
+    // most ~1.25 grace after arming. The scan is cheap — only deadline-armed
+    // operations ever register, and the set is pruned as they resolve.
+    const auto grace = deadline_grace();
+    const auto tick = std::max<std::chrono::milliseconds>(grace / 4,
+                                                          std::chrono::milliseconds(10));
+    if (deadline_cv.wait_for(lock, tick, [&] { return reaper_stop; })) break;
+
+    std::vector<std::shared_ptr<RequestState>> live;
+    live.reserve(armed_requests.size());
+    for (auto& weak : armed_requests) {
+      if (auto s = weak.lock()) live.push_back(std::move(s));
+    }
+    // Rescue outside the registry lock: timeout callbacks may re-enter the
+    // cluster (fire events, post follow-up operations).
+    lock.unlock();
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& s : live) s->rescue_if_stale(now, grace);
+    lock.lock();
+    std::erase_if(armed_requests, [](const std::weak_ptr<RequestState>& weak) {
+      const auto s = weak.lock();
+      return s == nullptr || s->done();
+    });
+  }
+}
+
+void ClusterCore::stop_deadline_reaper() {
+  {
+    std::lock_guard lock(deadline_mutex);
+    reaper_stop = true;
+  }
+  deadline_cv.notify_all();
+  if (deadline_reaper.joinable()) deadline_reaper.join();
+}
+
+}  // namespace detail
+
 namespace {
 
 std::vector<int> iota_group(int n) {
@@ -118,6 +171,9 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
     std::lock_guard lock(core.aux_mutex);
     for (auto& t : core.aux_threads) t.join();
   }
+  // The reaper dereferences request states that the mailboxes keep alive;
+  // stop it before `core` (and everything it owns) is torn down.
+  core.stop_deadline_reaper();
   if (core.faults) result.faults = core.faults->counters();
   // CLMPI_TRACE=<path>: auto-export the env-attached tracer as Perfetto
   // JSON. Last run wins when a process runs several clusters.

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -11,6 +12,7 @@
 #include "simmpi/fault.hpp"
 #include "simmpi/mailbox.hpp"
 #include "simmpi/network.hpp"
+#include "simmpi/request.hpp"
 #include "systems/profile.hpp"
 #include "vt/tracer.hpp"
 
@@ -36,6 +38,26 @@ struct ClusterCore {
     std::lock_guard lock(aux_mutex);
     aux_threads.push_back(std::move(t));
   }
+
+  /// Deadline reaper: the liveness side of per-operation deadlines for
+  /// operations nothing ever blocks on (the clMPI runtime's callback-driven
+  /// commands). Armed requests register here; a lazily started thread
+  /// periodically fails any that stayed pending past the real-time grace,
+  /// at their VIRTUAL deadline (RequestState::rescue_if_stale) — so a
+  /// deadline surfaces as CLMPI_TIMEOUT even when no thread is waiting,
+  /// instead of the watchdog killing the run.
+  void register_deadline(std::shared_ptr<RequestState> state);
+  /// Stop and join the reaper; must run before the mailboxes are torn down.
+  void stop_deadline_reaper();
+
+  std::mutex deadline_mutex;
+  std::condition_variable deadline_cv;
+  std::vector<std::weak_ptr<RequestState>> armed_requests;
+  std::thread deadline_reaper;
+  bool reaper_stop{false};
+
+ private:
+  void deadline_reaper_loop();
 };
 
 }  // namespace clmpi::mpi::detail

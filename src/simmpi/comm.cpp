@@ -40,6 +40,8 @@ int Comm::node_of(int rank_in_comm) const {
   return group_[static_cast<std::size_t>(rank_in_comm)];
 }
 
+FaultEngine* Comm::faults() const noexcept { return core_->faults.get(); }
+
 void Comm::check_peer(int peer, bool allow_any) const {
   if (allow_any && peer == any_source) return;
   if (peer < 0 || peer >= size()) {
@@ -65,6 +67,14 @@ Request Comm::post_send(std::span<const std::byte> data, int dst, int tag,
   env.bw_cap = opts.wire_bw_cap;
   env.wire_decomp = opts.wire_decomp;
   env.sreq = state;
+  // Arm the deadline BEFORE posting: completion may race this thread the
+  // moment the envelope is visible, and the clamp must already be in place.
+  // Registration with the reaper gives the deadline liveness even when no
+  // thread ever blocks on the request (callback-driven runtime commands).
+  if (opts.deadline > vt::Duration{}) {
+    state->arm_deadline(ready + opts.deadline);
+    core_->register_deadline(state);
+  }
   core_->mailboxes[static_cast<std::size_t>(node_of(dst))].post_send(std::move(env));
   return Request(state);
 }
@@ -82,6 +92,10 @@ Request Comm::post_recv(std::span<std::byte> data, int src, int tag, vt::TimePoi
   pr.bw_cap = opts.wire_bw_cap;
   pr.wire_decomp = opts.wire_decomp;
   pr.rreq = state;
+  if (opts.deadline > vt::Duration{}) {
+    state->arm_deadline(ready + opts.deadline);
+    core_->register_deadline(state);
+  }
   core_->mailboxes[static_cast<std::size_t>(group_[static_cast<std::size_t>(my_rank_)])]
       .post_recv(std::move(pr));
   return Request(state);

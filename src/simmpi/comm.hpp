@@ -30,6 +30,8 @@ namespace detail {
 struct ClusterCore;
 }
 
+class FaultEngine;
+
 /// Tuning knobs for a single p2p operation (runtime-facing).
 struct P2POptions {
   /// Effective wire bandwidth cap in bytes/s; the mapped transfer strategy
@@ -40,6 +42,12 @@ struct P2POptions {
   /// decomposition, SIZE_MAX (default) when unused. Debug builds verify both
   /// endpoints of a matched message agree (detail::wire_decomp_unset).
   std::size_t wire_decomp{std::numeric_limits<std::size_t>::max()};
+  /// Per-operation deadline, relative to the operation's ready time; zero
+  /// (default) means none. An operation resolving after ready + deadline on
+  /// the virtual timeline — or never resolving at all — fails with
+  /// TimeoutError (CLMPI_TIMEOUT / MPI_ERR_TIMEOUT) at exactly that instant
+  /// instead of hanging until the watchdog kills the run.
+  vt::Duration deadline{};
 };
 
 class Comm {
@@ -58,6 +66,11 @@ class Comm {
 
   /// Global node id backing a comm-relative rank.
   [[nodiscard]] int node_of(int rank_in_comm) const;
+
+  /// The cluster's fault oracle; nullptr when fault injection is off. The
+  /// transfer layer consults it for link health when deriving strategy
+  /// fallbacks (gpudirect -> pinned, pipelined -> pinned).
+  [[nodiscard]] FaultEngine* faults() const noexcept;
 
   // --- point-to-point, explicit ready time (runtime-facing) ---------------
 

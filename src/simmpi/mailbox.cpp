@@ -37,6 +37,39 @@ std::exception_ptr drop_error(const Envelope& env) {
       std::to_string(env.tag) + " (" + std::to_string(env.bytes) + " B) lost in transit"));
 }
 
+/// Error for an undelivered envelope: TimeoutError when the retry budget
+/// was exhausted, MessageDroppedError for an unrecovered plain drop.
+std::exception_ptr fail_error(const Envelope& env) {
+  if (env.fault_timeout) {
+    return std::make_exception_ptr(TimeoutError(
+        "retransmission budget exhausted: message from rank " +
+        std::to_string(env.src_rank) + " tag " + std::to_string(env.tag) + " (" +
+        std::to_string(env.bytes) + " B) lost after " +
+        std::to_string(env.fault_attempts) + " attempts"));
+  }
+  return drop_error(env);
+}
+
+/// Feed the link-health estimate behind the pipelined->pinned fallback.
+/// CRITICAL: the observer's directed count is bumped only at the moment the
+/// observer's OWN request completes with the failure — the sender when its
+/// send request fails, the receiver when its receive fails. An endpoint's
+/// view then reflects exactly the operations it has completed, so in a
+/// lockstep workload both ends of a channel agree at every operation
+/// boundary, and neither can observe the current operation's in-flight
+/// losses at strategy-resolution time (resolve precedes the posts). Bumping
+/// at decide()/post time instead would let an eager sender that runs ahead
+/// publish losses the receiver sees mid-operation — the two ends would then
+/// derive different fallbacks and deadlock on mismatched wire tags.
+void note_link_failure(Network* net, const Envelope& env, int dst_node, bool sender_observed,
+                       bool receiver_observed) {
+  if (env.wire_decomp == wire_decomp_unset || env.wire_decomp == 0) return;
+  FaultEngine* faults = net->faults();
+  if (faults == nullptr) return;
+  if (sender_observed) faults->note_block_failure(env.src_node, dst_node);
+  if (receiver_observed) faults->note_block_failure(dst_node, env.src_node);
+}
+
 #ifndef NDEBUG
 std::string describe_decomp(std::size_t decomp) {
   if (decomp == wire_decomp_unset) return "unset";
@@ -123,11 +156,32 @@ void Mailbox::note_arrival() {
   }
 }
 
+vt::Resource::Span Mailbox::charge_attempts(const Envelope& env, vt::TimePoint ready,
+                                            double bw_cap) {
+  auto span = net_->transfer(env.src_node, node_, ready, env.bytes, bw_cap);
+  if (env.fault_attempts > 1) {
+    // Acked retransmission: attempt k goes out after an exponential backoff
+    // in virtual time from the previous attempt's loss detection (the close
+    // of its transfer window). Each retransmission occupies the wire again
+    // and is visible in the trace as a "retry" span.
+    const RetryPolicy& retry = net_->faults()->plan().retry;
+    for (int k = 1; k < env.fault_attempts; ++k) {
+      span = net_->transfer(env.src_node, node_, span.end + retry.backoff(k), env.bytes,
+                            bw_cap, "retry");
+    }
+  }
+  if (env.fault_dup) {
+    // Spurious retransmission: the wire carries the payload again back-to-back.
+    span = net_->transfer(env.src_node, node_, span.end, env.bytes, bw_cap);
+  }
+  return span;
+}
+
 void Mailbox::inject_eager(Envelope& env, std::vector<Completion>& out) {
   // Eager protocol: inject onto the wire immediately; the sender's buffer is
   // reusable after injection, so copy the payload out first. Small payloads
   // go to the envelope's inline store (no allocation).
-  if (!env.fault_drop && env.bytes > 0) {
+  if (env.fault_delivered && env.bytes > 0) {
     if (env.bytes <= Envelope::kInlineEagerBytes) {
       std::memcpy(env.inline_store.data(), env.payload.data(), env.bytes);
       env.inlined = true;
@@ -137,15 +191,12 @@ void Mailbox::inject_eager(Envelope& env, std::vector<Completion>& out) {
     }
   }
   env.payload = {};
-  auto span = net_->transfer(env.src_node, node_, env.post_time, env.bytes, env.bw_cap);
-  if (env.fault_dup) {
-    // Retransmission: the wire carries the payload again back-to-back.
-    span = net_->transfer(env.src_node, node_, span.end, env.bytes, env.bw_cap);
-  }
+  const auto span = charge_attempts(env, env.post_time, env.bw_cap);
   env.arrival = span.end;
   env.injected = true;
-  if (env.fault_drop) {
-    out.push_back({env.sreq, span.end, MsgStatus{}, drop_error(env)});
+  if (!env.fault_delivered) {
+    note_link_failure(net_, env, node_, /*sender_observed=*/true, /*receiver_observed=*/false);
+    out.push_back({env.sreq, span.end, MsgStatus{}, fail_error(env)});
   } else {
     out.push_back({env.sreq, span.end, MsgStatus{env.src_rank, env.tag, env.bytes}, nullptr});
   }
@@ -153,10 +204,20 @@ void Mailbox::inject_eager(Envelope& env, std::vector<Completion>& out) {
 
 void Mailbox::post_send(Envelope env) {
   if (FaultEngine* faults = net_->faults()) {
-    const FaultDecision d = faults->decide(env.src_node, node_, env.context, env.tag);
+    const FaultDecision d =
+        faults->decide(env.src_node, node_, env.context, env.tag, env.bytes);
     env.post_time += d.delay;
     env.fault_drop = d.drop;
     env.fault_dup = d.duplicate;
+    env.fault_attempts = d.wire_attempts;
+    env.fault_delivered = d.delivered;
+    env.fault_timeout = d.retries_exhausted;
+    // Block-level losses feed the link-health estimate behind the
+    // pipelined->pinned fallback, but the bump is deferred to the moment
+    // each endpoint's own request fails (see note_link_failure) — never
+    // here, where an eager sender running ahead of its receiver would
+    // publish the loss mid-operation and desynchronize the two ends'
+    // fallback decisions.
   }
 
   std::vector<Completion> batch;
@@ -397,22 +458,23 @@ void Mailbox::deliver(Envelope& env, PostedRecv& pr, std::vector<Completion>& ou
       // post_send would have — at the *send's* post time with the sender's
       // cap — so the virtual timeline does not depend on which side arrived
       // at the mailbox first.
-      auto span = net_->transfer(env.src_node, node_, env.post_time, env.bytes, env.bw_cap);
-      if (env.fault_dup) {
-        span = net_->transfer(env.src_node, node_, span.end, env.bytes, env.bw_cap);
-      }
+      const auto span = charge_attempts(env, env.post_time, env.bw_cap);
       env.arrival = span.end;
       env.injected = true;
-      if (env.fault_drop) {
-        out.push_back({env.sreq, span.end, MsgStatus{}, drop_error(env)});
+      if (!env.fault_delivered) {
+        note_link_failure(net_, env, node_, /*sender_observed=*/true,
+                          /*receiver_observed=*/false);
+        out.push_back({env.sreq, span.end, MsgStatus{}, fail_error(env)});
       } else {
         out.push_back({env.sreq, span.end, st, nullptr});
       }
     }
     // The receive completes at max(arrival, recv post time).
     const vt::TimePoint when = vt::max(env.arrival, pr.post_time);
-    if (env.fault_drop) {
-      out.push_back({pr.rreq, when, MsgStatus{}, drop_error(env)});
+    if (!env.fault_delivered) {
+      note_link_failure(net_, env, node_, /*sender_observed=*/false,
+                        /*receiver_observed=*/true);
+      out.push_back({pr.rreq, when, MsgStatus{}, fail_error(env)});
       return;
     }
     if (env.bytes > 0) {
@@ -428,17 +490,13 @@ void Mailbox::deliver(Envelope& env, PostedRecv& pr, std::vector<Completion>& ou
   // Rendezvous: the transfer starts once both sides are ready; either
   // endpoint's bandwidth cap limits the effective rate.
   const vt::TimePoint ready = vt::max(env.post_time, pr.post_time);
-  auto span = net_->transfer(env.src_node, node_, ready, env.bytes,
-                             std::min(env.bw_cap, pr.bw_cap));
-  if (env.fault_dup) {
-    span = net_->transfer(env.src_node, node_, span.end, env.bytes,
-                          std::min(env.bw_cap, pr.bw_cap));
-  }
-  if (env.fault_drop) {
-    // The loss surfaces when the transfer window closes: a defined error on
-    // BOTH endpoints at that virtual time, never a hang.
-    out.push_back({env.sreq, span.end, MsgStatus{}, drop_error(env)});
-    out.push_back({pr.rreq, span.end, MsgStatus{}, drop_error(env)});
+  const auto span = charge_attempts(env, ready, std::min(env.bw_cap, pr.bw_cap));
+  if (!env.fault_delivered) {
+    // The loss surfaces when the final transfer window closes: a defined
+    // error on BOTH endpoints at that virtual time, never a hang.
+    note_link_failure(net_, env, node_, /*sender_observed=*/true, /*receiver_observed=*/true);
+    out.push_back({env.sreq, span.end, MsgStatus{}, fail_error(env)});
+    out.push_back({pr.rreq, span.end, MsgStatus{}, fail_error(env)});
     return;
   }
   if (env.bytes > 0) {

@@ -86,11 +86,20 @@ struct Envelope {
   std::shared_ptr<RequestState> sreq;
   /// Fault-injection verdict (set by Mailbox::post_send when a FaultEngine
   /// is active). A dropped message still occupies the wire — the loss is
-  /// detected when the transfer window closes — and then fails BOTH
-  /// endpoints' requests with MessageDroppedError. A duplicated message is
-  /// retransmitted: the wire is charged twice.
+  /// detected when the transfer window closes. With retries disabled it then
+  /// fails BOTH endpoints' requests with MessageDroppedError; with retries
+  /// enabled the sender retransmits after an exponential backoff in virtual
+  /// time, up to the retry budget. A duplicated message is retransmitted
+  /// once more: the wire is charged an extra time.
   bool fault_drop{false};
   bool fault_dup{false};
+  /// Total wire transmissions to charge (1 = clean; >1 = retransmissions).
+  int fault_attempts{1};
+  /// Whether the payload ultimately arrives (false = all attempts lost).
+  bool fault_delivered{true};
+  /// When !fault_delivered: the retry budget was exhausted, so the failure
+  /// surfaces as TimeoutError rather than MessageDroppedError.
+  bool fault_timeout{false};
   /// Global arrival-order stamp (wildcard matching across shards).
   std::uint64_t seq{0};
   std::size_t wire_decomp{wire_decomp_unset};
@@ -173,6 +182,12 @@ class Mailbox {
   /// endpoints' completions onto `out`. Called WITHOUT any mailbox lock held
   /// (the pair is already unlinked from the queues).
   void deliver(Envelope& env, PostedRecv& pr, std::vector<Completion>& out);
+
+  /// Charge every wire transmission of the envelope — the first attempt,
+  /// backoff-spaced retransmissions, and the duplicate retransmission —
+  /// starting at `ready`; returns the span of the final transmission.
+  vt::Resource::Span charge_attempts(const Envelope& env, vt::TimePoint ready,
+                                     double bw_cap);
 
   /// Charge the eager wire injection of an unmatched send. Called with the
   /// envelope's shard lock held (the charge must be recorded before the

@@ -30,7 +30,8 @@ vt::Resource& Network::rx(int node) {
 }
 
 vt::Resource::Span Network::transfer(int src, int dst, vt::TimePoint ready,
-                                     std::size_t bytes, double bw_cap) {
+                                     std::size_t bytes, double bw_cap,
+                                     const char* label) {
   CLMPI_REQUIRE(src >= 0 && src < nodes() && dst >= 0 && dst < nodes(),
                 "transfer: node out of range");
   vt::LinearCost cost = (src == dst) ? model_.loopback : model_.wire;
@@ -38,8 +39,10 @@ vt::Resource::Span Network::transfer(int src, int dst, vt::TimePoint ready,
   cost.bytes_per_second = std::min(cost.bytes_per_second, bw_cap);
   const auto span = vt::Resource::acquire_joint(tx(src), rx(dst), ready, cost.of(bytes));
   if (tracer_ != nullptr) {
+    std::string text = label == nullptr ? format_bytes(bytes)
+                                        : std::string(label) + ' ' + format_bytes(bytes);
     tracer_->record("net" + std::to_string(src) + "->" + std::to_string(dst),
-                    format_bytes(bytes), vt::SpanKind::wire, span.start, span.end);
+                    std::move(text), vt::SpanKind::wire, span.start, span.end);
   }
   return span;
 }

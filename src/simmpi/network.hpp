@@ -33,9 +33,12 @@ class Network {
   /// Returns the occupied span on the virtual timeline (timing only; the
   /// byte copy itself is the caller's job). `bw_cap` (bytes/s) bounds the
   /// effective bandwidth below the NIC's own rate — used when an endpoint
-  /// streams through a slower path such as mapped device memory.
+  /// streams through a slower path such as mapped device memory. A non-null
+  /// `label` prefixes the trace span's label (retransmissions tag their wire
+  /// spans "retry" so recovery is visible in the Perfetto export).
   vt::Resource::Span transfer(int src, int dst, vt::TimePoint ready, std::size_t bytes,
-                              double bw_cap = std::numeric_limits<double>::infinity());
+                              double bw_cap = std::numeric_limits<double>::infinity(),
+                              const char* label = nullptr);
 
   [[nodiscard]] const sys::NicModel& model() const noexcept { return model_; }
   [[nodiscard]] int nodes() const noexcept { return static_cast<int>(tx_.size()); }

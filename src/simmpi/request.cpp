@@ -1,5 +1,8 @@
 #include "simmpi/request.hpp"
 
+#include <chrono>
+#include <cstdlib>
+
 #include "support/error.hpp"
 
 namespace clmpi::mpi {
@@ -109,31 +112,98 @@ bool test_all(std::span<Request> requests, vt::Clock& clock) {
 
 namespace detail {
 
-void RequestState::complete(vt::TimePoint when, const MsgStatus& st) {
+/// Read per call: the value only matters on paths that are already blocking
+/// (or on the reaper's slow tick), and tests override it via the env.
+std::chrono::milliseconds deadline_grace() {
+  if (const char* env = std::getenv("CLMPI_DEADLINE_GRACE_MS");
+      env != nullptr && *env != '\0') {
+    const long ms = std::strtol(env, nullptr, 10);
+    if (ms > 0) return std::chrono::milliseconds(ms);
+  }
+  return std::chrono::milliseconds(2000);
+}
+
+std::exception_ptr RequestState::make_timeout_error() const {
+  return std::make_exception_ptr(TimeoutError(
+      "operation deadline of " + std::to_string(deadline_.s) +
+      " s (virtual) exceeded"));
+}
+
+void RequestState::settle(vt::TimePoint when, MsgStatus st, std::exception_ptr error) {
   std::vector<std::function<void(vt::TimePoint, const MsgStatus&)>> to_run;
   {
     std::lock_guard lock(mutex_);
+    // A real resolution can race the deadline rescue; the rescue won, and
+    // the operation's outcome was already fixed at the deadline.
+    if (done_ && timed_out_) return;
     CLMPI_REQUIRE(!done_, "request completed twice");
+    if (deadline_armed_ && when > deadline_) {
+      // Deterministic clamp: the operation resolved past its deadline, so
+      // the observable outcome is a timeout AT the deadline — the same
+      // outcome the rescue path produces, whichever fires first.
+      when = deadline_;
+      st = MsgStatus{};
+      error = make_timeout_error();
+      timed_out_ = true;
+    }
     done_ = true;
     completion_ = when;
     status_ = st;
+    error_ = std::move(error);
     to_run.swap(callbacks_);
   }
   cv_.notify_all();
   for (auto& fn : to_run) fn(when, st);
 }
 
-bool RequestState::done() const {
-  std::lock_guard lock(mutex_);
-  return done_;
+void RequestState::complete(vt::TimePoint when, const MsgStatus& st) {
+  settle(when, st, nullptr);
 }
 
 void RequestState::fail(vt::TimePoint when, std::exception_ptr error) {
+  settle(when, MsgStatus{}, std::move(error));
+}
+
+void RequestState::arm_deadline(vt::TimePoint deadline) {
+  std::lock_guard lock(mutex_);
+  CLMPI_REQUIRE(!done_, "arm_deadline on a completed request");
+  deadline_armed_ = true;
+  deadline_ = deadline;
+  armed_at_ = std::chrono::steady_clock::now();
+}
+
+bool RequestState::rescue_timeout() {
+  std::vector<std::function<void(vt::TimePoint, const MsgStatus&)>> to_run;
   {
     std::lock_guard lock(mutex_);
-    error_ = std::move(error);
+    if (!deadline_armed_ || done_) return false;
+    // The operation never resolved: fail it at its VIRTUAL deadline, so the
+    // timeline stays schedule-independent. A real resolution racing us is
+    // ignored by settle() — the outcome was fixed here.
+    done_ = true;
+    timed_out_ = true;
+    completion_ = deadline_;
+    status_ = MsgStatus{};
+    error_ = make_timeout_error();
+    to_run.swap(callbacks_);
   }
-  complete(when, MsgStatus{});
+  cv_.notify_all();
+  for (auto& fn : to_run) fn(deadline_, MsgStatus{});
+  return true;
+}
+
+void RequestState::rescue_if_stale(std::chrono::steady_clock::time_point now,
+                                   std::chrono::milliseconds grace) {
+  {
+    std::lock_guard lock(mutex_);
+    if (!deadline_armed_ || done_ || now - armed_at_ < grace) return;
+  }
+  rescue_timeout();
+}
+
+bool RequestState::done() const {
+  std::lock_guard lock(mutex_);
+  return done_;
 }
 
 std::exception_ptr RequestState::error() const {
@@ -143,7 +213,18 @@ std::exception_ptr RequestState::error() const {
 
 vt::TimePoint RequestState::block_until_done() {
   std::unique_lock lock(mutex_);
-  cv_.wait(lock, [&] { return done_; });
+  if (deadline_armed_) {
+    // Liveness rescue: if nothing resolves this operation within the
+    // real-time grace, treat it as never completing (rescue_timeout fails
+    // it at its virtual deadline). Either way done_ holds afterwards.
+    if (!cv_.wait_for(lock, deadline_grace(), [&] { return done_; })) {
+      lock.unlock();
+      rescue_timeout();
+      lock.lock();
+    }
+  } else {
+    cv_.wait(lock, [&] { return done_; });
+  }
   if (error_) std::rethrow_exception(error_);
   return completion_;
 }

@@ -6,6 +6,7 @@
 // clMPI uses to implement clCreateEventFromMPIRequest without polling.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <cstddef>
@@ -90,6 +91,11 @@ bool test_all(std::span<Request> requests, vt::Clock& clock);
 
 namespace detail {
 
+/// Real-time grace allowed to a deadline-armed operation before a blocking
+/// waiter (or the cluster's deadline reaper) concludes it will never
+/// resolve. CLMPI_DEADLINE_GRACE_MS overrides the 2000 ms default.
+std::chrono::milliseconds deadline_grace();
+
 /// Shared completion state; created pending, completed exactly once.
 class RequestState {
  public:
@@ -98,6 +104,30 @@ class RequestState {
   /// Complete carrying a failure: waiters rethrow `error` (used by
   /// non-blocking collective progression when the algorithm throws).
   void fail(vt::TimePoint when, std::exception_ptr error);
+
+  /// Arm a per-operation deadline on the virtual timeline. Two effects:
+  ///  * deterministic clamp — a completion (or failure) resolving at a
+  ///    virtual time strictly after `deadline` becomes a TimeoutError AT
+  ///    the deadline, independent of thread scheduling;
+  ///  * liveness rescue — a blocking wait on an operation that never
+  ///    resolves (e.g. a receive no one will ever match) self-fails with
+  ///    the same TimeoutError at `deadline` after a real-time grace period
+  ///    (CLMPI_DEADLINE_GRACE_MS, default 2000), instead of hanging until
+  ///    the watchdog kills the process.
+  /// Must be armed before the operation can complete (i.e. before posting).
+  void arm_deadline(vt::TimePoint deadline);
+
+  /// Liveness rescue entry point: fail a still-pending deadline-armed
+  /// operation with a TimeoutError AT its virtual deadline. Returns false
+  /// (no-op) if the operation is not armed or already resolved. Used by a
+  /// blocking waiter after its grace expires, and by the cluster's deadline
+  /// reaper for operations nothing ever blocks on (the clMPI runtime's
+  /// callback-driven commands).
+  bool rescue_timeout();
+
+  /// Reaper form of the rescue: only fires once `now - armed_at >= grace`.
+  void rescue_if_stale(std::chrono::steady_clock::time_point now,
+                       std::chrono::milliseconds grace);
 
   [[nodiscard]] bool done() const;
   /// Blocks until complete; rethrows the operation's exception on failure.
@@ -109,9 +139,22 @@ class RequestState {
   void on_complete(std::function<void(vt::TimePoint, const MsgStatus&)> fn);
 
  private:
+  /// Single completion path shared by complete/fail/the deadline rescue.
+  void settle(vt::TimePoint when, MsgStatus st, std::exception_ptr error);
+
+  [[nodiscard]] std::exception_ptr make_timeout_error() const;
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool done_{false};
+  bool deadline_armed_{false};
+  /// True when the request resolved as a deadline timeout; a late real
+  /// completion racing the rescue is then ignored (the operation's outcome
+  /// was already fixed at the deadline).
+  bool timed_out_{false};
+  vt::TimePoint deadline_{};
+  /// Real time at which the deadline was armed; the reaper's staleness clock.
+  std::chrono::steady_clock::time_point armed_at_{};
   vt::TimePoint completion_{};
   MsgStatus status_{};
   std::exception_ptr error_;

@@ -20,6 +20,8 @@ const char* to_string(Status s) noexcept {
     case Status::invalid_request: return "CLMPI_INVALID_REQUEST";
     case Status::runtime_shutdown: return "CLMPI_RUNTIME_SHUTDOWN";
     case Status::message_dropped: return "CLMPI_MESSAGE_DROPPED";
+    case Status::timeout: return "CLMPI_TIMEOUT";
+    case Status::truncated: return "CLMPI_TRUNCATED";
   }
   return "CLMPI_UNKNOWN_STATUS";
 }

@@ -32,6 +32,12 @@ enum class Status : int {
   /// A message was lost in transit (fault injection / NIC failure); both
   /// endpoints' operations complete with this negative status.
   message_dropped = -1006,
+  /// An operation exceeded its deadline, or acked retransmission exhausted
+  /// its retry budget. Both endpoints' operations complete with this status.
+  timeout = -1007,
+  /// A query filled the caller's buffer to capacity but more data existed;
+  /// the output is valid as far as it goes and the required size is reported.
+  truncated = -1008,
 };
 
 /// Human-readable name of a status code ("CL_SUCCESS", ...).
@@ -68,6 +74,14 @@ class MessageDroppedError : public Error {
  public:
   explicit MessageDroppedError(const std::string& what_arg)
       : Error(what_arg, Status::message_dropped) {}
+};
+
+/// Carried by requests/events that exceeded a per-operation deadline, or
+/// whose transport retries were exhausted without an ack.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what_arg)
+      : Error(what_arg, Status::timeout) {}
 };
 
 namespace detail {

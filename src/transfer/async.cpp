@@ -52,26 +52,32 @@ void check(const DeviceEndpoint& ep) {
                 "device endpoint is missing a component");
   CLMPI_REQUIRE(ep.offset + ep.size <= ep.buf->size(),
                 "transfer region outside the device buffer");
-  CLMPI_REQUIRE(ep.size > 0, "empty transfer");
 }
 
 StagingPool& pool_for(const DeviceEndpoint& ep) {
   return StagingPool::for_node(ep.comm->node_of(ep.comm->rank()));
 }
 
-mpi::P2POptions single_message_opts() {
-  return mpi::P2POptions{.wire_decomp = 0};
+mpi::P2POptions single_message_opts(vt::Duration deadline = {}) {
+  return mpi::P2POptions{.wire_decomp = 0, .deadline = deadline};
 }
 
-mpi::P2POptions pipelined_opts(std::size_t block) {
-  return mpi::P2POptions{.wire_decomp = block};
+mpi::P2POptions pipelined_opts(std::size_t block, vt::Duration deadline = {}) {
+  return mpi::P2POptions{.wire_decomp = block, .deadline = deadline};
+}
+
+/// memcpy with a null-safe empty case (a zero-size transfer's bounce buffer
+/// has no storage behind it).
+void copy_bytes(std::byte* dst, const std::byte* src, std::size_t n) {
+  if (n > 0) std::memcpy(dst, src, n);
 }
 
 }  // namespace
 
-void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
+void send_device_async(const DeviceEndpoint& ep, const Strategy& requested,
                        vt::TimePoint ready, DoneFn done) {
   check(ep);
+  const Strategy strategy = resolve_strategy(ep.dev->profile(), *ep.comm, ep.peer, requested);
   auto& dev = *ep.dev;
   auto& prof = dev.profile();
 
@@ -81,9 +87,9 @@ void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
       const auto d2h =
           dev.charge_dma(setup.end, ep.size, /*to_device=*/false, /*pinned_host=*/true);
       auto bounce = std::make_shared<StagingPool::Buffer>(pool_for(ep).acquire(ep.size));
-      std::memcpy(bounce->data(), ep.buf->storage().data() + ep.offset, ep.size);
-      mpi::Request req =
-          ep.comm->isend(bounce->span(), ep.peer, ep.tag, d2h.end, single_message_opts());
+      copy_bytes(bounce->data(), ep.buf->storage().data() + ep.offset, ep.size);
+      mpi::Request req = ep.comm->isend(bounce->span(), ep.peer, ep.tag, d2h.end,
+                                        single_message_opts(ep.deadline));
       auto state = req.state();
       req.on_complete([bounce, state, done](vt::TimePoint t, const mpi::MsgStatus&) {
         done(t, state->error());
@@ -95,7 +101,8 @@ void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
       // Host-side map latency only; unmap likewise (no DMA engine).
       const vt::TimePoint mapped_at = ready + prof.pcie.map_setup;
       mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second,
-                           .wire_decomp = 0};
+                           .wire_decomp = 0,
+                           .deadline = ep.deadline};
       auto region = ep.buf->storage().subspan(ep.offset, ep.size);
       mpi::Request req = ep.comm->isend(region, ep.peer, ep.tag, mapped_at, opts);
       const vt::Duration unmap_cost = prof.pcie.map_setup;
@@ -115,11 +122,11 @@ void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
         const auto dma =
             dev.charge_dma(setup.end, n, /*to_device=*/false, /*pinned_host=*/true);
         auto bounce = std::make_shared<StagingPool::Buffer>(pool_for(ep).acquire(n));
-        std::memcpy(bounce->data(),
-                    ep.buf->storage().data() + ep.offset + k * strategy.block, n);
+        copy_bytes(bounce->data(),
+                   ep.buf->storage().data() + ep.offset + k * strategy.block, n);
         mpi::Request req = ep.comm->isend(
             bounce->span(), ep.peer, mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
-            dma.end, pipelined_opts(strategy.block));
+            dma.end, pipelined_opts(strategy.block, ep.deadline));
         auto state = req.state();
         req.on_complete([bounce, state, countdown](vt::TimePoint t, const mpi::MsgStatus&) {
           countdown->arrive(t, state->error());
@@ -129,11 +136,14 @@ void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
     }
 
     case StrategyKind::gpudirect: {
+      // resolve_strategy() already degraded gpudirect to pinned when the
+      // direct path is unavailable; reaching here implies rdma_direct.
       CLMPI_REQUIRE(prof.nic.rdma_direct,
                     "GPUDirect RDMA is not available on this system");
       auto region = ep.buf->storage().subspan(ep.offset, ep.size);
       mpi::Request req = ep.comm->isend(region, ep.peer, ep.tag,
-                                        ready + prof.nic.rdma_setup, single_message_opts());
+                                        ready + prof.nic.rdma_setup,
+                                        single_message_opts(ep.deadline));
       auto state = req.state();
       req.on_complete([state, done](vt::TimePoint t, const mpi::MsgStatus&) {
         done(t, state->error());
@@ -144,9 +154,10 @@ void send_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
   throw PreconditionError("unknown transfer strategy");
 }
 
-void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
+void recv_device_async(const DeviceEndpoint& ep, const Strategy& requested,
                        vt::TimePoint ready, DoneFn done) {
   check(ep);
+  const Strategy strategy = resolve_strategy(ep.dev->profile(), *ep.comm, ep.peer, requested);
   auto& dev = *ep.dev;
   auto& prof = dev.profile();
 
@@ -154,8 +165,8 @@ void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
     case StrategyKind::pinned: {
       const auto setup = dev.copy_engine().acquire(ready, prof.pcie.pin_setup);
       auto bounce = std::make_shared<StagingPool::Buffer>(pool_for(ep).acquire(ep.size));
-      mpi::Request req =
-          ep.comm->irecv(bounce->span(), ep.peer, ep.tag, setup.end, single_message_opts());
+      mpi::Request req = ep.comm->irecv(bounce->span(), ep.peer, ep.tag, setup.end,
+                                        single_message_opts(ep.deadline));
       auto* devp = ep.dev;
       auto* buf = ep.buf;
       const std::size_t offset = ep.offset;
@@ -168,7 +179,7 @@ void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
           return;
         }
         const auto h2d = devp->charge_dma(t, size, /*to_device=*/true, /*pinned_host=*/true);
-        std::memcpy(buf->storage().data() + offset, bounce->data(), size);
+        copy_bytes(buf->storage().data() + offset, bounce->data(), size);
         done(h2d.end, nullptr);
       });
       return;
@@ -177,7 +188,8 @@ void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
     case StrategyKind::mapped: {
       const vt::TimePoint mapped_at = ready + prof.pcie.map_setup;
       mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second,
-                           .wire_decomp = 0};
+                           .wire_decomp = 0,
+                           .deadline = ep.deadline};
       auto region = ep.buf->storage().subspan(ep.offset, ep.size);
       mpi::Request req = ep.comm->irecv(region, ep.peer, ep.tag, mapped_at, opts);
       const vt::Duration unmap_cost = prof.pcie.map_setup;
@@ -199,7 +211,7 @@ void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
         auto bounce = std::make_shared<StagingPool::Buffer>(pool_for(ep).acquire(n));
         mpi::Request req = ep.comm->irecv(
             bounce->span(), ep.peer, mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
-            setup.end, pipelined_opts(strategy.block));
+            setup.end, pipelined_opts(strategy.block, ep.deadline));
         const std::size_t offset = ep.offset + k * strategy.block;
         auto state = req.state();
         req.on_complete([devp, buf, offset, n, bounce, state, countdown](
@@ -209,7 +221,7 @@ void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
             return;
           }
           const auto h2d = devp->charge_dma(t, n, /*to_device=*/true, /*pinned_host=*/true);
-          std::memcpy(buf->storage().data() + offset, bounce->data(), n);
+          copy_bytes(buf->storage().data() + offset, bounce->data(), n);
           countdown->arrive(h2d.end);
         });
       }
@@ -221,7 +233,8 @@ void recv_device_async(const DeviceEndpoint& ep, const Strategy& strategy,
                     "GPUDirect RDMA is not available on this system");
       auto region = ep.buf->storage().subspan(ep.offset, ep.size);
       mpi::Request req = ep.comm->irecv(region, ep.peer, ep.tag,
-                                        ready + prof.nic.rdma_setup, single_message_opts());
+                                        ready + prof.nic.rdma_setup,
+                                        single_message_opts(ep.deadline));
       auto state = req.state();
       req.on_complete([state, done](vt::TimePoint t, const mpi::MsgStatus&) {
         done(t, state->error());

@@ -13,6 +13,7 @@
 
 #include "obs/metrics.hpp"
 #include "simmpi/datatype.hpp"
+#include "simmpi/fault.hpp"
 #include "support/error.hpp"
 #include "support/units.hpp"
 #include "transfer/pool.hpp"
@@ -29,12 +30,12 @@ StagingPool& pool_for(const DeviceEndpoint& ep) {
 
 /// Wire-decomposition stamp for a single full-size message (see
 /// mpi::P2POptions::wire_decomp).
-mpi::P2POptions single_message_opts() {
-  return mpi::P2POptions{.wire_decomp = 0};
+mpi::P2POptions single_message_opts(vt::Duration deadline = {}) {
+  return mpi::P2POptions{.wire_decomp = 0, .deadline = deadline};
 }
 
-mpi::P2POptions pipelined_opts(std::size_t block) {
-  return mpi::P2POptions{.wire_decomp = block};
+mpi::P2POptions pipelined_opts(std::size_t block, vt::Duration deadline = {}) {
+  return mpi::P2POptions{.wire_decomp = block, .deadline = deadline};
 }
 
 void check_endpoint(const DeviceEndpoint& ep) {
@@ -42,7 +43,6 @@ void check_endpoint(const DeviceEndpoint& ep) {
                 "device endpoint is missing a component");
   CLMPI_REQUIRE(ep.offset + ep.size <= ep.buf->size(),
                 "transfer region outside the device buffer");
-  CLMPI_REQUIRE(ep.size > 0, "empty transfer");
   CLMPI_REQUIRE(ep.tag >= 0 && ep.tag <= mpi::max_user_tag,
                 "transfer tag outside the user tag space");
 }
@@ -50,6 +50,12 @@ void check_endpoint(const DeviceEndpoint& ep) {
 std::size_t block_bytes(std::size_t size, std::size_t block, std::size_t k) {
   const std::size_t begin = k * block;
   return std::min(block, size - begin);
+}
+
+/// memcpy with a null-safe empty case (a zero-size transfer has no storage
+/// behind its bounce buffer).
+void copy_bytes(std::byte* dst, const std::byte* src, std::size_t n) {
+  if (n > 0) std::memcpy(dst, src, n);
 }
 
 /// Wait for EVERY request, then rethrow the first failure (if any). The
@@ -81,24 +87,24 @@ vt::TimePoint send_pinned(const DeviceEndpoint& ep, vt::TimePoint ready) {
   const auto dma =
       ep.dev->charge_dma(setup.end, ep.size, /*to_device=*/false, /*pinned_host=*/true);
   StagingPool::Buffer bounce = pool_for(ep).acquire(ep.size);
-  std::memcpy(bounce.data(), ep.buf->storage().data() + ep.offset, ep.size);
+  copy_bytes(bounce.data(), ep.buf->storage().data() + ep.offset, ep.size);
 
-  mpi::Request req =
-      ep.comm->isend(bounce.span(), ep.peer, ep.tag, dma.end, single_message_opts());
+  mpi::Request req = ep.comm->isend(bounce.span(), ep.peer, ep.tag, dma.end,
+                                    single_message_opts(ep.deadline));
   return req.wait();
 }
 
 vt::TimePoint recv_pinned(const DeviceEndpoint& ep, vt::TimePoint ready) {
   auto& prof = ep.dev->profile();
   StagingPool::Buffer bounce = pool_for(ep).acquire(ep.size);
-  mpi::Request req =
-      ep.comm->irecv(bounce.span(), ep.peer, ep.tag, ready, single_message_opts());
+  mpi::Request req = ep.comm->irecv(bounce.span(), ep.peer, ep.tag, ready,
+                                    single_message_opts(ep.deadline));
   const vt::TimePoint arrival = req.wait();
 
   const auto setup = ep.dev->copy_engine().acquire(arrival, prof.pcie.pin_setup);
   const auto dma =
       ep.dev->charge_dma(setup.end, ep.size, /*to_device=*/true, /*pinned_host=*/true);
-  std::memcpy(ep.buf->storage().data() + ep.offset, bounce.data(), ep.size);
+  copy_bytes(ep.buf->storage().data() + ep.offset, bounce.data(), ep.size);
   return dma.end;
 }
 
@@ -113,7 +119,8 @@ vt::TimePoint send_mapped(const DeviceEndpoint& ep, vt::TimePoint ready) {
   // The NIC streams straight out of the mapped device memory; the effective
   // wire rate is capped by the mapped-access bandwidth.
   mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second,
-                       .wire_decomp = 0};
+                       .wire_decomp = 0,
+                       .deadline = ep.deadline};
   auto region = ep.buf->storage().subspan(ep.offset, ep.size);
   mpi::Request req = ep.comm->isend(region, ep.peer, ep.tag, mapped_at, opts);
   const vt::TimePoint sent = req.wait();
@@ -125,7 +132,8 @@ vt::TimePoint recv_mapped(const DeviceEndpoint& ep, vt::TimePoint ready) {
   const vt::TimePoint mapped_at = ready + prof.pcie.map_setup;
 
   mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second,
-                       .wire_decomp = 0};
+                       .wire_decomp = 0,
+                       .deadline = ep.deadline};
   auto region = ep.buf->storage().subspan(ep.offset, ep.size);
   mpi::Request req = ep.comm->irecv(region, ep.peer, ep.tag, mapped_at, opts);
   const vt::TimePoint arrived = req.wait();
@@ -155,10 +163,10 @@ vt::TimePoint send_pipelined(const DeviceEndpoint& ep, std::size_t block,
     const auto dma =
         ep.dev->charge_dma(setup.end, n, /*to_device=*/false, /*pinned_host=*/true);
     bounces.push_back(pool_for(ep).acquire(n));
-    std::memcpy(bounces[k].data(), ep.buf->storage().data() + ep.offset + k * block, n);
+    copy_bytes(bounces[k].data(), ep.buf->storage().data() + ep.offset + k * block, n);
     reqs.push_back(ep.comm->isend(bounces[k].span(), ep.peer,
                                   mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
-                                  dma.end, pipelined_opts(block)));
+                                  dma.end, pipelined_opts(block, ep.deadline)));
   }
   return wait_all_collect(reqs);
 }
@@ -178,7 +186,7 @@ vt::TimePoint recv_pipelined(const DeviceEndpoint& ep, std::size_t block,
     bounces.push_back(pool_for(ep).acquire(block_bytes(ep.size, block, k)));
     reqs.push_back(ep.comm->irecv(bounces[k].span(), ep.peer,
                                   mpi::detail::pipeline_subtag(ep.tag, static_cast<int>(k)),
-                                  setup.end, pipelined_opts(block)));
+                                  setup.end, pipelined_opts(block, ep.deadline)));
   }
   vt::TimePoint done{};
   std::exception_ptr first;
@@ -193,7 +201,7 @@ vt::TimePoint recv_pipelined(const DeviceEndpoint& ep, std::size_t block,
     const std::size_t n = bounces[k].size();
     const auto dma =
         ep.dev->charge_dma(arrival, n, /*to_device=*/true, /*pinned_host=*/true);
-    std::memcpy(ep.buf->storage().data() + ep.offset + k * block, bounces[k].data(), n);
+    copy_bytes(ep.buf->storage().data() + ep.offset + k * block, bounces[k].data(), n);
     done = vt::max(done, dma.end);
   }
   if (first) std::rethrow_exception(first);
@@ -214,7 +222,7 @@ vt::TimePoint send_gpudirect(const DeviceEndpoint& ep, vt::TimePoint ready) {
   // wire at full rate; no bounce buffer, no copy engine.
   auto region = ep.buf->storage().subspan(ep.offset, ep.size);
   mpi::Request req = ep.comm->isend(region, ep.peer, ep.tag, ready + prof.nic.rdma_setup,
-                                    single_message_opts());
+                                    single_message_opts(ep.deadline));
   return req.wait();
 }
 
@@ -223,7 +231,7 @@ vt::TimePoint recv_gpudirect(const DeviceEndpoint& ep, vt::TimePoint ready) {
   auto& prof = ep.dev->profile();
   auto region = ep.buf->storage().subspan(ep.offset, ep.size);
   mpi::Request req = ep.comm->irecv(region, ep.peer, ep.tag, ready + prof.nic.rdma_setup,
-                                    single_message_opts());
+                                    single_message_opts(ep.deadline));
   return req.wait();
 }
 
@@ -241,16 +249,53 @@ const char* to_string(StrategyKind kind) noexcept {
 
 std::size_t pipeline_block_count(std::size_t size, std::size_t block) {
   CLMPI_REQUIRE(block > 0, "pipeline block size must be positive");
+  // A zero-size transfer is ONE empty block: a 0-block pipeline would
+  // underflow the cost model's fill/drain terms (size - (nblocks-1)*block)
+  // and put no message on the wire for the peer's posted receive to match.
+  if (size == 0) return 1;
   return (size + block - 1) / block;
+}
+
+Strategy resolve_strategy(const sys::SystemProfile& profile, mpi::Comm& comm, int peer,
+                          const Strategy& requested) {
+  const mpi::FaultEngine* faults = comm.faults();
+  if (requested.kind == StrategyKind::gpudirect) {
+    const bool degraded =
+        faults != nullptr && faults->plan().nic_degradation >= kGpudirectDegradationThreshold;
+    if (!profile.nic.rdma_direct || degraded) {
+      if (obs::metrics_enabled()) {
+        static auto& fallbacks = obs::Registry::instance().counter("xfer.fallbacks");
+        static auto& gd = obs::Registry::instance().counter("xfer.fallback.gpudirect_to_pinned");
+        fallbacks.add();
+        gd.add();
+      }
+      return Strategy::pinned();
+    }
+  }
+  if (requested.kind == StrategyKind::pipelined && faults != nullptr) {
+    const int self = comm.node_of(comm.rank());
+    const int other = comm.node_of(peer);
+    if (faults->link_degraded(self, other)) {
+      if (obs::metrics_enabled()) {
+        static auto& fallbacks = obs::Registry::instance().counter("xfer.fallbacks");
+        static auto& pp = obs::Registry::instance().counter("xfer.fallback.pipelined_to_pinned");
+        fallbacks.add();
+        pp.add();
+      }
+      return Strategy::pinned();
+    }
+  }
+  return requested;
 }
 
 vt::TimePoint send_device(const DeviceEndpoint& ep, const Strategy& strategy,
                           vt::TimePoint ready) {
   check_endpoint(ep);
-  switch (strategy.kind) {
+  const Strategy s = resolve_strategy(ep.dev->profile(), *ep.comm, ep.peer, strategy);
+  switch (s.kind) {
     case StrategyKind::pinned: return send_pinned(ep, ready);
     case StrategyKind::mapped: return send_mapped(ep, ready);
-    case StrategyKind::pipelined: return send_pipelined(ep, strategy.block, ready);
+    case StrategyKind::pipelined: return send_pipelined(ep, s.block, ready);
     case StrategyKind::gpudirect: return send_gpudirect(ep, ready);
   }
   throw PreconditionError("unknown transfer strategy");
@@ -259,19 +304,32 @@ vt::TimePoint send_device(const DeviceEndpoint& ep, const Strategy& strategy,
 vt::TimePoint recv_device(const DeviceEndpoint& ep, const Strategy& strategy,
                           vt::TimePoint ready) {
   check_endpoint(ep);
-  switch (strategy.kind) {
+  const Strategy s = resolve_strategy(ep.dev->profile(), *ep.comm, ep.peer, strategy);
+  switch (s.kind) {
     case StrategyKind::pinned: return recv_pinned(ep, ready);
     case StrategyKind::mapped: return recv_mapped(ep, ready);
-    case StrategyKind::pipelined: return recv_pipelined(ep, strategy.block, ready);
+    case StrategyKind::pipelined: return recv_pipelined(ep, s.block, ready);
     case StrategyKind::gpudirect: return recv_gpudirect(ep, ready);
   }
   throw PreconditionError("unknown transfer strategy");
 }
 
 vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoint& recv_ep,
-                              const Strategy& strategy, vt::TimePoint ready) {
+                              const Strategy& requested, vt::TimePoint ready) {
   check_endpoint(send_ep);
   check_endpoint(recv_ep);
+#ifndef NDEBUG
+  // An exchange is ONE logical operation against one peer with one wire
+  // decomposition; call sites must derive it from a single agreed key
+  // (select_exchange). A cross-wired pair is the classic source of the
+  // wire-decomp mismatch the mailbox check exists to catch.
+  CLMPI_REQUIRE(send_ep.peer == recv_ep.peer,
+                "exchange endpoints disagree on the peer rank");
+  CLMPI_REQUIRE(send_ep.comm->context() == recv_ep.comm->context(),
+                "exchange endpoints disagree on the communicator");
+#endif
+  const Strategy strategy =
+      resolve_strategy(send_ep.dev->profile(), *send_ep.comm, send_ep.peer, requested);
   auto& dev = *send_ep.dev;
   auto& prof = dev.profile();
 
@@ -283,23 +341,23 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
       const auto d2h = dev.charge_dma(setup.end, send_ep.size, /*to_device=*/false,
                                       /*pinned_host=*/true);
       StagingPool::Buffer out = pool_for(send_ep).acquire(send_ep.size);
-      std::memcpy(out.data(), send_ep.buf->storage().data() + send_ep.offset, send_ep.size);
+      copy_bytes(out.data(), send_ep.buf->storage().data() + send_ep.offset, send_ep.size);
       mpi::Request sreq = send_ep.comm->isend(out.span(), send_ep.peer, send_ep.tag,
-                                              d2h.end, single_message_opts());
+                                              d2h.end, single_message_opts(send_ep.deadline));
 
       // Inbound: receive into a bounce buffer posted right away, stage up on
       // arrival.
       StagingPool::Buffer in = pool_for(recv_ep).acquire(recv_ep.size);
       mpi::Request rreq = recv_ep.comm->irecv(in.span(), recv_ep.peer, recv_ep.tag,
-                                              setup.end, single_message_opts());
+                                              setup.end, single_message_opts(recv_ep.deadline));
       std::exception_ptr first;
       vt::TimePoint h2d_end{};
       try {
         const vt::TimePoint arrival = rreq.wait();
         const auto h2d = dev.charge_dma(arrival, recv_ep.size, /*to_device=*/true,
                                         /*pinned_host=*/true);
-        std::memcpy(recv_ep.buf->storage().data() + recv_ep.offset, in.data(),
-                    recv_ep.size);
+        copy_bytes(recv_ep.buf->storage().data() + recv_ep.offset, in.data(),
+                   recv_ep.size);
         h2d_end = h2d.end;
       } catch (...) {
         first = std::current_exception();
@@ -319,7 +377,8 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
       const vt::TimePoint mapped_at =
           ready + prof.pcie.map_setup + prof.pcie.map_setup;
       mpi::P2POptions opts{.wire_bw_cap = prof.pcie.mapped.bytes_per_second,
-                           .wire_decomp = 0};
+                           .wire_decomp = 0,
+                           .deadline = send_ep.deadline};
       auto out = send_ep.buf->storage().subspan(send_ep.offset, send_ep.size);
       auto in = recv_ep.buf->storage().subspan(recv_ep.offset, recv_ep.size);
       std::vector<mpi::Request> reqs;
@@ -345,7 +404,7 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
         rreqs.push_back(recv_ep.comm->irecv(
             in[k].span(), recv_ep.peer,
             mpi::detail::pipeline_subtag(recv_ep.tag, static_cast<int>(k)), setup.end,
-            pipelined_opts(block)));
+            pipelined_opts(block, recv_ep.deadline)));
       }
 
       // Stream the outbound blocks down and onto the wire.
@@ -358,12 +417,12 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
         const auto dma =
             dev.charge_dma(setup.end, n, /*to_device=*/false, /*pinned_host=*/true);
         out.push_back(pool_for(send_ep).acquire(n));
-        std::memcpy(out[k].data(),
-                    send_ep.buf->storage().data() + send_ep.offset + k * block, n);
+        copy_bytes(out[k].data(),
+                   send_ep.buf->storage().data() + send_ep.offset + k * block, n);
         sreqs.push_back(send_ep.comm->isend(
             out[k].span(), send_ep.peer,
             mpi::detail::pipeline_subtag(send_ep.tag, static_cast<int>(k)), dma.end,
-            pipelined_opts(block)));
+            pipelined_opts(block, send_ep.deadline)));
       }
 
       // Stage inbound blocks up as they arrive; drain every request even on
@@ -381,8 +440,8 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
         const std::size_t n = in[k].size();
         const auto h2d =
             dev.charge_dma(arrival, n, /*to_device=*/true, /*pinned_host=*/true);
-        std::memcpy(recv_ep.buf->storage().data() + recv_ep.offset + k * block,
-                    in[k].data(), n);
+        copy_bytes(recv_ep.buf->storage().data() + recv_ep.offset + k * block,
+                   in[k].data(), n);
         done = vt::max(done, h2d.end);
       }
       for (auto& s : sreqs) {
@@ -402,10 +461,10 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
       auto out = send_ep.buf->storage().subspan(send_ep.offset, send_ep.size);
       auto in = recv_ep.buf->storage().subspan(recv_ep.offset, recv_ep.size);
       std::vector<mpi::Request> reqs;
-      reqs.push_back(
-          send_ep.comm->isend(out, send_ep.peer, send_ep.tag, at, single_message_opts()));
-      reqs.push_back(
-          recv_ep.comm->irecv(in, recv_ep.peer, recv_ep.tag, at, single_message_opts()));
+      reqs.push_back(send_ep.comm->isend(out, send_ep.peer, send_ep.tag, at,
+                                         single_message_opts(send_ep.deadline)));
+      reqs.push_back(recv_ep.comm->irecv(in, recv_ep.peer, recv_ep.tag, at,
+                                         single_message_opts(recv_ep.deadline)));
       return wait_all_collect(reqs);
     }
   }
@@ -414,7 +473,8 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
 
 vt::TimePoint send_host(mpi::Comm& comm, std::span<const std::byte> data, int peer, int tag,
                         const Strategy& strategy, vt::TimePoint ready) {
-  CLMPI_REQUIRE(!data.empty(), "empty transfer");
+  // A zero-size transfer is carried as a single empty message (one empty
+  // block when pipelined), matching the device side's decomposition.
   if (strategy.kind != StrategyKind::pipelined) {
     mpi::Request req = comm.isend(data, peer, tag, ready, single_message_opts());
     return req.wait();
@@ -433,7 +493,6 @@ vt::TimePoint send_host(mpi::Comm& comm, std::span<const std::byte> data, int pe
 
 vt::TimePoint recv_host(mpi::Comm& comm, std::span<std::byte> data, int peer, int tag,
                         const Strategy& strategy, vt::TimePoint ready) {
-  CLMPI_REQUIRE(!data.empty(), "empty transfer");
   if (strategy.kind != StrategyKind::pipelined) {
     mpi::Request req = comm.irecv(data, peer, tag, ready, single_message_opts());
     return req.wait();
@@ -593,6 +652,14 @@ void count_decision(std::size_t size, SelectionMode mode, const Strategy& result
 }
 
 }  // namespace
+
+Strategy select_exchange(const sys::SystemProfile& profile, std::size_t send_size,
+                         std::size_t recv_size, SelectionMode mode) {
+  // Single agreed key: the larger of the two sizes. Both peers of an
+  // exchange see the same (send, recv) pair (mirrored), so max() derives
+  // the identical strategy — and wire decomposition — on both ends.
+  return select(profile, std::max(send_size, recv_size), mode);
+}
 
 Strategy select(const sys::SystemProfile& profile, std::size_t size, SelectionMode mode) {
   // Memoized front-end: selection is a pure function of (profile content,

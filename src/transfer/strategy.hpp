@@ -67,6 +67,9 @@ struct DeviceEndpoint {
   std::size_t size{0};
   int peer{0};
   int tag{0};
+  /// Per-operation deadline relative to each wire message's ready time;
+  /// zero (default) means none. See mpi::P2POptions::deadline.
+  vt::Duration deadline{};
 };
 
 /// Send/receive the device buffer region with the given strategy, starting
@@ -119,15 +122,48 @@ vt::Duration predict_transfer(const sys::SystemProfile& profile, std::size_t siz
 
 /// The clMPI runtime's automatic strategy selection (§V-B). Pure function of
 /// (profile, size, mode), so both endpoints of a message derive the same
-/// wire decomposition.
+/// wire decomposition. Well-defined for size 0 (a zero-size transfer is
+/// carried as a single empty message under every strategy).
 Strategy select(const sys::SystemProfile& profile, std::size_t size,
                 SelectionMode mode = SelectionMode::heuristic);
+
+/// Strategy for a bidirectional exchange. `select()` is a pure function of
+/// size, so an exchange with unequal send/recv sizes would derive different
+/// strategies per direction — and a different wire decomposition per
+/// endpoint, tripping the debug wire-decomp check. Every exchange call site
+/// must derive its strategy from this single agreed key: the larger of the
+/// two sizes (both peers of a halo exchange see the same pair of sizes).
+Strategy select_exchange(const sys::SystemProfile& profile, std::size_t send_size,
+                         std::size_t recv_size,
+                         SelectionMode mode = SelectionMode::heuristic);
+
+/// Graceful degradation: resolve the strategy that will actually run for an
+/// operation with `peer` on `comm`. Falls back
+///  * gpudirect -> pinned when the NIC has no RDMA path (rdma_direct absent)
+///    or its injected degradation reaches kGpudirectDegradationThreshold;
+///  * pipelined -> pinned when the link to the peer has accumulated
+///    repeated block-level delivery failures (FaultEngine::link_degraded).
+/// Every input is symmetric between the two endpoints: the profile/plan
+/// state is static, and each endpoint's link-failure view counts exactly
+/// the failures of the operations that endpoint has completed (bumped only
+/// when its OWN request fails — see FaultEngine::note_block_failure), so in
+/// a lockstep workload both sides derive the identical fallback and the
+/// debug wire-decomposition check still passes.
+Strategy resolve_strategy(const sys::SystemProfile& profile, mpi::Comm& comm, int peer,
+                          const Strategy& requested);
+
+/// NIC degradation (FaultPlan::nic_degradation) at or above this makes the
+/// direct RDMA path untrustworthy; gpudirect falls back to pinned staging.
+inline constexpr double kGpudirectDegradationThreshold = 0.5;
 
 /// Pipeline block size heuristic: grows with the message (Figure 8(b):
 /// small blocks win for small messages, large blocks for large ones).
 std::size_t default_pipeline_block(const sys::SystemProfile& profile, std::size_t size);
 
 /// Number of blocks a pipelined transfer of `size` with block `block` uses.
+/// A zero-size transfer is one empty block (never zero: a 0-block pipeline
+/// would underflow every fill/drain formula and carry no message to match
+/// the peer's).
 std::size_t pipeline_block_count(std::size_t size, std::size_t block);
 
 }  // namespace clmpi::xfer

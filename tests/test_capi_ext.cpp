@@ -4,6 +4,7 @@
 
 #include "test_util.hpp"
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -328,6 +329,32 @@ TEST(CApiNegative, ZeroByteMessagesSucceed) {
     } else {
       EXPECT_EQ(MPI_Recv(nullptr, 0, MPI_BYTE, peer, 5, MPI_COMM_WORLD), MPI_SUCCESS);
     }
+  });
+}
+
+TEST(CApiExt, OperationTimeoutKnobRoundTrips) {
+  mpi::Cluster::run(opts(1), [&](mpi::Rank& rank) {
+    Session s(rank);
+    double seconds = -1.0;
+    // Deadlines are off by default.
+    EXPECT_EQ(clmpiGetOperationTimeout(&seconds), CL_SUCCESS);
+    EXPECT_DOUBLE_EQ(seconds, 0.0);
+
+    EXPECT_EQ(clmpiSetOperationTimeout(0.25), CL_SUCCESS);
+    EXPECT_EQ(clmpiGetOperationTimeout(&seconds), CL_SUCCESS);
+    EXPECT_DOUBLE_EQ(seconds, 0.25);
+
+    // Invalid values are rejected without disturbing the current setting.
+    EXPECT_EQ(clmpiSetOperationTimeout(-1.0), CL_INVALID_VALUE);
+    EXPECT_EQ(clmpiSetOperationTimeout(std::nan("")), CL_INVALID_VALUE);
+    EXPECT_EQ(clmpiGetOperationTimeout(nullptr), CL_INVALID_VALUE);
+    EXPECT_EQ(clmpiGetOperationTimeout(&seconds), CL_SUCCESS);
+    EXPECT_DOUBLE_EQ(seconds, 0.25);
+
+    // Zero switches deadlines back off.
+    EXPECT_EQ(clmpiSetOperationTimeout(0.0), CL_SUCCESS);
+    EXPECT_EQ(clmpiGetOperationTimeout(&seconds), CL_SUCCESS);
+    EXPECT_DOUBLE_EQ(seconds, 0.0);
   });
 }
 

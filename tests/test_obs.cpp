@@ -440,7 +440,21 @@ TEST(ObsCapi, CounterIntrospection) {
   EXPECT_NE(list.find("t.capi.count\n"), std::string::npos);
   EXPECT_NE(list.find("t.capi.depth\n"), std::string::npos);
   EXPECT_NE(list.find("t.capi.depth.hwm\n"), std::string::npos);
-  EXPECT_EQ(clmpiListCounters(names.data(), 1, nullptr), CL_INVALID_VALUE);
+  // Truncation: the fill is bounded by cap, cut at the last complete name,
+  // and the true required size is still reported (the registry may have
+  // grown between the two calls — the classic TOCTOU of this pattern).
+  std::size_t still_needed = 0;
+  std::vector<char> tiny(names.size(), '#');
+  EXPECT_EQ(clmpiListCounters(tiny.data(), 1, &still_needed), CLMPI_TRUNCATED);
+  EXPECT_EQ(still_needed, needed);
+  EXPECT_EQ(tiny[0], '\0');  // NUL-terminated, nothing past cap touched
+  EXPECT_EQ(tiny[1], '#');
+  const std::size_t mid = list.find('\n') + 5;  // inside the second name
+  ASSERT_LT(mid, needed);
+  EXPECT_EQ(clmpiListCounters(tiny.data(), mid, &still_needed), CLMPI_TRUNCATED);
+  const std::string partial(tiny.data());
+  EXPECT_EQ(partial, list.substr(0, list.find('\n') + 1));  // whole names only
+  EXPECT_EQ(clmpiListCounters(tiny.data(), 0, nullptr), CLMPI_TRUNCATED);
 }
 
 // --- counters vs ground truth ------------------------------------------------

@@ -1,0 +1,424 @@
+// Recovery-layer suite: acked retransmission, per-operation deadlines and
+// graceful strategy degradation (plus the transfer-path bugfix sweep that
+// rode along with them).
+//
+//  * Retry/backoff: with a retransmission budget, a lossy wire delivers
+//    every payload byte-exact, and the whole recovery schedule is as
+//    deterministic as the faults it repairs (seed-identical trace hashes
+//    and retry counters across runs).
+//  * Deadlines: an operation that can never resolve fails its request with
+//    Status::timeout at its virtual deadline instead of hanging until the
+//    cluster watchdog kills the run.
+//  * Degradation: gpudirect falls back to pinned staging on incapable or
+//    badly degraded NICs; pipelined falls back to pinned once a link has
+//    accumulated repeated block-level failures — with both endpoints
+//    deriving the identical fallback.
+//  * Bugfix sweep: zero-size transfers are a single empty message under
+//    every strategy, and exchanges derive their strategy from one agreed
+//    size key.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <span>
+#include <utility>
+
+#include "clmpi/runtime.hpp"
+#include "ocl/context.hpp"
+#include "ocl/platform.hpp"
+#include "ocl/queue.hpp"
+#include "simmpi/cluster.hpp"
+#include "simmpi/fault.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/units.hpp"
+#include "transfer/strategy.hpp"
+#include "vt/tracer.hpp"
+
+namespace clmpi {
+namespace {
+
+constexpr int kOps = 6;
+constexpr std::size_t kBufferBytes = 1_MiB;
+constexpr std::size_t kMaxMessage = 384_KiB;
+
+mpi::Cluster::Options opts(int nranks) {
+  mpi::Cluster::Options o;
+  o.nranks = nranks;
+  o.profile = &sys::ricc();
+  o.watchdog_seconds = testutil::watchdog_seconds(20.0);
+  return o;
+}
+
+struct Node {
+  explicit Node(mpi::Rank& rank)
+      : platform(rank.profile(), rank.rank(), rank.tracer()),
+        ctx(platform.device()),
+        runtime(rank, platform.device()) {}
+
+  ocl::Platform platform;
+  ocl::Context ctx;
+  rt::Runtime runtime;
+};
+
+struct Outcome {
+  std::uint64_t trace_hash{0};
+  mpi::FaultCounters counters;
+  double makespan_s{0.0};
+  int delivered{0};
+  int failed{0};
+};
+
+/// The chaos suite's lockstep workload (randomized sizes/offsets/directions
+/// derived identically on both ranks), run under `plan` with a forced
+/// strategy. Failed operations must carry `expected_failure`.
+Outcome run_workload(const mpi::FaultPlan& plan, const xfer::Strategy& strategy,
+                     std::uint64_t seed, Status expected_failure) {
+  Outcome outcome;
+  std::mutex outcome_mutex;
+
+  vt::Tracer tracer;
+  mpi::Cluster::Options o = opts(2);
+  o.tracer = &tracer;
+  o.faults = plan;
+
+  const mpi::RunResult res = mpi::Cluster::run(o, [&](mpi::Rank& rank) {
+    Node node(rank);
+    auto queue = node.ctx.create_queue();
+    ocl::BufferPtr buf = node.ctx.create_buffer(kBufferBytes);
+
+    Rng rng(derive_seed(seed, 0x4ECu));
+    for (int i = 0; i < kOps; ++i) {
+      const std::size_t size = 1 + rng.below(kMaxMessage);
+      const std::size_t offset = rng.below(kBufferBytes - size + 1);
+      const bool rank0_sends = (rng.next_u64() & 1u) != 0;
+      const std::uint64_t pattern = derive_seed(seed, 0x9A77u + static_cast<unsigned>(i));
+      const bool sender = (rank.rank() == 0) == rank0_sends;
+      try {
+        if (sender) {
+          fill_pattern(buf->storage().subspan(offset, size), pattern);
+          node.runtime.enqueue_send_buffer(*queue, buf, true, offset, size, 1 - rank.rank(),
+                                           i, rank.world(), {}, strategy);
+        } else {
+          node.runtime.enqueue_recv_buffer(*queue, buf, true, offset, size, 1 - rank.rank(),
+                                           i, rank.world(), {}, strategy);
+          EXPECT_TRUE(check_pattern(buf->storage().subspan(offset, size), pattern))
+              << "corrupt payload, seed " << seed << " op " << i;
+        }
+        if (!sender) {
+          const std::lock_guard<std::mutex> lock(outcome_mutex);
+          ++outcome.delivered;
+        }
+      } catch (const Error& e) {
+        EXPECT_EQ(e.status(), expected_failure)
+            << "seed " << seed << " op " << i << ": " << e.what();
+        if (!sender) {
+          const std::lock_guard<std::mutex> lock(outcome_mutex);
+          ++outcome.failed;
+        }
+      }
+    }
+  });
+
+  outcome.trace_hash = tracer.hash();
+  outcome.counters = res.faults;
+  outcome.makespan_s = res.makespan_s;
+  return outcome;
+}
+
+// --- acked retransmission ----------------------------------------------------
+
+mpi::FaultPlan retry_plan(double drop_rate, int max_retries, std::uint64_t seed) {
+  mpi::FaultPlan p;
+  p.seed = seed;
+  p.drop_rate = drop_rate;
+  p.retry.max_retries = max_retries;
+  return p;
+}
+
+class RetryRecovery : public ::testing::TestWithParam<int> {};
+
+TEST_P(RetryRecovery, LossyWireDeliversByteExactAndSeedIdentically) {
+  const std::uint64_t seed = derive_seed(0x4EC0BE4u, static_cast<std::uint64_t>(GetParam()));
+  // drop_rate 0.3 with a 10-deep budget: per wire message the residual
+  // failure probability is 0.3^11 — no scenario message exhausts it.
+  const mpi::FaultPlan plan = retry_plan(0.3, 10, seed);
+
+  for (const xfer::Strategy& strategy :
+       {xfer::Strategy::pinned(), xfer::Strategy::pipelined(32_KiB)}) {
+    const Outcome first = run_workload(plan, strategy, seed, Status::timeout);
+    const Outcome second = run_workload(plan, strategy, seed, Status::timeout);
+
+    // Every operation delivered, byte-exact, despite injected drops.
+    EXPECT_EQ(first.delivered, kOps);
+    EXPECT_EQ(first.failed, 0);
+    EXPECT_GT(first.counters.drops, 0u) << "scenario injected nothing";
+    EXPECT_GT(first.counters.retries, 0u);
+    EXPECT_GT(first.counters.retransmit_bytes, 0u);
+    EXPECT_GT(first.counters.recovered, 0u);
+    EXPECT_EQ(first.counters.timeouts, 0u);
+
+    // Recovery is exactly as deterministic as the faults it repairs:
+    // seed-identical trace hashes, makespans and retry counters.
+    EXPECT_EQ(first.trace_hash, second.trace_hash);
+    EXPECT_DOUBLE_EQ(first.makespan_s, second.makespan_s);
+    EXPECT_EQ(first.counters.retries, second.counters.retries);
+    EXPECT_EQ(first.counters.retransmit_bytes, second.counters.retransmit_bytes);
+    EXPECT_EQ(first.counters.recovered, second.counters.recovered);
+    EXPECT_EQ(first.counters.drops, second.counters.drops);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetryRecovery, ::testing::Range(0, 3));
+
+TEST(RetryRecovery, ExhaustedBudgetSurfacesAsTimeoutOnBothEndpoints) {
+  // A fully lossy wire: every attempt of every message is dropped, so every
+  // operation exhausts its budget and must fail with Status::timeout — a
+  // defined error on BOTH endpoints, never a hang or a watchdog kill.
+  const std::uint64_t seed = 0xDEADBEA7u;
+  const mpi::FaultPlan plan = retry_plan(1.0, 2, seed);
+
+  const Outcome out = run_workload(plan, xfer::Strategy::pinned(), seed, Status::timeout);
+  EXPECT_EQ(out.delivered, 0);
+  EXPECT_EQ(out.failed, kOps);
+  EXPECT_EQ(out.counters.timeouts, static_cast<std::uint64_t>(kOps));
+  EXPECT_EQ(out.counters.recovered, 0u);
+  // Budget of 2 retries: every message was transmitted exactly 3 times.
+  EXPECT_EQ(out.counters.retries, static_cast<std::uint64_t>(2 * kOps));
+}
+
+TEST(RetryRecovery, RetriesDisabledReproducesFirstFaultFatalBehaviour) {
+  // The recovery layer fully off (default RetryPolicy) must reproduce the
+  // pre-recovery behaviour: plain drops fail with Status::message_dropped
+  // and nothing is retransmitted.
+  const std::uint64_t seed = 0x0FFu;
+  const mpi::FaultPlan plan = retry_plan(0.3, 0, seed);
+
+  const Outcome out =
+      run_workload(plan, xfer::Strategy::pinned(), seed, Status::message_dropped);
+  EXPECT_EQ(out.delivered + out.failed, kOps);
+  EXPECT_EQ(out.counters.retries, 0u);
+  EXPECT_EQ(out.counters.retransmit_bytes, 0u);
+  EXPECT_EQ(out.counters.recovered, 0u);
+  EXPECT_EQ(out.counters.timeouts, 0u);
+}
+
+// --- per-operation deadlines -------------------------------------------------
+
+/// RAII override of the real-time grace a blocking waiter allows a
+/// deadline-armed operation (keeps the negative tests fast).
+struct GraceGuard {
+  explicit GraceGuard(const char* ms) { ::setenv("CLMPI_DEADLINE_GRACE_MS", ms, 1); }
+  ~GraceGuard() { ::unsetenv("CLMPI_DEADLINE_GRACE_MS"); }
+};
+
+TEST(Deadline, UnmatchedRecvFailsWithTimeoutNotWatchdog) {
+  const GraceGuard grace("200");
+  mpi::Cluster::run(opts(2), [&](mpi::Rank& rank) {
+    Node node(rank);
+    if (rank.rank() != 0) return;  // rank 1 never sends
+    node.runtime.set_default_deadline(vt::milliseconds(1.0));
+    auto queue = node.ctx.create_queue();
+    ocl::BufferPtr buf = node.ctx.create_buffer(4_KiB);
+    const double enqueued = rank.now_s();
+    auto ev = node.runtime.enqueue_recv_buffer(*queue, buf, false, 0, 4_KiB, 1, 7,
+                                               rank.world(), {});
+    try {
+      ev->wait(rank.clock());
+      FAIL() << "recv with no sender completed";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.status(), Status::timeout) << e.what();
+    }
+    // The outcome is fixed at the VIRTUAL deadline, not at whatever real
+    // time the liveness rescue happened to fire: the timeline stays
+    // schedule-independent.
+    EXPECT_GE(ev->completion_time().s, enqueued + 0.001);
+    EXPECT_LT(ev->completion_time().s, enqueued + 0.01);
+  });
+}
+
+TEST(Deadline, GenerousDeadlineDoesNotPerturbDelivery) {
+  // A deadline that is never hit must be an observational no-op: the
+  // transfer completes byte-exact with the same workload invariants.
+  mpi::Cluster::run(opts(2), [&](mpi::Rank& rank) {
+    Node node(rank);
+    node.runtime.set_default_deadline(vt::Duration{10.0});
+    auto queue = node.ctx.create_queue();
+    constexpr std::size_t size = 192_KiB;
+    ocl::BufferPtr buf = node.ctx.create_buffer(size);
+    if (rank.rank() == 0) {
+      fill_pattern(buf->storage(), 21);
+      node.runtime.enqueue_send_buffer(*queue, buf, true, 0, size, 1, 0, rank.world(), {});
+    } else {
+      node.runtime.enqueue_recv_buffer(*queue, buf, true, 0, size, 0, 0, rank.world(), {});
+      EXPECT_TRUE(check_pattern(buf->storage(), 21));
+    }
+  });
+}
+
+// --- graceful degradation ----------------------------------------------------
+
+sys::SystemProfile rdma_profile() {
+  sys::SystemProfile p = sys::ricc();
+  p.name = "RICC+GPUDirect";
+  p.nic.rdma_direct = true;
+  p.nic.rdma_setup = vt::microseconds(10.0);
+  return p;
+}
+
+TEST(Degradation, GpudirectFallsBackToPinnedWithoutRdma) {
+  mpi::Cluster::run(opts(2), [&](mpi::Rank& rank) {  // plain RICC: no rdma_direct
+    const xfer::Strategy resolved = xfer::resolve_strategy(
+        rank.profile(), rank.world(), 1 - rank.rank(), xfer::Strategy::gpudirect());
+    EXPECT_EQ(resolved, xfer::Strategy::pinned());
+    // Non-gpudirect strategies pass through untouched.
+    EXPECT_EQ(xfer::resolve_strategy(rank.profile(), rank.world(), 1 - rank.rank(),
+                                     xfer::Strategy::mapped()),
+              xfer::Strategy::mapped());
+  });
+}
+
+TEST(Degradation, GpudirectFallsBackToPinnedOnDegradedNic) {
+  const sys::SystemProfile prof = rdma_profile();
+  mpi::Cluster::Options o = opts(2);
+  o.profile = &prof;
+  o.faults.nic_degradation = xfer::kGpudirectDegradationThreshold;  // at threshold
+  mpi::Cluster::run(o, [&](mpi::Rank& rank) {
+    EXPECT_EQ(xfer::resolve_strategy(rank.profile(), rank.world(), 1 - rank.rank(),
+                                     xfer::Strategy::gpudirect()),
+              xfer::Strategy::pinned());
+  });
+
+  mpi::Cluster::Options healthy = opts(2);
+  healthy.profile = &prof;
+  healthy.faults.nic_degradation = 0.25;  // below threshold: RDMA stays trusted
+  mpi::Cluster::run(healthy, [&](mpi::Rank& rank) {
+    EXPECT_EQ(xfer::resolve_strategy(rank.profile(), rank.world(), 1 - rank.rank(),
+                                     xfer::Strategy::gpudirect()),
+              xfer::Strategy::gpudirect());
+  });
+}
+
+TEST(Degradation, PipelinedFallsBackToPinnedOnRepeatedBlockFailures) {
+  mpi::Cluster::Options o = opts(2);
+  o.faults.nic_degradation = 0.1;  // any enabled plan instantiates the engine
+  mpi::Cluster::run(o, [&](mpi::Rank& rank) {
+    if (rank.rank() != 0) return;
+    mpi::Comm& world = rank.world();
+    const int self = world.node_of(rank.rank());
+    const int peer_rank = 1 - rank.rank();
+    const int peer = world.node_of(peer_rank);
+    const xfer::Strategy pipelined = xfer::Strategy::pipelined(64_KiB);
+
+    // Healthy link: the request passes through.
+    EXPECT_EQ(xfer::resolve_strategy(rank.profile(), world, peer_rank, pipelined),
+              pipelined);
+
+    mpi::FaultEngine* faults = world.faults();
+    ASSERT_NE(faults, nullptr);
+    for (std::uint64_t i = 0; i + 1 < mpi::FaultEngine::kLinkFailureThreshold; ++i) {
+      faults->note_block_failure(self, peer);
+    }
+    // One short of the threshold: still pipelined.
+    EXPECT_EQ(xfer::resolve_strategy(rank.profile(), world, peer_rank, pipelined),
+              pipelined);
+
+    faults->note_block_failure(self, peer);
+    EXPECT_TRUE(faults->link_degraded(self, peer));
+    EXPECT_EQ(xfer::resolve_strategy(rank.profile(), world, peer_rank, pipelined),
+              xfer::Strategy::pinned());
+    // The view is per observer: the peer's own view of the link (it observed
+    // none of these failures itself) is not affected by rank 0's.
+    EXPECT_FALSE(faults->link_degraded(peer, self));
+  });
+}
+
+TEST(Degradation, DegradedLinkWorkloadStillDeliversDeterministically) {
+  // End-to-end: a very lossy wire with a modest retry budget drives some
+  // block-level failures (exhausted messages), which flips pipelined ops to
+  // the pinned path mid-workload — on BOTH endpoints, so nothing deadlocks
+  // and the run stays seed-deterministic.
+  const std::uint64_t seed = 0xFA11BACCu;
+  const mpi::FaultPlan plan = retry_plan(0.6, 1, seed);
+
+  const Outcome first =
+      run_workload(plan, xfer::Strategy::pipelined(32_KiB), seed, Status::timeout);
+  const Outcome second =
+      run_workload(plan, xfer::Strategy::pipelined(32_KiB), seed, Status::timeout);
+  EXPECT_EQ(first.delivered + first.failed, kOps);
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
+  EXPECT_DOUBLE_EQ(first.makespan_s, second.makespan_s);
+  EXPECT_EQ(first.counters.timeouts, second.counters.timeouts);
+  EXPECT_EQ(first.counters.retries, second.counters.retries);
+}
+
+// --- transfer-path bugfix sweep ----------------------------------------------
+
+TEST(ZeroSize, EveryStrategyCarriesASingleEmptyMessage) {
+  // A zero-size transfer is one empty wire message under every strategy:
+  // both endpoints complete (nothing hangs waiting for absent blocks) and
+  // no formula underflows.
+  mpi::Cluster::run(opts(2), [&](mpi::Rank& rank) {
+    ocl::Platform platform(rank.profile(), rank.rank(), rank.tracer());
+    ocl::Context ctx(platform.device());
+    ocl::BufferPtr buf = ctx.create_buffer(4_KiB);
+    const int peer = 1 - rank.rank();
+
+    int tag = 0;
+    for (const xfer::Strategy& strategy :
+         {xfer::Strategy::pinned(), xfer::Strategy::mapped(),
+          xfer::Strategy::pipelined(64_KiB)}) {
+      const xfer::DeviceEndpoint ep{&rank.world(), &platform.device(), buf.get(),
+                                    /*offset=*/0, /*size=*/0, peer, tag};
+      const vt::TimePoint ready{rank.now_s()};
+      if (rank.rank() == 0) {
+        xfer::send_device(ep, strategy, ready);
+      } else {
+        xfer::recv_device(ep, strategy, ready);
+      }
+      ++tag;
+    }
+
+    // Host-memory endpoints take the same convention.
+    for (const xfer::Strategy& strategy :
+         {xfer::Strategy::pinned(), xfer::Strategy::pipelined(64_KiB)}) {
+      const vt::TimePoint ready{rank.now_s()};
+      if (rank.rank() == 0) {
+        xfer::send_host(rank.world(), std::span<const std::byte>{}, peer, tag, strategy,
+                        ready);
+      } else {
+        xfer::recv_host(rank.world(), std::span<std::byte>{}, peer, tag, strategy, ready);
+      }
+      ++tag;
+    }
+  });
+
+  // The cost model is well-defined at size 0 (the fill/drain formulas used
+  // to underflow through a 0-block pipeline).
+  EXPECT_EQ(xfer::pipeline_block_count(0, 64_KiB), 1u);
+  for (const auto mode : {xfer::SelectionMode::heuristic, xfer::SelectionMode::predictive}) {
+    const xfer::Strategy s = xfer::select(sys::ricc(), 0, mode);
+    EXPECT_GE(xfer::predict_transfer(sys::ricc(), 0, s).s, 0.0);
+  }
+}
+
+TEST(SelectExchange, DerivesOneStrategyFromTheLargerSize) {
+  const sys::SystemProfile& prof = sys::ricc();
+  const std::pair<std::size_t, std::size_t> cases[] = {
+      {1_KiB, 8_MiB}, {8_MiB, 1_KiB}, {0, 256_KiB}, {640_KiB, 640_KiB}};
+  for (const auto mode : {xfer::SelectionMode::heuristic, xfer::SelectionMode::predictive}) {
+    for (const auto& [a, b] : cases) {
+      const xfer::Strategy agreed = xfer::select(prof, std::max(a, b), mode);
+      EXPECT_EQ(xfer::select_exchange(prof, a, b, mode), agreed);
+      // Symmetric: both peers of a halo exchange see the sizes swapped.
+      EXPECT_EQ(xfer::select_exchange(prof, b, a, mode), agreed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clmpi
