@@ -15,6 +15,8 @@
 //   pinned_repeat    repeated 256 KiB pinned device transfers (pool reuse)
 //   pipelined_large  8 MiB pipelined device transfers (block-ring pool reuse)
 //   mailbox_fanin    4 ranks, 3 senders fan in to rank 0 on distinct tags
+//   rma_put_fanin    4 ranks, 3 peers Put 16 KiB slots into rank 0's window
+//                    each fence epoch (shmem one-sided tier on cxlpod)
 //   chaos_replay     7 fault classes x 3 strategies, one seeded scenario each
 //
 // Output: a human-readable table on stdout and a JSON array (default
@@ -37,6 +39,7 @@
 #include "ocl/queue.hpp"
 #include "simmpi/cluster.hpp"
 #include "simmpi/fault.hpp"
+#include "simmpi/window.hpp"
 #include "support/rng.hpp"
 #include "support/units.hpp"
 #include "transfer/strategy.hpp"
@@ -88,6 +91,7 @@ double msgs_per_sec(const ScenarioResult& r) {
 /// (hash, makespan, fault counters), then `reps` untraced timed repetitions.
 ScenarioResult run_scenario(const Config& cfg, std::string name, int nranks,
                             const mpi::FaultPlan& faults, double messages,
+                            const sys::SystemProfile& profile,
                             const std::function<void(mpi::Rank&)>& body) {
   ScenarioResult r;
   r.name = std::move(name);
@@ -97,7 +101,7 @@ ScenarioResult run_scenario(const Config& cfg, std::string name, int nranks,
     vt::Tracer tracer;
     mpi::Cluster::Options o;
     o.nranks = nranks;
-    o.profile = &sys::ricc();
+    o.profile = &profile;
     o.tracer = &tracer;
     o.faults = faults;
     const mpi::RunResult res = mpi::Cluster::run(o, body);
@@ -113,7 +117,7 @@ ScenarioResult run_scenario(const Config& cfg, std::string name, int nranks,
   r.wall = benchutil::time_wall(cfg.warmup, cfg.reps, [&] {
     mpi::Cluster::Options o;
     o.nranks = nranks;
-    o.profile = &sys::ricc();
+    o.profile = &profile;
     o.faults = faults;
     mpi::Cluster::run(o, body);
   });
@@ -133,7 +137,7 @@ ScenarioResult run_scenario(const Config& cfg, std::string name, int nranks,
 ScenarioResult pingpong(const Config& cfg, const std::string& name, std::size_t size,
                         int rounds) {
   return run_scenario(
-      cfg, name, 2, {}, 2.0 * rounds, [size, rounds](mpi::Rank& rank) {
+      cfg, name, 2, {}, 2.0 * rounds, sys::ricc(), [size, rounds](mpi::Rank& rank) {
         std::vector<std::byte> buf(size, std::byte{0x5A});
         for (int i = 0; i < rounds; ++i) {
           if (rank.rank() == 0) {
@@ -154,7 +158,7 @@ ScenarioResult fanin(const Config& cfg, int msgs_per_sender) {
   constexpr std::size_t kSize = 1_KiB;
   return run_scenario(
       cfg, "mailbox_fanin", kRanks, {},
-      static_cast<double>((kRanks - 1) * msgs_per_sender),
+      static_cast<double>((kRanks - 1) * msgs_per_sender), sys::ricc(),
       [msgs_per_sender](mpi::Rank& rank) {
         std::vector<std::byte> buf(kSize, std::byte{0x33});
         if (rank.rank() == 0) {
@@ -181,6 +185,30 @@ ScenarioResult fanin(const Config& cfg, int msgs_per_sender) {
       });
 }
 
+// --- one-sided fan-in: every peer Puts into rank 0's window ------------------
+
+ScenarioResult rma_put_fanin(const Config& cfg, int epochs) {
+  constexpr int kRanks = 4;
+  constexpr std::size_t kSlot = 16_KiB;
+  return run_scenario(
+      cfg, "rma_put_fanin", kRanks, {},
+      static_cast<double>((kRanks - 1) * epochs), sys::cxlpod(),
+      [epochs](mpi::Rank& rank) {
+        std::vector<std::byte> region(static_cast<std::size_t>(kRanks - 1) * kSlot);
+        mpi::Win win = mpi::create_window(rank.world(), region, rank.clock());
+        std::vector<std::byte> payload(kSlot, std::byte{0x5C});
+        win.fence(rank.clock());  // open the first access epoch
+        for (int e = 0; e < epochs; ++e) {
+          if (rank.rank() != 0) {
+            win.put(payload, 0, static_cast<std::size_t>(rank.rank() - 1) * kSlot,
+                    rank.clock());
+          }
+          win.fence(rank.clock());
+        }
+        win.free(rank.clock());
+      });
+}
+
 // --- device transfers through the runtime (pool scenarios) -------------------
 
 struct Node {
@@ -198,7 +226,7 @@ ScenarioResult device_repeat(const Config& cfg, const std::string& name,
                              const xfer::Strategy& strategy, std::size_t size,
                              int rounds) {
   return run_scenario(
-      cfg, name, 2, {}, static_cast<double>(rounds),
+      cfg, name, 2, {}, static_cast<double>(rounds), sys::ricc(),
       [strategy, size, rounds](mpi::Rank& rank) {
         Node node(rank);
         auto queue = node.ctx.create_queue();
@@ -390,6 +418,7 @@ int main(int argc, char** argv) {
   const int dev_rounds = cfg.smoke ? 40 : 200;
   const int pipe_rounds = cfg.smoke ? 10 : 40;
   const int fanin_msgs = cfg.smoke ? 50 : 300;
+  const int rma_epochs = cfg.smoke ? 30 : 150;
 
   std::vector<ScenarioResult> results;
   results.push_back(pingpong(cfg, "eager_inline", 64, pp_rounds));
@@ -400,6 +429,7 @@ int main(int argc, char** argv) {
   results.push_back(device_repeat(cfg, "pipelined_large",
                                   xfer::Strategy::pipelined(1_MiB), 8_MiB, pipe_rounds));
   results.push_back(fanin(cfg, fanin_msgs));
+  results.push_back(rma_put_fanin(cfg, rma_epochs));
   results.push_back(chaos_replay(cfg));
 
   print_table(results);

@@ -30,6 +30,13 @@ struct _cl_event {
   int refs;
 };
 
+struct _clmpi_window {
+  clmpi::mpi::Win win;
+  // Keeps the exposed region alive for the window's whole lifetime even if
+  // the application releases its cl_mem handle early.
+  clmpi::ocl::BufferPtr buf;
+};
+
 namespace clmpi::capi {
 namespace {
 
@@ -75,6 +82,7 @@ class HandleRegistry {
 HandleRegistry<cl_event> g_events;
 HandleRegistry<cl_mem> g_mems;
 HandleRegistry<cl_command_queue> g_queues;
+HandleRegistry<clmpi_window> g_windows;
 
 void register_event(cl_event handle) { g_events.add(handle); }
 void unregister_event(cl_event handle) { g_events.remove(handle); }
@@ -85,6 +93,9 @@ bool mem_live(cl_mem handle) { return g_mems.live(handle); }
 void register_queue(cl_command_queue handle) { g_queues.add(handle); }
 void unregister_queue(cl_command_queue handle) { g_queues.remove(handle); }
 bool queue_live(cl_command_queue handle) { return g_queues.live(handle); }
+void register_window(clmpi_window handle) { g_windows.add(handle); }
+void unregister_window(clmpi_window handle) { g_windows.remove(handle); }
+bool window_live(clmpi_window handle) { return g_windows.live(handle); }
 
 std::vector<ocl::EventPtr> to_waitlist(cl_uint numevts, const cl_event* wlist) {
   if ((numevts == 0) != (wlist == nullptr)) {
@@ -399,6 +410,82 @@ cl_int clEnqueueBcastBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
     const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
     auto ev = runtime_ctx().enqueue_bcast_buffer(*cmd->queue, buf->buf, blocking == CL_TRUE,
                                                  offset, size, root, *comm, waits);
+    clmpi::capi::return_event(evtret, std::move(ev));
+  });
+}
+
+// One-sided RMA -----------------------------------------------------------------
+
+clmpi_window clmpiCreateWindow(cl_mem mem, std::size_t offset, std::size_t size,
+                               MPI_Comm comm, cl_int* errcode_ret) {
+  if (!clmpi::capi::mem_live(mem)) {
+    if (errcode_ret != nullptr) *errcode_ret = CLMPI_INVALID_MEM_OBJECT;
+    return nullptr;
+  }
+  if (comm == nullptr) {
+    if (errcode_ret != nullptr) *errcode_ret = CLMPI_INVALID_COMMUNICATOR;
+    return nullptr;
+  }
+  clmpi_window handle = nullptr;
+  const cl_int status = clmpi::capi::guarded([&] {
+    auto win = runtime_ctx().create_window(mem->buf, offset, size, *comm);
+    handle = new _clmpi_window{std::move(win), mem->buf};
+    clmpi::capi::register_window(handle);
+  });
+  if (errcode_ret != nullptr) *errcode_ret = status;
+  return handle;
+}
+
+cl_int clmpiFreeWindow(clmpi_window win) {
+  if (!clmpi::capi::window_live(win)) return CLMPI_INVALID_WINDOW;
+  clmpi::capi::unregister_window(win);
+  // The collective free may surface Status::rma_epoch (accesses pending);
+  // the handle dies either way — free already ran on the shared state.
+  const cl_int status = clmpi::capi::guarded([&] { win->win.free(rank_ctx().clock()); });
+  delete win;
+  return status;
+}
+
+cl_int clEnqueuePutBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                          std::size_t offset, std::size_t size, int target,
+                          std::size_t target_offset, clmpi_window win, cl_uint numevts,
+                          const cl_event* wlist, cl_event* evtret) {
+  if (!clmpi::capi::queue_live(cmd)) return CL_INVALID_COMMAND_QUEUE;
+  if (!clmpi::capi::mem_live(buf)) return CL_INVALID_MEM_OBJECT;
+  if (!clmpi::capi::window_live(win)) return CLMPI_INVALID_WINDOW;
+  return clmpi::capi::guarded([&] {
+    const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
+    auto ev = runtime_ctx().enqueue_put_buffer(*cmd->queue, buf->buf, blocking == CL_TRUE,
+                                               offset, size, target, target_offset,
+                                               win->win, waits);
+    clmpi::capi::return_event(evtret, std::move(ev));
+  });
+}
+
+cl_int clEnqueueGetBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                          std::size_t offset, std::size_t size, int target,
+                          std::size_t target_offset, clmpi_window win, cl_uint numevts,
+                          const cl_event* wlist, cl_event* evtret) {
+  if (!clmpi::capi::queue_live(cmd)) return CL_INVALID_COMMAND_QUEUE;
+  if (!clmpi::capi::mem_live(buf)) return CL_INVALID_MEM_OBJECT;
+  if (!clmpi::capi::window_live(win)) return CLMPI_INVALID_WINDOW;
+  return clmpi::capi::guarded([&] {
+    const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
+    auto ev = runtime_ctx().enqueue_get_buffer(*cmd->queue, buf->buf, blocking == CL_TRUE,
+                                               offset, size, target, target_offset,
+                                               win->win, waits);
+    clmpi::capi::return_event(evtret, std::move(ev));
+  });
+}
+
+cl_int clEnqueueWindowFence(cl_command_queue cmd, clmpi_window win, cl_bool blocking,
+                            cl_uint numevts, const cl_event* wlist, cl_event* evtret) {
+  if (!clmpi::capi::queue_live(cmd)) return CL_INVALID_COMMAND_QUEUE;
+  if (!clmpi::capi::window_live(win)) return CLMPI_INVALID_WINDOW;
+  return clmpi::capi::guarded([&] {
+    const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
+    auto ev = runtime_ctx().enqueue_window_fence(*cmd->queue, win->win,
+                                                 blocking == CL_TRUE, waits);
     clmpi::capi::return_event(evtret, std::move(ev));
   });
 }

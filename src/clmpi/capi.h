@@ -55,6 +55,11 @@ inline constexpr cl_int CLMPI_TIMEOUT = -1007;
 /// The output buffer was too small; it was filled as far as it fits and the
 /// required size was reported (see clmpiListCounters).
 inline constexpr cl_int CLMPI_TRUNCATED = -1008;
+/// A null, released or otherwise unknown RMA window handle.
+inline constexpr cl_int CLMPI_INVALID_WINDOW = -1009;
+/// An RMA access violated the fence-epoch discipline (posted outside an
+/// open epoch, or the window was freed with accesses still pending).
+inline constexpr cl_int CLMPI_RMA_EPOCH = -1010;
 // Extension-namespaced aliases for stale/invalid handle lookups through the
 // clmpiGet* escape hatches; same numeric values as the OpenCL codes.
 inline constexpr cl_int CLMPI_INVALID_MEM_OBJECT = CL_INVALID_MEM_OBJECT;
@@ -66,10 +71,12 @@ struct _cl_context;
 struct _cl_command_queue;
 struct _cl_mem;
 struct _cl_event;
+struct _clmpi_window;
 using cl_context = _cl_context*;
 using cl_command_queue = _cl_command_queue*;
 using cl_mem = _cl_mem*;
 using cl_event = _cl_event*;
+using clmpi_window = _clmpi_window*;
 
 // --- MPI surface --------------------------------------------------------------
 
@@ -189,6 +196,51 @@ cl_event clCreateEventFromMPIRequest(cl_context context, MPI_Request* request,
 /// `comm` must call it, in the same order.
 cl_int clEnqueueBcastBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
                             std::size_t offset, std::size_t size, int root, MPI_Comm comm,
+                            cl_uint numevts, const cl_event* wlist, cl_event* evtret);
+
+// --- one-sided RMA commands (clMPI extension) --------------------------------
+
+/// Collective (every rank of `comm`, host thread): expose buf[offset,
+/// offset+size) as an RMA window for remote Put/Get. The buffer must stay
+/// alive (not released) until clmpiFreeWindow. Null handle +
+/// CLMPI_INVALID_MEM_OBJECT / CLMPI_INVALID_COMMUNICATOR / CL_INVALID_VALUE
+/// in `*errcode_ret` on bad arguments.
+clmpi_window clmpiCreateWindow(cl_mem mem, std::size_t offset, std::size_t size,
+                               MPI_Comm comm, cl_int* errcode_ret);
+
+/// Collective teardown. Accesses still pending (posted but not fenced) fail
+/// with CLMPI_RMA_EPOCH on the ranks that posted them. The handle is dead
+/// afterwards; further use returns CLMPI_INVALID_WINDOW.
+cl_int clmpiFreeWindow(clmpi_window win);
+
+/// clEnqueuePutBuffer: enqueue a one-sided put of buf[offset, offset+size)
+/// into `target`'s window region at `target_offset`. Legal only inside an
+/// open fence epoch (see clEnqueueWindowFence); the access is applied at the
+/// closing fence. The returned event completes at LOCAL completion — the
+/// origin buffer is reusable, but the remote landing (and any transport
+/// fault) is only guaranteed/surfaced at the next fence. Zero-size puts are
+/// legal.
+cl_int clEnqueuePutBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                          std::size_t offset, std::size_t size, int target,
+                          std::size_t target_offset, clmpi_window win, cl_uint numevts,
+                          const cl_event* wlist, cl_event* evtret);
+
+/// clEnqueueGetBuffer: enqueue a one-sided get of `size` bytes from
+/// `target`'s window region at `target_offset` into buf[offset, ...). The
+/// event completes at the closing fence (a get's data only exists then), so
+/// `blocking` is rejected with CL_INVALID_OPERATION — a blocking get would
+/// deadlock against the fence that has not been enqueued yet.
+cl_int clEnqueueGetBuffer(cl_command_queue cmd, cl_mem buf, cl_bool blocking,
+                          std::size_t offset, std::size_t size, int target,
+                          std::size_t target_offset, clmpi_window win, cl_uint numevts,
+                          const cl_event* wlist, cl_event* evtret);
+
+/// Collective epoch fence as an enqueued command: every rank of the window
+/// must enqueue it. The first fence opens the first access epoch; each later
+/// fence applies all accesses posted since the previous one and opens the
+/// next epoch. The event fails with CLMPI_MESSAGE_DROPPED / CLMPI_TIMEOUT
+/// when an access this rank originated or was targeted by was lost.
+cl_int clEnqueueWindowFence(cl_command_queue cmd, clmpi_window win, cl_bool blocking,
                             cl_uint numevts, const cl_event* wlist, cl_event* evtret);
 
 /// File-I/O commands (§VI extension): stage a device buffer to/from node

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "simmpi/cluster_core.hpp"
 #include "simmpi/datatype.hpp"
 #include "support/log.hpp"
 #include "transfer/async.hpp"
@@ -85,6 +86,30 @@ void validate_transfer_args(const ocl::BufferPtr& buf, std::size_t offset, std::
                     std::to_string(mpi::max_user_tag) + "]",
                 Status::invalid_tag);
   }
+}
+
+/// Eager validation for RMA access commands (put/get). Unlike two-sided
+/// transfers, zero-size accesses are legal (latency-only wire at the fence).
+void validate_rma_args(const ocl::BufferPtr& buf, std::size_t offset, std::size_t size,
+                       int target, std::size_t target_offset, const mpi::Win& win) {
+  if (!win.valid()) {
+    throw Error("invalid RMA window handle", Status::invalid_window);
+  }
+  if (offset > buf->size() || size > buf->size() - offset) {
+    throw Error("RMA local region outside the device buffer", Status::invalid_value);
+  }
+  const std::size_t tsize = win.region_size(target);  // typed: invalid_rank / invalid_window
+  if (target_offset > tsize || size > tsize - target_offset) {
+    throw Error("RMA access [" + std::to_string(target_offset) + ", " +
+                    std::to_string(target_offset + size) +
+                    ") outside the target region of " + std::to_string(tsize) + " B",
+                Status::invalid_value);
+  }
+}
+
+/// Map a resolved RMA strategy onto the simmpi wire tier.
+mpi::RmaPath rma_path_for(const xfer::Strategy& s) {
+  return s.kind == xfer::StrategyKind::shmem ? mpi::RmaPath::shmem : mpi::RmaPath::wire;
 }
 
 }  // namespace
@@ -280,6 +305,139 @@ ocl::EventPtr Runtime::enqueue_recv_buffer(ocl::CommandQueue& queue,
                 uev.set_complete(end);
               }
             });
+      });
+  if (blocking) traced_wait(ev, "wait " + ev->label());
+  return ev;
+}
+
+mpi::Win Runtime::create_window(const ocl::BufferPtr& buf, std::size_t offset,
+                                std::size_t size, mpi::Comm& comm) {
+  CLMPI_REQUIRE(buf != nullptr, "window over a null buffer");
+  if (offset > buf->size() || size > buf->size() - offset) {
+    throw Error("window region outside the device buffer", Status::invalid_value);
+  }
+  auto* dev = device_;
+  // Remote accesses land in (or leave) device memory: the window's staging
+  // hooks charge this device's pinned path, so an RMA access costs the same
+  // PCIe legs as the equivalent staged two-sided transfer.
+  mpi::StageHook ingress = [dev](vt::TimePoint ready, std::size_t bytes) {
+    const auto setup = dev->copy_engine().acquire(ready, dev->profile().pcie.pin_setup);
+    return dev->charge_dma(setup.end, bytes, /*to_device=*/true, /*pinned_host=*/true);
+  };
+  mpi::StageHook egress = [dev](vt::TimePoint ready, std::size_t bytes) {
+    const auto setup = dev->copy_engine().acquire(ready, dev->profile().pcie.pin_setup);
+    return dev->charge_dma(setup.end, bytes, /*to_device=*/false, /*pinned_host=*/true);
+  };
+  return mpi::create_window(comm, buf->storage().subspan(offset, size), rank_->clock(),
+                            std::move(ingress), std::move(egress));
+}
+
+ocl::EventPtr Runtime::enqueue_put_buffer(ocl::CommandQueue& queue, const ocl::BufferPtr& buf,
+                                          bool blocking, std::size_t offset, std::size_t size,
+                                          int target, std::size_t target_offset, mpi::Win win,
+                                          ocl::WaitList waits,
+                                          std::optional<xfer::Strategy> force) {
+  CLMPI_REQUIRE(buf != nullptr, "put from a null buffer");
+  validate_rma_args(buf, offset, size, target, target_offset, win);
+  const xfer::Strategy requested =
+      force.value_or(xfer::select_rma(device_->profile(), size, selection_));
+  CLMPI_REQUIRE(requested.kind == xfer::StrategyKind::shmem ||
+                    requested.kind == xfer::StrategyKind::pinned,
+                "RMA accesses support only the shmem and pinned strategies");
+  const xfer::Strategy resolved =
+      xfer::resolve_rma_strategy(device_->profile(), rank_->core()->faults.get(), requested);
+  const mpi::RmaOptions opts{rma_path_for(resolved), default_deadline()};
+  auto* dev = device_;
+
+  ocl::EventPtr ev = submit(
+      queue, "clEnqueuePutBuffer -> " + std::to_string(target), waits,
+      // `buf` kept alive until the payload is staged out; the window captures
+      // the payload by value, so nothing references the buffer afterwards.
+      [dev, buf, offset, size, target, target_offset, win,
+       opts](vt::TimePoint ready, const ocl::EventPtr& event) mutable {
+        auto& prof = dev->profile();
+        const auto setup = dev->copy_engine().acquire(ready, prof.pcie.pin_setup);
+        const auto d2h =
+            dev->charge_dma(setup.end, size, /*to_device=*/false, /*pinned_host=*/true);
+        std::vector<std::byte> payload(size);
+        if (size > 0) std::memcpy(payload.data(), buf->storage().data() + offset, size);
+        win.put(std::move(payload), target, target_offset, d2h.end, opts);
+        // Local completion: the origin buffer is staged out and reusable.
+        // The remote landing — and any transport fault — surfaces at the
+        // window fence, on both endpoints.
+        static_cast<ocl::UserEvent&>(*event).set_complete(d2h.end);
+      });
+  if (blocking) traced_wait(ev, "wait " + ev->label());
+  return ev;
+}
+
+ocl::EventPtr Runtime::enqueue_get_buffer(ocl::CommandQueue& queue, const ocl::BufferPtr& buf,
+                                          bool blocking, std::size_t offset, std::size_t size,
+                                          int target, std::size_t target_offset, mpi::Win win,
+                                          ocl::WaitList waits,
+                                          std::optional<xfer::Strategy> force) {
+  CLMPI_REQUIRE(buf != nullptr, "get into a null buffer");
+  if (blocking) {
+    throw Error(
+        "blocking clEnqueueGetBuffer would deadlock: a get only completes at the next "
+        "window fence",
+        Status::invalid_operation);
+  }
+  validate_rma_args(buf, offset, size, target, target_offset, win);
+  const xfer::Strategy requested =
+      force.value_or(xfer::select_rma(device_->profile(), size, selection_));
+  CLMPI_REQUIRE(requested.kind == xfer::StrategyKind::shmem ||
+                    requested.kind == xfer::StrategyKind::pinned,
+                "RMA accesses support only the shmem and pinned strategies");
+  const xfer::Strategy resolved =
+      xfer::resolve_rma_strategy(device_->profile(), rank_->core()->faults.get(), requested);
+  const mpi::RmaOptions opts{rma_path_for(resolved), default_deadline()};
+  auto* dev = device_;
+
+  return submit(
+      queue, "clEnqueueGetBuffer <- " + std::to_string(target), waits,
+      // `buf` captured into the sink and completion: the destination buffer
+      // stays alive until the fence lands the data.
+      [dev, buf, offset, size, target, target_offset, win,
+       opts](vt::TimePoint ready, const ocl::EventPtr& event) mutable {
+        mpi::RmaSink sink = [dev, buf, offset](vt::TimePoint wire_end,
+                                               std::span<const std::byte> data) {
+          const auto setup =
+              dev->copy_engine().acquire(wire_end, dev->profile().pcie.pin_setup);
+          const auto h2d = dev->charge_dma(setup.end, data.size(), /*to_device=*/true,
+                                           /*pinned_host=*/true);
+          if (!data.empty()) {
+            std::memcpy(buf->storage().data() + offset, data.data(), data.size());
+          }
+          return h2d.end;
+        };
+        win.get(std::move(sink), size, target, target_offset, ready, opts,
+                [event, buf](vt::TimePoint end, std::exception_ptr err) {
+                  auto& uev = static_cast<ocl::UserEvent&>(*event);
+                  if (err) {
+                    uev.mark_failed(end, std::move(err));
+                  } else {
+                    uev.set_complete(end);
+                  }
+                });
+      });
+}
+
+ocl::EventPtr Runtime::enqueue_window_fence(ocl::CommandQueue& queue, mpi::Win win,
+                                            bool blocking, ocl::WaitList waits) {
+  if (!win.valid()) {
+    throw Error("invalid RMA window handle", Status::invalid_window);
+  }
+  ocl::EventPtr ev = submit(
+      queue, "clEnqueueWindowFence", waits,
+      // The fence blocks the dispatcher until every rank of the window has
+      // fenced — the MPI collective contract, lifted to the command queue.
+      // Queue order guarantees every access enqueued before the fence was
+      // registered first. Transport faults rethrow here (typed) and poison
+      // the fence event via the job's failure path.
+      [win](vt::TimePoint ready, const ocl::EventPtr& event) mutable {
+        const vt::TimePoint end = win.fence(ready);
+        static_cast<ocl::UserEvent&>(*event).set_complete(end);
       });
   if (blocking) traced_wait(ev, "wait " + ev->label());
   return ev;

@@ -44,6 +44,7 @@
 #include "ocl/context.hpp"
 #include "ocl/queue.hpp"
 #include "simmpi/cluster.hpp"
+#include "simmpi/window.hpp"
 #include "transfer/strategy.hpp"
 
 namespace clmpi::rt {
@@ -84,6 +85,52 @@ class Runtime {
                                     bool blocking, std::size_t offset, std::size_t size,
                                     int src, int tag, mpi::Comm& comm, ocl::WaitList waits,
                                     std::optional<xfer::Strategy> force = std::nullopt);
+
+  // --- one-sided communication commands (RMA tier) --------------------------
+  //
+  // MPI-3 windows lifted to the command-queue level: a window exposes a
+  // device buffer region for remote Put/Get; accesses are enqueued commands
+  // chained by events like any transfer, and a fence command closes the
+  // epoch. The wire tier (one-sided shmem fabric vs. two-sided pinned
+  // emulation) is picked per access size by xfer::select_rma and degraded by
+  // xfer::resolve_rma_strategy — the same §V-B portability argument on a
+  // transport the paper never had.
+
+  /// Collective (host thread): expose buf[offset, offset+size) as an RMA
+  /// window over `comm`. The device-side staging of remote accesses (H2D
+  /// when a Put lands, D2H before a Get's wire leg) is charged on this
+  /// device's copy engine. The buffer must outlive the window.
+  mpi::Win create_window(const ocl::BufferPtr& buf, std::size_t offset, std::size_t size,
+                         mpi::Comm& comm);
+
+  /// clEnqueuePutBuffer: enqueue a one-sided put of buf[offset, offset+size)
+  /// into `target`'s window region at `target_offset`. The event completes
+  /// at LOCAL completion (origin staging done; the buffer is reusable) — the
+  /// remote landing is only guaranteed after the next fence, where transport
+  /// faults also surface. Zero-size puts are legal.
+  ocl::EventPtr enqueue_put_buffer(ocl::CommandQueue& queue, const ocl::BufferPtr& buf,
+                                   bool blocking, std::size_t offset, std::size_t size,
+                                   int target, std::size_t target_offset, mpi::Win win,
+                                   ocl::WaitList waits,
+                                   std::optional<xfer::Strategy> force = std::nullopt);
+
+  /// clEnqueueGetBuffer: enqueue a one-sided get of `size` bytes from
+  /// `target`'s window region at `target_offset` into buf[offset, ...). The
+  /// event completes at the closing fence (a Get's data only exists then),
+  /// so `blocking` is rejected with Status::invalid_operation — a blocking
+  /// get would deadlock against the fence that must still be enqueued.
+  ocl::EventPtr enqueue_get_buffer(ocl::CommandQueue& queue, const ocl::BufferPtr& buf,
+                                   bool blocking, std::size_t offset, std::size_t size,
+                                   int target, std::size_t target_offset, mpi::Win win,
+                                   ocl::WaitList waits,
+                                   std::optional<xfer::Strategy> force = std::nullopt);
+
+  /// clEnqueueWindowFence: enqueue the collective epoch fence as a command.
+  /// Queue order guarantees every put/get enqueued before it is registered
+  /// first; the event completes at the round's end, or fails with the typed
+  /// transport error when an access involving this rank was lost.
+  ocl::EventPtr enqueue_window_fence(ocl::CommandQueue& queue, mpi::Win win, bool blocking,
+                                     ocl::WaitList waits);
 
   // --- collective communication commands (§IV-C / §VI extension) -----------
 

@@ -113,7 +113,8 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
     core.faults = std::make_unique<FaultEngine>(options.faults);
   }
   core.network = std::make_unique<Network>(options.profile->nic, options.nranks,
-                                           core.tracer, core.faults.get());
+                                           core.tracer, core.faults.get(),
+                                           &options.profile->shmem);
   for (int n = 0; n < options.nranks; ++n) core.mailboxes.emplace_back(*core.network, n);
 
   RunResult result;

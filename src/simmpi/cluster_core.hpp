@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "simmpi/fault.hpp"
@@ -18,6 +20,8 @@
 
 namespace clmpi::mpi::detail {
 
+struct WindowShared;  // window.cpp: shared state of one RMA window
+
 struct ClusterCore {
   const sys::SystemProfile* profile{nullptr};
   vt::Tracer* tracer{nullptr};
@@ -27,6 +31,12 @@ struct ClusterCore {
   std::unique_ptr<Network> network;
   std::deque<Mailbox> mailboxes;  ///< one per node, indexed by global node id
   std::atomic<int> next_context{1};
+
+  /// RMA window-creation rendezvous slots, keyed (context << 32) | win_seq.
+  /// A slot only lives for the duration of one collective create_window call
+  /// (the participating ranks erase it once all have their shared pointer).
+  std::mutex win_mutex;
+  std::unordered_map<std::uint64_t, std::shared_ptr<WindowShared>> windows;
 
   /// Auxiliary runtime threads (non-blocking collective progression).
   /// Registered here so Cluster::run joins them before tearing the cluster

@@ -24,7 +24,8 @@ Comm::Comm(const Comm& other)
       context_(other.context_),
       group_(other.group_),
       my_rank_(other.my_rank_),
-      coll_seq_(other.coll_seq_.load()) {}
+      coll_seq_(other.coll_seq_.load()),
+      win_seq_(other.win_seq_.load()) {}
 
 Comm& Comm::operator=(const Comm& other) {
   core_ = other.core_;
@@ -32,6 +33,7 @@ Comm& Comm::operator=(const Comm& other) {
   group_ = other.group_;
   my_rank_ = other.my_rank_;
   coll_seq_.store(other.coll_seq_.load());
+  win_seq_.store(other.win_seq_.load());
   return *this;
 }
 

@@ -72,6 +72,16 @@ class Comm {
   /// fallbacks (gpudirect -> pinned, pipelined -> pinned).
   [[nodiscard]] FaultEngine* faults() const noexcept;
 
+  /// Internal: the cluster backing this communicator. Used by the RMA window
+  /// layer (window.cpp) to reach the network and the window registry; not
+  /// part of the MPI-facing surface.
+  [[nodiscard]] detail::ClusterCore* core() const noexcept { return core_; }
+
+  /// Internal: next window-creation sequence number. Same series on every
+  /// rank because window creation is collective and issued in the same order
+  /// everywhere (exactly the coll_seq argument).
+  int take_win_seq() { return win_seq_.fetch_add(1); }
+
   // --- point-to-point, explicit ready time (runtime-facing) ---------------
 
   Request isend(std::span<const std::byte> data, int dst, int tag, vt::TimePoint ready,
@@ -179,6 +189,7 @@ class Comm {
   std::vector<int> group_;  ///< group_[comm rank] = global node id
   int my_rank_;
   std::atomic<int> coll_seq_{0};
+  std::atomic<int> win_seq_{0};
 };
 
 /// Element-wise reduction of `in` into `acc` (acc = acc op in).

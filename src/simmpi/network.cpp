@@ -8,14 +8,21 @@
 namespace clmpi::mpi {
 
 Network::Network(const sys::NicModel& model, int nnodes, vt::Tracer* tracer,
-                 FaultEngine* faults)
+                 FaultEngine* faults, const sys::ShmemModel* shmem)
     : model_(model), tracer_(tracer), faults_(faults) {
   CLMPI_REQUIRE(nnodes > 0, "network needs at least one node");
+  if (shmem != nullptr) shmem_ = *shmem;
   tx_.reserve(static_cast<std::size_t>(nnodes));
   rx_.reserve(static_cast<std::size_t>(nnodes));
   for (int n = 0; n < nnodes; ++n) {
     tx_.push_back(std::make_unique<vt::Resource>("nic" + std::to_string(n) + ".tx"));
     rx_.push_back(std::make_unique<vt::Resource>("nic" + std::to_string(n) + ".rx"));
+  }
+  if (shmem_.available) {
+    shm_.reserve(static_cast<std::size_t>(nnodes));
+    for (int n = 0; n < nnodes; ++n) {
+      shm_.push_back(std::make_unique<vt::Resource>("shm" + std::to_string(n) + ".port"));
+    }
   }
 }
 
@@ -42,6 +49,33 @@ vt::Resource::Span Network::transfer(int src, int dst, vt::TimePoint ready,
     std::string text = label == nullptr ? format_bytes(bytes)
                                         : std::string(label) + ' ' + format_bytes(bytes);
     tracer_->record("net" + std::to_string(src) + "->" + std::to_string(dst),
+                    std::move(text), vt::SpanKind::wire, span.start, span.end);
+  }
+  return span;
+}
+
+vt::Resource& Network::shmem_port(int node) {
+  CLMPI_REQUIRE(node >= 0 && node < nodes(), "shmem_port: node out of range");
+  return *shm_[static_cast<std::size_t>(node)];
+}
+
+vt::Resource::Span Network::shmem_transfer(int src, int dst, vt::TimePoint ready,
+                                           std::size_t bytes, const char* label) {
+  CLMPI_REQUIRE(shmem_.available, "shmem_transfer: system has no shared-memory tier");
+  CLMPI_REQUIRE(src >= 0 && src < nodes() && dst >= 0 && dst < nodes(),
+                "shmem_transfer: node out of range");
+  vt::LinearCost cost = shmem_.link;
+  cost.latency = cost.latency + shmem_.map_setup;
+  if (faults_ != nullptr) cost.bytes_per_second *= faults_->bandwidth_derate();
+  const auto span =
+      (src == dst)
+          ? shmem_port(src).acquire(ready, cost.of(bytes))
+          : vt::Resource::acquire_joint(shmem_port(src), shmem_port(dst), ready,
+                                        cost.of(bytes));
+  if (tracer_ != nullptr) {
+    std::string text = label == nullptr ? format_bytes(bytes)
+                                        : std::string(label) + ' ' + format_bytes(bytes);
+    tracer_->record("shm" + std::to_string(src) + "->" + std::to_string(dst),
                     std::move(text), vt::SpanKind::wire, span.start, span.end);
   }
   return span;

@@ -22,9 +22,12 @@ namespace clmpi::mpi {
 class Network {
  public:
   /// `faults` (optional, may be nullptr) degrades wire bandwidth and is
-  /// consulted by the mailboxes for per-message fault decisions.
+  /// consulted by the mailboxes for per-message fault decisions. `shmem`
+  /// (optional) describes the system's one-sided shared-memory fabric; a
+  /// null pointer or `available == false` model leaves the tier absent and
+  /// every shmem_transfer call a precondition error.
   Network(const sys::NicModel& model, int nnodes, vt::Tracer* tracer,
-          FaultEngine* faults = nullptr);
+          FaultEngine* faults = nullptr, const sys::ShmemModel* shmem = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -40,6 +43,19 @@ class Network {
                               double bw_cap = std::numeric_limits<double>::infinity(),
                               const char* label = nullptr);
 
+  /// One-sided Put/Get through the shared-memory fabric (the RMA "shmem"
+  /// wire tier). Each node owns one full-duplex-less fabric port: transfers
+  /// touching a node serialize on its port, distinct node pairs overlap.
+  /// The cost folds the per-operation window mapping latency into the link
+  /// cost; fault-plan bandwidth degradation applies (the plan knob models
+  /// platform-wide interconnect health, not just the NIC).
+  vt::Resource::Span shmem_transfer(int src, int dst, vt::TimePoint ready,
+                                    std::size_t bytes, const char* label = nullptr);
+
+  /// Whether this system has a shared-memory tier at all.
+  [[nodiscard]] bool has_shmem() const noexcept { return shmem_.available; }
+  [[nodiscard]] const sys::ShmemModel& shmem_model() const noexcept { return shmem_; }
+
   [[nodiscard]] const sys::NicModel& model() const noexcept { return model_; }
   [[nodiscard]] int nodes() const noexcept { return static_cast<int>(tx_.size()); }
 
@@ -50,11 +66,15 @@ class Network {
   vt::Resource& rx(int node);
 
  private:
+  vt::Resource& shmem_port(int node);
+
   sys::NicModel model_;
+  sys::ShmemModel shmem_{};
   vt::Tracer* tracer_;
   FaultEngine* faults_;
   std::vector<std::unique_ptr<vt::Resource>> tx_;
   std::vector<std::unique_ptr<vt::Resource>> rx_;
+  std::vector<std::unique_ptr<vt::Resource>> shm_;  ///< empty unless has_shmem()
 };
 
 }  // namespace clmpi::mpi

@@ -22,6 +22,8 @@ const char* to_string(Status s) noexcept {
     case Status::message_dropped: return "CLMPI_MESSAGE_DROPPED";
     case Status::timeout: return "CLMPI_TIMEOUT";
     case Status::truncated: return "CLMPI_TRUNCATED";
+    case Status::invalid_window: return "CLMPI_INVALID_WINDOW";
+    case Status::rma_epoch: return "CLMPI_RMA_EPOCH";
   }
   return "CLMPI_UNKNOWN_STATUS";
 }

@@ -38,6 +38,11 @@ enum class Status : int {
   /// A query filled the caller's buffer to capacity but more data existed;
   /// the output is valid as far as it goes and the required size is reported.
   truncated = -1008,
+  /// An RMA window handle that was never valid or has been freed.
+  invalid_window = -1009,
+  /// An RMA access posted outside an open fence epoch, or an epoch-protocol
+  /// violation (e.g. freeing a window with accesses still pending).
+  rma_epoch = -1010,
 };
 
 /// Human-readable name of a status code ("CL_SUCCESS", ...).

@@ -47,6 +47,22 @@ struct PcieModel {
   vt::Duration map_setup{0.0};
 };
 
+/// Optional one-sided shared-memory fabric (a cMPI-style CXL memory pod
+/// reachable from every node) backing the RMA tier's Put/Get path. Absent
+/// (`available == false`) on the paper's two evaluation systems, so the
+/// stock profiles behave exactly as before; the synthetic "cxlpod" profile
+/// enables it to exercise the one-sided strategy boundary.
+struct ShmemModel {
+  bool available{false};
+  /// Per-operation cost of a one-sided Put/Get through the fabric.
+  vt::LinearCost link{};
+  /// Per-operation window mapping/registration latency.
+  vt::Duration map_setup{};
+  /// Heuristic selector boundary (Fig. 8-style per-size policy): one-sided
+  /// shmem at or above this many bytes, two-sided staging below.
+  std::size_t one_sided_threshold{32 * 1024};
+};
+
 /// Compute device model. `stencil_flops` is the sustained rate of the Himeno
 /// Jacobi kernel on this GPU; `pair_interactions_per_s` the sustained rate of
 /// the nanopowder coagulation kernel; both calibrated in profiles.cpp.
@@ -73,6 +89,8 @@ struct SystemProfile {
   GpuModel gpu;
   NicModel nic;
   PcieModel pcie;
+  /// One-sided shared-memory wire tier (RMA windows); disabled by default.
+  ShmemModel shmem;
   /// Node-local storage (checkpoint/file-I/O commands, §VI extension).
   vt::LinearCost storage;
   int max_nodes{1};
@@ -96,6 +114,11 @@ const SystemProfile& cichlid();
 /// The RIKEN Integrated Cluster of Clusters partition: InfiniBand DDR
 /// (IPoIB) + Tesla C1060, up to 100 nodes.
 const SystemProfile& ricc();
+
+/// Synthetic modern cluster with a CXL-style shared-memory pod: the only
+/// stock profile whose ShmemModel is available. Used by the RMA tier's
+/// tests and benches; the paper's systems predate such fabrics.
+const SystemProfile& cxlpod();
 
 /// Look up a profile by case-insensitive name; throws PreconditionError for
 /// unknown names. Used by bench command lines.

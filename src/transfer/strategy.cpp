@@ -243,6 +243,7 @@ const char* to_string(StrategyKind kind) noexcept {
     case StrategyKind::mapped: return "mapped";
     case StrategyKind::pipelined: return "pipelined";
     case StrategyKind::gpudirect: return "gpudirect";
+    case StrategyKind::shmem: return "shmem";
   }
   return "?";
 }
@@ -297,6 +298,8 @@ vt::TimePoint send_device(const DeviceEndpoint& ep, const Strategy& strategy,
     case StrategyKind::mapped: return send_mapped(ep, ready);
     case StrategyKind::pipelined: return send_pipelined(ep, s.block, ready);
     case StrategyKind::gpudirect: return send_gpudirect(ep, ready);
+    case StrategyKind::shmem:
+      throw PreconditionError("one-sided shmem strategy on a two-sided send");
   }
   throw PreconditionError("unknown transfer strategy");
 }
@@ -310,6 +313,8 @@ vt::TimePoint recv_device(const DeviceEndpoint& ep, const Strategy& strategy,
     case StrategyKind::mapped: return recv_mapped(ep, ready);
     case StrategyKind::pipelined: return recv_pipelined(ep, s.block, ready);
     case StrategyKind::gpudirect: return recv_gpudirect(ep, ready);
+    case StrategyKind::shmem:
+      throw PreconditionError("one-sided shmem strategy on a two-sided recv");
   }
   throw PreconditionError("unknown transfer strategy");
 }
@@ -467,6 +472,9 @@ vt::TimePoint exchange_device(const DeviceEndpoint& send_ep, const DeviceEndpoin
                                          single_message_opts(recv_ep.deadline)));
       return wait_all_collect(reqs);
     }
+
+    case StrategyKind::shmem:
+      throw PreconditionError("one-sided shmem strategy on a two-sided exchange");
   }
   throw PreconditionError("unknown transfer strategy");
 }
@@ -542,6 +550,15 @@ vt::Duration predict_transfer(const sys::SystemProfile& profile, std::size_t siz
              stage * static_cast<double>(nblocks - 1) + wire.of(last) + pcie.pin_setup +
              h2d;
     }
+    case StrategyKind::shmem:
+      // One-sided Put/Get of a device-resident window region: origin-side
+      // pinned staging, one fabric operation (window mapping + link), and
+      // the target-side landing DMA. Matches the charges window.cpp and the
+      // runtime's ingress/egress hooks make for an RMA access.
+      CLMPI_REQUIRE(profile.shmem.available,
+                    "shmem strategy on a system without a shared-memory tier");
+      return pcie.pin_setup + pcie.pinned.of(size) + profile.shmem.map_setup +
+             profile.shmem.link.of(size) + pcie.pin_setup + pcie.pinned.of(size);
   }
   throw PreconditionError("unknown transfer strategy");
 }
@@ -577,6 +594,13 @@ std::uint64_t selection_fingerprint(const sys::SystemProfile& p) noexcept {
   h = mix(h, double_bits(p.pcie.map_setup.s));
   h = mix(h, static_cast<std::uint64_t>(p.small_preference));
   h = mix(h, p.pipeline_threshold);
+  // Read by select_rma / predict_transfer(shmem); a profile copy that only
+  // flips the fabric knobs must not hit a stale memo entry.
+  h = mix(h, p.shmem.available ? 1 : 0);
+  h = mix(h, double_bits(p.shmem.link.latency.s));
+  h = mix(h, double_bits(p.shmem.link.bytes_per_second));
+  h = mix(h, double_bits(p.shmem.map_setup.s));
+  h = mix(h, p.shmem.one_sided_threshold);
   return h;
 }
 
@@ -659,6 +683,41 @@ Strategy select_exchange(const sys::SystemProfile& profile, std::size_t send_siz
   // exchange see the same (send, recv) pair (mirrored), so max() derives
   // the identical strategy — and wire decomposition — on both ends.
   return select(profile, std::max(send_size, recv_size), mode);
+}
+
+Strategy select_rma(const sys::SystemProfile& profile, std::size_t size,
+                    SelectionMode mode) {
+  // No fabric -> the access is emulated two-sided: one pinned-staged
+  // message per Put/Get, always single-message (RMA accesses are applied as
+  // whole operations at the fence, so a pipelined decomposition has nothing
+  // to overlap with).
+  if (!profile.shmem.available) return Strategy::pinned();
+  if (mode == SelectionMode::heuristic) {
+    return size >= profile.shmem.one_sided_threshold ? Strategy::shmem()
+                                                     : Strategy::pinned();
+  }
+  return predict_transfer(profile, size, Strategy::shmem()) <
+                 predict_transfer(profile, size, Strategy::pinned())
+             ? Strategy::shmem()
+             : Strategy::pinned();
+}
+
+Strategy resolve_rma_strategy(const sys::SystemProfile& profile,
+                              const mpi::FaultEngine* faults, const Strategy& requested) {
+  if (requested.kind == StrategyKind::shmem) {
+    const bool degraded =
+        faults != nullptr && faults->plan().nic_degradation >= kShmemDegradationThreshold;
+    if (!profile.shmem.available || degraded) {
+      if (obs::metrics_enabled()) {
+        static auto& fallbacks = obs::Registry::instance().counter("xfer.fallbacks");
+        static auto& sp = obs::Registry::instance().counter("xfer.fallback.shmem_to_pinned");
+        fallbacks.add();
+        sp.add();
+      }
+      return Strategy::pinned();
+    }
+  }
+  return requested;
 }
 
 Strategy select(const sys::SystemProfile& profile, std::size_t size, SelectionMode mode) {

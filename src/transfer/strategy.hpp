@@ -36,6 +36,10 @@ enum class StrategyKind {
   /// GPUDirect RDMA: the NIC moves device memory directly, no host staging
   /// and no PCIe copy-engine involvement (requires NicModel::rdma_direct).
   gpudirect,
+  /// One-sided Put/Get through the shared-memory fabric (sys::ShmemModel) —
+  /// the RMA tier's wire. Never legal for two-sided send/recv operations;
+  /// selected only by select_rma / resolve_rma_strategy.
+  shmem,
 };
 
 const char* to_string(StrategyKind kind) noexcept;
@@ -56,6 +60,7 @@ struct Strategy {
     return {StrategyKind::pipelined, block_bytes};
   }
   static Strategy gpudirect() { return {StrategyKind::gpudirect, 0}; }
+  static Strategy shmem() { return {StrategyKind::shmem, 0}; }
 };
 
 /// One device-buffer communication endpoint.
@@ -155,6 +160,30 @@ Strategy resolve_strategy(const sys::SystemProfile& profile, mpi::Comm& comm, in
 /// NIC degradation (FaultPlan::nic_degradation) at or above this makes the
 /// direct RDMA path untrustworthy; gpudirect falls back to pinned staging.
 inline constexpr double kGpudirectDegradationThreshold = 0.5;
+
+/// The RMA selector (Fig. 8 policy extended to the one-sided tier): picks
+/// between a one-sided shmem Put/Get and a two-sided emulation (single
+/// pinned-staged message) for a device-resident window access of `size`
+/// bytes. Heuristic mode uses the profile's ShmemModel::one_sided_threshold;
+/// predictive mode takes the argmin of predict_transfer over both. Pure
+/// function of (profile, size, mode): both endpoints of an access derive the
+/// same tier. On profiles without a shmem fabric this always returns pinned.
+Strategy select_rma(const sys::SystemProfile& profile, std::size_t size,
+                    SelectionMode mode = SelectionMode::heuristic);
+
+/// Graceful degradation for RMA accesses, mirroring resolve_strategy: shmem
+/// falls back to the two-sided pinned emulation when the profile has no
+/// fabric, or when injected interconnect degradation reaches
+/// kShmemDegradationThreshold (the plan's nic_degradation knob models
+/// platform-wide interconnect health; a half-degraded fabric is no longer
+/// trusted for one-sided access). `faults` may be null (no injection).
+/// Inputs are identical on every rank, so all endpoints agree on the tier.
+Strategy resolve_rma_strategy(const sys::SystemProfile& profile,
+                              const mpi::FaultEngine* faults, const Strategy& requested);
+
+/// Interconnect degradation at or above this pushes RMA accesses off the
+/// shared-memory fabric onto the two-sided pinned path.
+inline constexpr double kShmemDegradationThreshold = 0.5;
 
 /// Pipeline block size heuristic: grows with the message (Figure 8(b):
 /// small blocks win for small messages, large blocks for large ones).

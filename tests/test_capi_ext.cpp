@@ -4,11 +4,15 @@
 
 #include "test_util.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "clmpi/capi.h"
+#include "obs/metrics.hpp"
 #include "ocl/platform.hpp"
 #include "support/rng.hpp"
 #include "support/units.hpp"
@@ -355,6 +359,125 @@ TEST(CApiExt, OperationTimeoutKnobRoundTrips) {
     EXPECT_EQ(clmpiSetOperationTimeout(0.0), CL_SUCCESS);
     EXPECT_EQ(clmpiGetOperationTimeout(&seconds), CL_SUCCESS);
     EXPECT_DOUBLE_EQ(seconds, 0.0);
+  });
+}
+
+TEST(CApiExt, ListCountersTwoCallHammerUnderRegistryGrowth) {
+  auto& reg = obs::Registry::instance();
+  reg.counter("hammer.base").add();
+
+  // Deterministic stale-size truncation: the registry grows between the size
+  // query and the fill call, so the stale capacity no longer suffices. The
+  // fill must cut at a complete name, NUL-terminate, re-report the CURRENT
+  // size, and return CLMPI_TRUNCATED — and the retry with the fresh size
+  // must succeed.
+  std::size_t stale = 0;
+  ASSERT_EQ(clmpiListCounters(nullptr, 0, &stale), CL_SUCCESS);
+  ASSERT_GT(stale, 0u);
+  for (int i = 0; i < 8; ++i) {
+    reg.counter("hammer.late." + std::to_string(i)).add();
+  }
+  std::vector<char> buf(stale);
+  std::size_t fresh = 0;
+  ASSERT_EQ(clmpiListCounters(buf.data(), buf.size(), &fresh), CLMPI_TRUNCATED);
+  EXPECT_GT(fresh, stale);
+  const char* nul = static_cast<const char*>(std::memchr(buf.data(), '\0', buf.size()));
+  ASSERT_NE(nul, nullptr);
+  if (nul != buf.data()) {
+    EXPECT_EQ(*(nul - 1), '\n');  // cut at a complete name, never mid-name
+  }
+  buf.assign(fresh, '\0');
+  ASSERT_EQ(clmpiListCounters(buf.data(), buf.size(), &fresh), CL_SUCCESS);
+  EXPECT_NE(std::string(buf.data()).find("hammer.late.7\n"), std::string::npos);
+
+  // Racy hammer: a registrar thread keeps registering counters while the
+  // two-call pattern loops. Every fill must terminate cleanly (no overflow,
+  // no partial names) whatever interleaving the race produces.
+  std::atomic<bool> stop{false};
+  std::thread registrar([&] {
+    for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      obs::Registry::instance().counter("hammer.dyn." + std::to_string(i % 512)).add();
+    }
+  });
+  for (int iter = 0; iter < 200; ++iter) {
+    std::size_t needed = 0;
+    ASSERT_EQ(clmpiListCounters(nullptr, 0, &needed), CL_SUCCESS);
+    std::vector<char> fill(needed);
+    std::size_t now = 0;
+    const cl_int rc = clmpiListCounters(fill.data(), fill.size(), &now);
+    ASSERT_TRUE(rc == CL_SUCCESS || rc == CLMPI_TRUNCATED) << "iteration " << iter;
+    EXPECT_GE(now, needed);
+    const char* end = static_cast<const char*>(std::memchr(fill.data(), '\0', fill.size()));
+    ASSERT_NE(end, nullptr) << "unterminated fill, iteration " << iter;
+    if (end != fill.data()) {
+      EXPECT_EQ(*(end - 1), '\n');
+    }
+  }
+  stop.store(true);
+  registrar.join();
+
+  // Degenerate capacities: no room for even the NUL, and room for only it.
+  char tiny = 0x7f;
+  EXPECT_EQ(clmpiListCounters(&tiny, 0, nullptr), CLMPI_TRUNCATED);
+  EXPECT_EQ(tiny, 0x7f);  // cap 0: untouched
+  EXPECT_EQ(clmpiListCounters(&tiny, 1, nullptr), CLMPI_TRUNCATED);
+  EXPECT_EQ(tiny, '\0');  // cap 1: just the terminator
+}
+
+TEST(CApiNegative, RmaWindowTypedStatuses) {
+  mpi::Cluster::run(opts(2), [&](mpi::Rank& rank) {
+    Session s(rank);
+    const int peer = 1 - rank.rank();
+    cl_int err = CL_SUCCESS;
+    cl_mem buf = clCreateBuffer(s.ctx, 4_KiB, &err);
+
+    // Creation argument errors (reported before the collective begins, so
+    // both ranks fail symmetrically and stay in lockstep).
+    EXPECT_EQ(clmpiCreateWindow(nullptr, 0, 16, MPI_COMM_WORLD, &err), nullptr);
+    EXPECT_EQ(err, CLMPI_INVALID_MEM_OBJECT);
+    EXPECT_EQ(clmpiCreateWindow(buf, 0, 16, nullptr, &err), nullptr);
+    EXPECT_EQ(err, CLMPI_INVALID_COMMUNICATOR);
+    EXPECT_EQ(clmpiCreateWindow(buf, 4_KiB, 16, MPI_COMM_WORLD, &err), nullptr);
+    EXPECT_EQ(err, CL_INVALID_VALUE);
+
+    clmpi_window win = clmpiCreateWindow(buf, 0, 256, MPI_COMM_WORLD, &err);
+    ASSERT_EQ(err, CL_SUCCESS);
+    ASSERT_NE(win, nullptr);
+
+    // A put posted before any fence: no access epoch is open. The failure is
+    // typed and surfaces through the blocking wait on the command's event.
+    EXPECT_EQ(clEnqueuePutBuffer(s.cmd, buf, CL_TRUE, 0, 16, peer, 0, win, 0, nullptr,
+                                 nullptr),
+              CLMPI_RMA_EPOCH);
+
+    // Out-of-bounds accesses and bad ranks are rejected eagerly, typed.
+    EXPECT_EQ(clEnqueuePutBuffer(s.cmd, buf, CL_FALSE, 0, 16, peer, 512, win, 0, nullptr,
+                                 nullptr),
+              CL_INVALID_VALUE);  // past the 256 B target region
+    EXPECT_EQ(clEnqueueGetBuffer(s.cmd, buf, CL_FALSE, 4_KiB, 16, peer, 0, win, 0, nullptr,
+                                 nullptr),
+              CL_INVALID_VALUE);  // past the local buffer
+    EXPECT_EQ(clEnqueuePutBuffer(s.cmd, buf, CL_FALSE, 0, 16, 5, 0, win, 0, nullptr,
+                                 nullptr),
+              CLMPI_INVALID_RANK);
+
+    // Null / stale window handles.
+    EXPECT_EQ(clEnqueuePutBuffer(s.cmd, buf, CL_FALSE, 0, 16, peer, 0, nullptr, 0, nullptr,
+                                 nullptr),
+              CLMPI_INVALID_WINDOW);
+    EXPECT_EQ(clEnqueueWindowFence(s.cmd, nullptr, CL_TRUE, 0, nullptr, nullptr),
+              CLMPI_INVALID_WINDOW);
+
+    EXPECT_EQ(clmpiFreeWindow(win), CL_SUCCESS);  // collective
+    EXPECT_EQ(clmpiFreeWindow(win), CLMPI_INVALID_WINDOW);
+    EXPECT_EQ(clEnqueuePutBuffer(s.cmd, buf, CL_FALSE, 0, 16, peer, 0, win, 0, nullptr,
+                                 nullptr),
+              CLMPI_INVALID_WINDOW);
+    EXPECT_EQ(clEnqueueGetBuffer(s.cmd, buf, CL_FALSE, 0, 16, peer, 0, win, 0, nullptr,
+                                 nullptr),
+              CLMPI_INVALID_WINDOW);
+
+    clReleaseMemObject(buf);
   });
 }
 

@@ -24,11 +24,14 @@
 
 #include "test_util.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <mutex>
+#include <span>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -39,6 +42,7 @@
 #include "ocl/queue.hpp"
 #include "simmpi/cluster.hpp"
 #include "simmpi/fault.hpp"
+#include "simmpi/window.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/units.hpp"
@@ -303,6 +307,172 @@ TEST_P(Chaos, DeliversOrFailsCleanlyAndDeterministically) {
     records().push_back(rec);
   }
 }
+
+// --- one-sided RMA scenarios -------------------------------------------------
+//
+// The same invariants, driven through the window/fence subsystem on the
+// shmem-fabric profile: every Put/Get epoch either delivers byte-exact or
+// fails with the typed transport error at the closing fence on BOTH
+// endpoints — never a silent corruption, never a hang — and the identical
+// seed replays to the identical trace hash. Both ranks track a shadow model
+// of both regions (updatable symmetrically because failures surface on both
+// endpoints), so Get payloads are checked against expected remote state, not
+// just Put landings.
+
+constexpr std::size_t kRmaRegion = 64_KiB;
+
+ScenarioOutcome run_rma_scenario(FaultClass fault, std::uint64_t seed) {
+  ScenarioOutcome outcome;
+  std::mutex outcome_mutex;
+
+  vt::Tracer tracer;
+  mpi::Cluster::Options o;
+  o.nranks = 2;
+  o.profile = &sys::cxlpod();
+  o.tracer = &tracer;
+  o.watchdog_seconds = testutil::watchdog_seconds(20.0);
+  o.faults = plan_for(fault, seed);
+
+  const mpi::RunResult res = mpi::Cluster::run(o, [&](mpi::Rank& rank) {
+    std::vector<std::byte> region(kRmaRegion, std::byte{0});
+    mpi::Win win = mpi::create_window(rank.world(), region, rank.clock());
+    // Shadow of BOTH regions; kept in lockstep on both ranks.
+    std::vector<std::vector<std::byte>> shadow(
+        2, std::vector<std::byte>(kRmaRegion, std::byte{0}));
+
+    Rng rng(derive_seed(seed, 0x44AAu));
+    win.fence(rank.clock());
+    for (int e = 0; e < kOpsPerScenario; ++e) {
+      const std::size_t size = 1 + rng.below(48_KiB);
+      const std::size_t offset = rng.below(kRmaRegion - size + 1);
+      const bool is_put = (rng.next_u64() & 1u) != 0;
+      const int origin = static_cast<int>(rng.below(2));
+      const int target = 1 - origin;
+      const std::uint64_t pattern = derive_seed(seed, 0x7A11u + static_cast<unsigned>(e));
+
+      std::vector<std::byte> fetched(size);
+      if (rank.rank() == origin) {
+        if (is_put) {
+          std::vector<std::byte> payload(size);
+          fill_pattern(payload, pattern);
+          win.put(payload, target, offset, rank.clock());
+        } else {
+          win.get(std::span<std::byte>(fetched), target, offset, rank.clock());
+        }
+      }
+      try {
+        win.fence(rank.clock());
+        // Success: the access landed. Check byte-exactness against the
+        // shadow, then fold the put into it.
+        if (is_put) {
+          if (rank.rank() == target) {
+            EXPECT_TRUE(check_pattern(
+                std::span<const std::byte>(region).subspan(offset, size), pattern))
+                << "corrupt RMA put, scenario seed " << seed << " epoch " << e;
+          }
+          std::vector<std::byte> payload(size);
+          fill_pattern(payload, pattern);
+          std::copy(payload.begin(), payload.end(),
+                    shadow[static_cast<std::size_t>(target)].begin() +
+                        static_cast<std::ptrdiff_t>(offset));
+        } else if (rank.rank() == origin) {
+          const auto& tgt = shadow[static_cast<std::size_t>(target)];
+          EXPECT_EQ(0, std::memcmp(fetched.data(), tgt.data() + offset, size))
+              << "corrupt RMA get, scenario seed " << seed << " epoch " << e;
+        }
+        if (rank.rank() == target) {
+          const std::lock_guard<std::mutex> lock(outcome_mutex);
+          ++outcome.delivered;
+        }
+      } catch (const Error& err) {
+        // Invariant 1: only the defined transport errors, and only when the
+        // plan actually injects loss. The failed access never landed, so the
+        // shadow is NOT updated — on either endpoint.
+        EXPECT_TRUE(err.status() == Status::message_dropped ||
+                    err.status() == Status::timeout)
+            << "scenario seed " << seed << " epoch " << e << ": " << err.what();
+        EXPECT_EQ(fault, FaultClass::drop)
+            << "unexpected RMA failure under fault class " << to_string(fault);
+        if (rank.rank() == target) {
+          const std::lock_guard<std::mutex> lock(outcome_mutex);
+          ++outcome.dropped;
+        }
+      }
+      // The region must always equal the shadow: delivered accesses land
+      // exactly, failed ones not at all (no partial writes).
+      EXPECT_EQ(0, std::memcmp(region.data(),
+                               shadow[static_cast<std::size_t>(rank.rank())].data(),
+                               kRmaRegion))
+          << "shadow divergence, scenario seed " << seed << " epoch " << e;
+    }
+    win.free(rank.clock());
+  });
+
+  outcome.trace_hash = tracer.hash();
+  outcome.counters = res.faults;
+  outcome.makespan_s = res.makespan_s;
+  return outcome;
+}
+
+using RmaChaosParam = std::tuple<FaultClass, int>;
+
+class RmaChaos : public ::testing::TestWithParam<RmaChaosParam> {};
+
+TEST_P(RmaChaos, PutGetDeliverOrFailCleanlyAndDeterministically) {
+  const auto [fault, seed_index] = GetParam();
+  const std::uint64_t seed =
+      derive_seed(0x12A5EEDu, static_cast<std::uint64_t>(seed_index) * 883u +
+                                  static_cast<std::uint64_t>(fault) * 101u);
+  SCOPED_TRACE("rma scenario seed " + std::to_string(seed));
+
+  const ScenarioOutcome first = run_rma_scenario(fault, seed);
+  const ScenarioOutcome second = run_rma_scenario(fault, seed);
+
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
+  EXPECT_DOUBLE_EQ(first.makespan_s, second.makespan_s);
+  EXPECT_EQ(first.counters.messages, second.counters.messages);
+  EXPECT_EQ(first.counters.drops, second.counters.drops);
+  EXPECT_EQ(first.counters.duplicates, second.counters.duplicates);
+  EXPECT_EQ(first.counters.delays, second.counters.delays);
+
+  // Every epoch settled one way or the other on the target side.
+  EXPECT_EQ(first.delivered + first.dropped, kOpsPerScenario);
+  if (fault != FaultClass::drop) {
+    EXPECT_EQ(first.dropped, 0);
+    EXPECT_EQ(first.counters.drops, 0u);
+  }
+  if (fault == FaultClass::none) {
+    EXPECT_EQ(first.counters.messages, 0u);
+  }
+
+  ScenarioRecord rec;
+  rec.fault = to_string(fault);
+  rec.strategy = "rma";
+  rec.seed = seed;
+  rec.trace_hash = first.trace_hash;
+  rec.counters = first.counters;
+  rec.makespan_s = first.makespan_s;
+  rec.delivered = first.delivered;
+  rec.dropped = first.dropped;
+  {
+    const std::lock_guard<std::mutex> lock(g_records_mutex);
+    records().push_back(rec);
+  }
+}
+
+std::string rma_chaos_name(const ::testing::TestParamInfo<RmaChaosParam>& info) {
+  const auto [fault, seed_index] = info.param;
+  return std::string(to_string(fault)) + "_s" + std::to_string(seed_index);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaultsOneSided, RmaChaos,
+    ::testing::Combine(::testing::Values(FaultClass::none, FaultClass::drop,
+                                         FaultClass::duplicate, FaultClass::reorder,
+                                         FaultClass::spike, FaultClass::degrade,
+                                         FaultClass::stall),
+                       ::testing::Range(0, 2)),
+    rma_chaos_name);
 
 std::string chaos_name(const ::testing::TestParamInfo<ChaosParam>& info) {
   const auto [fault, forced, seed_index] = info.param;
