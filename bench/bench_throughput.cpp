@@ -17,16 +17,23 @@
 //   mailbox_fanin    4 ranks, 3 senders fan in to rank 0 on distinct tags
 //   rma_put_fanin    4 ranks, 3 peers Put 16 KiB slots into rank 0's window
 //                    each fence epoch (shmem one-sided tier on cxlpod)
+//   progress_starved 4-rank fan-in completed purely by on_settle
+//                    continuations — zero blocking waits, coalesced sends
+//   persistent_halo  4-rank ring halo exchange; send_init/recv_init once,
+//                    start() every epoch (persistent-request replay path)
 //   chaos_replay     7 fault classes x 3 strategies, one seeded scenario each
 //
 // Output: a human-readable table on stdout and a JSON array (default
 // BENCH_throughput.json, override with --out PATH). `--smoke` shrinks every
 // scenario so the whole run finishes in a few seconds (the `bench-smoke`
 // CTest label runs this configuration).
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <thread>
 #include <functional>
 #include <string>
 #include <vector>
@@ -58,6 +65,7 @@ namespace {
 struct Config {
   bool smoke{false};
   std::string out_path{"BENCH_throughput.json"};
+  std::string only;  ///< when non-empty, run only the scenario with this name
   int warmup{1};
   int reps{5};
 };
@@ -206,6 +214,137 @@ ScenarioResult rma_put_fanin(const Config& cfg, int epochs) {
           win.fence(rank.clock());
         }
         win.free(rank.clock());
+      });
+}
+
+// --- progress engine: continuation-only fan-in (no blocking waits) -----------
+
+// Same fan-in shape as mailbox_fanin, but no rank ever parks in wait():
+// completion is observed purely through on_settle continuations plus a
+// cooperative yield-spin on an atomic remaining-count. msgs_per_sender must
+// be a multiple of the coalescer's count threshold so every batch flushes
+// synchronously at post time (no reliance on the driver tick for liveness).
+// The scenario is its own determinism gate: the traced run repeats three
+// times and the hashes/makespans must match exactly, and the timed reps must
+// record zero progress.blocking_waits.
+ScenarioResult progress_starved(const Config& cfg, int msgs_per_sender) {
+  constexpr int kRanks = 4;
+  constexpr std::size_t kSize = 512;  // sub-eager: exercises the coalescer
+  const auto body = [msgs_per_sender](mpi::Rank& rank) {
+    std::vector<std::byte> buf(kSize, std::byte{0x77});
+    std::vector<mpi::Request> reqs;
+    std::vector<std::vector<std::byte>> bufs;
+    if (rank.rank() == 0) {
+      bufs.resize(static_cast<std::size_t>((rank.size() - 1) * msgs_per_sender));
+      std::size_t n = 0;
+      for (int src = 1; src < rank.size(); ++src) {
+        for (int i = 0; i < msgs_per_sender; ++i) {
+          bufs[n].resize(kSize);
+          reqs.push_back(rank.world().irecv(bufs[n++], src, src * 1000 + i,
+                                            rank.clock()));
+        }
+      }
+    } else {
+      for (int i = 0; i < msgs_per_sender; ++i) {
+        reqs.push_back(
+            rank.world().isend(buf, 0, rank.rank() * 1000 + i, rank.clock()));
+      }
+    }
+    auto remaining = std::make_shared<std::atomic<std::size_t>>(reqs.size());
+    for (auto& req : reqs) {
+      req.on_settle([remaining](vt::TimePoint, const mpi::MsgStatus&,
+                                const std::exception_ptr&) {
+        remaining->fetch_sub(1, std::memory_order_acq_rel);
+      });
+    }
+    while (remaining->load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+    // All settled: completion fields are lock-free-readable now. Synchronize
+    // the rank's clock exactly as a waitall would — to the latest completion.
+    vt::TimePoint latest{};
+    for (auto& req : reqs) latest = vt::max(latest, req.completion_time());
+    rank.clock().sync_to(latest);
+  };
+
+  ScenarioResult r;
+  r.name = "progress_starved";
+  r.msgs_per_rep = static_cast<double>((kRanks - 1) * msgs_per_sender);
+
+  // Determinism gate: three traced runs must agree bit-for-bit.
+  for (int run = 0; run < 3; ++run) {
+    vt::Tracer tracer;
+    mpi::Cluster::Options o;
+    o.nranks = kRanks;
+    o.profile = &sys::ricc();
+    o.tracer = &tracer;
+    const mpi::RunResult res = mpi::Cluster::run(o, body);
+    if (run == 0) {
+      r.trace_hash = tracer.hash();
+      r.virtual_makespan_s = res.makespan_s;
+      r.counters = res.faults;
+    } else if (tracer.hash() != r.trace_hash ||
+               res.makespan_s != r.virtual_makespan_s) {
+      std::fprintf(stderr,
+                   "progress_starved: traced run %d diverged "
+                   "(hash 0x%016llx vs 0x%016llx, makespan %.17g vs %.17g)\n",
+                   run, static_cast<unsigned long long>(tracer.hash()),
+                   static_cast<unsigned long long>(r.trace_hash), res.makespan_s,
+                   r.virtual_makespan_s);
+      std::exit(1);
+    }
+  }
+
+  obs::Registry::instance().reset();
+  r.wall = benchutil::time_wall(cfg.warmup, cfg.reps, [&] {
+    mpi::Cluster::Options o;
+    o.nranks = kRanks;
+    o.profile = &sys::ricc();
+    mpi::Cluster::run(o, body);
+  });
+  r.metrics = drain_metrics();
+  for (const auto& s : r.metrics) {
+    if (s.name == "progress.blocking_waits") {
+      std::fprintf(stderr, "progress_starved: %llu blocking waits (expected 0)\n",
+                   static_cast<unsigned long long>(s.value));
+      std::exit(1);
+    }
+  }
+  return r;
+}
+
+// --- persistent halo exchange: init once, start every epoch ------------------
+
+// A ring halo exchange where the four per-neighbor operations are prepared
+// once with send_init/recv_init and replayed with start() each epoch —
+// the persistent-request analogue of the mailbox_fanin hot loop. Virtual
+// results are identical to re-issuing plain isend/irecv pairs (the replay
+// charges the same per-call overhead); the wall number isolates how much
+// init-time header assembly saves per epoch.
+ScenarioResult persistent_halo(const Config& cfg, int epochs) {
+  constexpr int kRanks = 4;
+  constexpr std::size_t kHalo = 8_KiB;
+  return run_scenario(
+      cfg, "persistent_halo", kRanks, {},
+      static_cast<double>(kRanks * 2 * epochs), sys::ricc(),
+      [epochs](mpi::Rank& rank) {
+        const int right = (rank.rank() + 1) % rank.size();
+        const int left = (rank.rank() + rank.size() - 1) % rank.size();
+        std::vector<std::byte> send_r(kHalo, std::byte{0x1E});
+        std::vector<std::byte> send_l(kHalo, std::byte{0x2E});
+        std::vector<std::byte> recv_l(kHalo);
+        std::vector<std::byte> recv_r(kHalo);
+        mpi::PersistentRequest ops[] = {
+            rank.world().send_init(send_r, right, 11),
+            rank.world().send_init(send_l, left, 12),
+            rank.world().recv_init(recv_l, left, 11),
+            rank.world().recv_init(recv_r, right, 12),
+        };
+        for (int e = 0; e < epochs; ++e) {
+          mpi::Request reqs[4];
+          for (int i = 0; i < 4; ++i) reqs[i] = ops[i].start(rank.clock());
+          mpi::wait_all(reqs, rank.clock());
+        }
       });
 }
 
@@ -401,8 +540,11 @@ int main(int argc, char** argv) {
       cfg.out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       cfg.reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+      cfg.only = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--reps N] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--smoke] [--reps N] [--only SCENARIO] [--out PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -419,18 +561,32 @@ int main(int argc, char** argv) {
   const int pipe_rounds = cfg.smoke ? 10 : 40;
   const int fanin_msgs = cfg.smoke ? 50 : 300;
   const int rma_epochs = cfg.smoke ? 30 : 150;
+  // Multiples of the coalescer count threshold (32): see progress_starved.
+  const int starved_msgs = cfg.smoke ? 32 : 96;
+  const int halo_epochs = cfg.smoke ? 40 : 200;
 
   std::vector<ScenarioResult> results;
-  results.push_back(pingpong(cfg, "eager_inline", 64, pp_rounds));
-  results.push_back(pingpong(cfg, "eager_small", 4_KiB, pp_rounds));
-  results.push_back(pingpong(cfg, "rendezvous_large", 256_KiB, rv_rounds));
-  results.push_back(
-      device_repeat(cfg, "pinned_repeat", xfer::Strategy::pinned(), 256_KiB, dev_rounds));
-  results.push_back(device_repeat(cfg, "pipelined_large",
-                                  xfer::Strategy::pipelined(1_MiB), 8_MiB, pipe_rounds));
-  results.push_back(fanin(cfg, fanin_msgs));
-  results.push_back(rma_put_fanin(cfg, rma_epochs));
-  results.push_back(chaos_replay(cfg));
+  const auto want = [&](const char* name) {
+    return cfg.only.empty() || cfg.only == name;
+  };
+  if (want("eager_inline")) results.push_back(pingpong(cfg, "eager_inline", 64, pp_rounds));
+  if (want("eager_small")) results.push_back(pingpong(cfg, "eager_small", 4_KiB, pp_rounds));
+  if (want("rendezvous_large")) {
+    results.push_back(pingpong(cfg, "rendezvous_large", 256_KiB, rv_rounds));
+  }
+  if (want("pinned_repeat")) {
+    results.push_back(
+        device_repeat(cfg, "pinned_repeat", xfer::Strategy::pinned(), 256_KiB, dev_rounds));
+  }
+  if (want("pipelined_large")) {
+    results.push_back(device_repeat(cfg, "pipelined_large",
+                                    xfer::Strategy::pipelined(1_MiB), 8_MiB, pipe_rounds));
+  }
+  if (want("mailbox_fanin")) results.push_back(fanin(cfg, fanin_msgs));
+  if (want("rma_put_fanin")) results.push_back(rma_put_fanin(cfg, rma_epochs));
+  if (want("progress_starved")) results.push_back(progress_starved(cfg, starved_msgs));
+  if (want("persistent_halo")) results.push_back(persistent_halo(cfg, halo_epochs));
+  if (want("chaos_replay")) results.push_back(chaos_replay(cfg));
 
   print_table(results);
   write_json(results, cfg);

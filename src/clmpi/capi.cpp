@@ -37,6 +37,14 @@ struct _clmpi_window {
   clmpi::ocl::BufferPtr buf;
 };
 
+struct _clmpi_prequest {
+  // Exactly one of the two is non-null: host-datatype persistents are
+  // comm-level handles, MPI_CL_MEM persistents carry the runtime's
+  // pre-resolved strategy and wire decomposition.
+  clmpi::mpi::PersistentRequest host;
+  clmpi::rt::PersistentRequest dev;
+};
+
 namespace clmpi::capi {
 namespace {
 
@@ -83,6 +91,7 @@ HandleRegistry<cl_event> g_events;
 HandleRegistry<cl_mem> g_mems;
 HandleRegistry<cl_command_queue> g_queues;
 HandleRegistry<clmpi_window> g_windows;
+HandleRegistry<clmpi_prequest> g_prequests;
 
 void register_event(cl_event handle) { g_events.add(handle); }
 void unregister_event(cl_event handle) { g_events.remove(handle); }
@@ -96,6 +105,9 @@ bool queue_live(cl_command_queue handle) { return g_queues.live(handle); }
 void register_window(clmpi_window handle) { g_windows.add(handle); }
 void unregister_window(clmpi_window handle) { g_windows.remove(handle); }
 bool window_live(clmpi_window handle) { return g_windows.live(handle); }
+void register_prequest(clmpi_prequest handle) { g_prequests.add(handle); }
+void unregister_prequest(clmpi_prequest handle) { g_prequests.remove(handle); }
+bool prequest_live(clmpi_prequest handle) { return g_prequests.live(handle); }
 
 std::vector<ocl::EventPtr> to_waitlist(cl_uint numevts, const cl_event* wlist) {
   if ((numevts == 0) != (wlist == nullptr)) {
@@ -740,4 +752,67 @@ int MPI_Waitall(int count, MPI_Request* requests) {
 int MPI_Barrier(MPI_Comm comm) {
   if (comm == nullptr) return MPI_ERR_COMM;
   return mpi_guarded([&] { comm->barrier(rank_ctx().clock()); });
+}
+
+// Persistent requests ---------------------------------------------------------
+
+clmpi_prequest clmpiSendInit(const void* buf, int count, MPI_Datatype dt, int dest, int tag,
+                             MPI_Comm comm, int* errcode_ret) {
+  clmpi_prequest handle = nullptr;
+  int rc = check_p2p_args(buf, count, comm, tag, /*allow_any_src_tag=*/false);
+  if (rc == MPI_SUCCESS) {
+    rc = mpi_guarded([&] {
+      auto owned = std::make_unique<_clmpi_prequest>();
+      if (dt == MPI_CL_MEM) {
+        owned->dev =
+            runtime_ctx().send_init_cl_mem(send_span(buf, count, dt), dest, tag, *comm);
+      } else {
+        owned->host = comm->send_init(send_span(buf, count, dt), dest, tag);
+      }
+      handle = owned.release();
+      clmpi::capi::register_prequest(handle);
+    });
+  }
+  if (errcode_ret != nullptr) *errcode_ret = rc;
+  return handle;
+}
+
+clmpi_prequest clmpiRecvInit(void* buf, int count, MPI_Datatype dt, int source, int tag,
+                             MPI_Comm comm, int* errcode_ret) {
+  clmpi_prequest handle = nullptr;
+  int rc = check_p2p_args(buf, count, comm, tag, /*allow_any_src_tag=*/true);
+  if (rc == MPI_SUCCESS) {
+    rc = mpi_guarded([&] {
+      auto owned = std::make_unique<_clmpi_prequest>();
+      if (dt == MPI_CL_MEM) {
+        owned->dev =
+            runtime_ctx().recv_init_cl_mem(recv_span(buf, count, dt), source, tag, *comm);
+      } else {
+        owned->host = comm->recv_init(recv_span(buf, count, dt), source, tag);
+      }
+      handle = owned.release();
+      clmpi::capi::register_prequest(handle);
+    });
+  }
+  if (errcode_ret != nullptr) *errcode_ret = rc;
+  return handle;
+}
+
+int clmpiStart(clmpi_prequest preq, MPI_Request* request) {
+  if (request == nullptr) return MPI_ERR_REQUEST;
+  if (!clmpi::capi::prequest_live(preq)) return MPI_ERR_REQUEST;
+  return mpi_guarded([&] {
+    if (preq->host.valid()) {
+      *request = preq->host.start(rank_ctx().clock());
+    } else {
+      *request = runtime_ctx().start(preq->dev);
+    }
+  });
+}
+
+int clmpiRequestFree(clmpi_prequest preq) {
+  if (!clmpi::capi::prequest_live(preq)) return MPI_ERR_REQUEST;
+  clmpi::capi::unregister_prequest(preq);
+  delete preq;
+  return MPI_SUCCESS;
 }

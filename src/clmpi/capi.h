@@ -72,11 +72,13 @@ struct _cl_command_queue;
 struct _cl_mem;
 struct _cl_event;
 struct _clmpi_window;
+struct _clmpi_prequest;
 using cl_context = _cl_context*;
 using cl_command_queue = _cl_command_queue*;
 using cl_mem = _cl_mem*;
 using cl_event = _cl_event*;
 using clmpi_window = _clmpi_window*;
+using clmpi_prequest = _clmpi_prequest*;
 
 // --- MPI surface --------------------------------------------------------------
 
@@ -304,3 +306,29 @@ int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, int 
 int MPI_Wait(MPI_Request* request);
 int MPI_Waitall(int count, MPI_Request* requests);
 int MPI_Barrier(MPI_Comm comm);
+
+// --- persistent requests (MPI_Send_init / MPI_Recv_init, clMPI extension) ----
+
+/// clmpiSendInit: MPI_Send_init honouring the clMPI datatype rules — with
+/// MPI_CL_MEM the transfer strategy, wire decomposition and per-block
+/// envelope headers are resolved ONCE here, so clmpiStart only stamps fresh
+/// completion state. Argument checks mirror MPI_Isend; failures yield a null
+/// handle with the MPI error class in `*errcode_ret` (MPI_SUCCESS on
+/// success). The buffer must stay valid until every started request
+/// completed and the handle is freed.
+clmpi_prequest clmpiSendInit(const void* buf, int count, MPI_Datatype dt, int dest, int tag,
+                             MPI_Comm comm, int* errcode_ret);
+/// clmpiRecvInit: the receiving counterpart. Wildcards are legal exactly as
+/// for MPI_Irecv (the frozen header carries them into every replay).
+clmpi_prequest clmpiRecvInit(void* buf, int count, MPI_Datatype dt, int source, int tag,
+                             MPI_Comm comm, int* errcode_ret);
+
+/// MPI_Start: replay the prepared operation at the bound rank's clock.
+/// `*request` receives a fresh, independent MPI_Request to wait on; the
+/// handle may be started again once that request completed. A null or freed
+/// handle (or null `request`) returns MPI_ERR_REQUEST.
+int clmpiStart(clmpi_prequest preq, MPI_Request* request);
+
+/// Release a persistent request handle. Requests already started stay valid
+/// and must still be waited on. MPI_ERR_REQUEST on a null or freed handle.
+int clmpiRequestFree(clmpi_prequest preq);

@@ -10,6 +10,7 @@
 
 #include "obs/metrics.hpp"
 #include "simmpi/cluster_core.hpp"
+#include "simmpi/progress.hpp"
 #include "simmpi/datatype.hpp"
 #include "support/log.hpp"
 #include "transfer/async.hpp"
@@ -25,7 +26,7 @@ namespace {
 /// pipelined wire decomposition as a single MPI_Request to the caller.
 mpi::Request aggregate_requests(std::vector<mpi::Request> subs, const mpi::MsgStatus& st) {
   CLMPI_REQUIRE(!subs.empty(), "aggregate of zero requests");
-  auto state = std::make_shared<mpi::detail::RequestState>();
+  auto state = mpi::detail::make_request_state();
 
   struct Progress {
     std::mutex mutex;
@@ -165,9 +166,57 @@ void Runtime::dispatcher_loop() {
     for (Job& job : batch) {
       // Release the command once its wait list fires (§IV-B): commands are
       // released in enqueue order, which preserves MPI tag-matching order.
+      //
+      // The wait-list barrier is a countdown latch armed via on_complete
+      // continuations rather than a chain of blocking w->wait() calls: the
+      // dispatcher parks at most once per job (never once per event) and a
+      // failed event hands over its exception_ptr instead of a rethrow/catch
+      // round trip. The release walk below replicates the old semantics
+      // exactly — waits visited in list order, ready is the running max of
+      // completion times, and the FIRST failed event (with the ready
+      // accumulated over its predecessors) poisons the command.
       vt::TimePoint ready = job.enqueue_time;
       try {
-        for (const auto& w : job.waits) ready = vt::max(ready, w->wait());
+        bool armed = false;
+        for (const auto& w : job.waits) {
+          if (!w->complete()) {
+            armed = true;
+            break;
+          }
+        }
+        if (armed) {
+          struct Latch {
+            std::mutex mutex;
+            std::condition_variable cv;
+            std::size_t remaining;
+          };
+          auto latch = std::make_shared<Latch>();
+          latch->remaining = job.waits.size();
+          for (const auto& w : job.waits) {
+            // Already-complete events fire the callback inline; pending ones
+            // fire it from their completing thread.
+            w->on_complete([latch](vt::TimePoint) {
+              bool last = false;
+              {
+                std::lock_guard lk(latch->mutex);
+                last = (--latch->remaining == 0);
+              }
+              if (last) latch->cv.notify_one();
+            });
+          }
+          if (obs::metrics_enabled()) mpi::detail::progress_metrics().continuations.add();
+          std::unique_lock lk(latch->mutex);
+          latch->cv.wait(lk, [&] { return latch->remaining == 0; });
+        }
+        std::exception_ptr err;
+        for (const auto& w : job.waits) {
+          if ((err = w->error())) break;
+          ready = vt::max(ready, w->completion_time());
+        }
+        if (err) {
+          job.fail(ready, std::move(err));
+          continue;
+        }
         job.post(ready);
       } catch (...) {
         job.fail(ready, std::current_exception());
@@ -621,6 +670,84 @@ mpi::Request Runtime::irecv_cl_mem(std::span<std::byte> data, int src, int tag,
         ready, mpi::P2POptions{.wire_decomp = strategy.block, .deadline = deadline}));
   }
   return aggregate_requests(std::move(subs), mpi::MsgStatus{src, tag, data.size()});
+}
+
+/// What init time froze: the per-block comm-level persistent handles plus
+/// the replay shape. `aggregate` marks a pipelined decomposition that must
+/// be presented as one MPI_Request; `clock_driven` marks the single-block
+/// no-deadline form that replays through the clock-driven (coalescable)
+/// path, exactly as the plain isend/irecv_cl_mem call would post it.
+struct PersistentRequest::Impl {
+  std::vector<mpi::PersistentRequest> subs;
+  mpi::MsgStatus st;
+  bool aggregate{false};
+  bool clock_driven{false};
+};
+
+namespace {
+
+/// Shared body of send_init_cl_mem / recv_init_cl_mem: the init-time half of
+/// the isend_cl_mem / irecv_cl_mem strategy dispatch, with `init(span, tag,
+/// opts)` creating the comm-level persistent handle per wire block.
+template <typename Byte, typename Init>
+std::shared_ptr<PersistentRequest::Impl> init_cl_mem(std::span<Byte> data, int peer, int tag,
+                                                     const xfer::Strategy& strategy,
+                                                     vt::Duration deadline, Init&& init) {
+  auto impl = std::make_shared<PersistentRequest::Impl>();
+  impl->st = mpi::MsgStatus{peer, tag, data.size()};
+  if (strategy.kind != xfer::StrategyKind::pipelined) {
+    impl->clock_driven = !(deadline > vt::Duration{});
+    impl->subs.push_back(init(data, tag, mpi::P2POptions{.deadline = deadline}));
+    return impl;
+  }
+  impl->aggregate = true;
+  const std::size_t nblocks = xfer::pipeline_block_count(data.size(), strategy.block);
+  impl->subs.reserve(nblocks);
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    const std::size_t begin = k * strategy.block;
+    const std::size_t n = std::min(strategy.block, data.size() - begin);
+    impl->subs.push_back(
+        init(data.subspan(begin, n), mpi::detail::pipeline_subtag(tag, static_cast<int>(k)),
+             mpi::P2POptions{.wire_decomp = strategy.block, .deadline = deadline}));
+  }
+  return impl;
+}
+
+}  // namespace
+
+PersistentRequest Runtime::send_init_cl_mem(std::span<const std::byte> data, int dst, int tag,
+                                            mpi::Comm& comm) {
+  return PersistentRequest(init_cl_mem(
+      data, dst, tag, policy(data.size()), default_deadline(),
+      [&](std::span<const std::byte> block, int t, mpi::P2POptions opts) {
+        return comm.send_init(block, dst, t, opts);
+      }));
+}
+
+PersistentRequest Runtime::recv_init_cl_mem(std::span<std::byte> data, int src, int tag,
+                                            mpi::Comm& comm) {
+  return PersistentRequest(init_cl_mem(
+      data, src, tag, policy(data.size()), default_deadline(),
+      [&](std::span<std::byte> block, int t, mpi::P2POptions opts) {
+        return comm.recv_init(block, src, t, opts);
+      }));
+}
+
+mpi::Request Runtime::start(const PersistentRequest& req) {
+  CLMPI_REQUIRE(req.valid(), "start of a null persistent request");
+  PersistentRequest::Impl& impl = *req.impl_;
+  if (!impl.aggregate) {
+    // Single wire message: replay mirrors the non-pipelined isend/irecv
+    // dispatch — clock-driven (call overhead + coalescable) without a
+    // deadline, explicit-time otherwise.
+    if (impl.clock_driven) return impl.subs.front().start(rank_->clock());
+    return impl.subs.front().start(rank_->clock().now());
+  }
+  const vt::TimePoint ready = rank_->clock().now();
+  std::vector<mpi::Request> live;
+  live.reserve(impl.subs.size());
+  for (mpi::PersistentRequest& sub : impl.subs) live.push_back(sub.start(ready));
+  return aggregate_requests(std::move(live), impl.st);
 }
 
 void Runtime::send_cl_mem(std::span<const std::byte> data, int dst, int tag,

@@ -49,6 +49,30 @@
 
 namespace clmpi::rt {
 
+/// Persistent MPI_CL_MEM operation (MPI_Send_init / MPI_Recv_init with
+/// datatype MPI_CL_MEM). Runtime::send_init_cl_mem / recv_init_cl_mem
+/// resolve the transfer strategy, the pipelined wire decomposition and every
+/// sub-block envelope header ONCE; Runtime::start replays the prepared posts
+/// and returns a fresh MPI_Request. A replay is virtual-time- and
+/// byte-identical to re-issuing the plain isend_cl_mem / irecv_cl_mem call
+/// with the same arguments. The buffer bound at init time must stay valid
+/// until each started request completes (the MPI persistent contract).
+class PersistentRequest {
+ public:
+  /// A default-constructed handle is null; Runtime::start on it throws.
+  PersistentRequest() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+
+  /// Opaque init-time state (defined in runtime.cpp).
+  struct Impl;
+
+ private:
+  friend class Runtime;
+  explicit PersistentRequest(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+  std::shared_ptr<Impl> impl_;
+};
+
 /// Per-rank clMPI runtime, binding one MPI rank to one communicator device.
 class Runtime {
  public:
@@ -162,6 +186,20 @@ class Runtime {
   /// Blocking MPI_Send / MPI_Recv with MPI_CL_MEM.
   void send_cl_mem(std::span<const std::byte> data, int dst, int tag, mpi::Comm& comm);
   void recv_cl_mem(std::span<std::byte> data, int src, int tag, mpi::Comm& comm);
+
+  /// MPI_Send_init / MPI_Recv_init with MPI_CL_MEM: prepare the operation
+  /// once — strategy selection, wire decomposition, per-block envelope
+  /// headers, coalescing eligibility and the current default deadline are
+  /// all resolved here — for repeated replay via start().
+  [[nodiscard]] PersistentRequest send_init_cl_mem(std::span<const std::byte> data, int dst,
+                                                   int tag, mpi::Comm& comm);
+  [[nodiscard]] PersistentRequest recv_init_cl_mem(std::span<std::byte> data, int src,
+                                                   int tag, mpi::Comm& comm);
+
+  /// MPI_Start: replay a prepared persistent operation at the rank's current
+  /// clock. Each call returns an independent MPI_Request; a persistent
+  /// operation may be started again once the previous request completed.
+  mpi::Request start(const PersistentRequest& req);
 
   // --- file I/O commands (§VI: "other time-consuming tasks such as file
   // I/O would be encapsulated in other additional OpenCL commands") ---------

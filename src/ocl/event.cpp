@@ -29,6 +29,11 @@ bool Event::failed() const {
   return error_ != nullptr;
 }
 
+std::exception_ptr Event::error() const {
+  std::lock_guard lock(mutex_);
+  return error_;
+}
+
 vt::TimePoint Event::wait() {
   std::unique_lock lock(mutex_);
   cv_.wait(lock, [&] { return state_ == State::complete; });

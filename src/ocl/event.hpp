@@ -52,6 +52,11 @@ class Event {
   /// True when the command failed; wait() will rethrow its exception.
   [[nodiscard]] bool failed() const;
 
+  /// The failure carried by a failed event (nullptr when none). Lets
+  /// continuation-style consumers — e.g. the runtime's dispatcher latch —
+  /// inspect the outcome without the rethrow/catch round trip of wait().
+  [[nodiscard]] std::exception_ptr error() const;
+
   /// Block (real time) until complete; returns the virtual completion time.
   /// Rethrows the command's exception if it failed (the analogue of an
   /// OpenCL event carrying a negative execution status).

@@ -19,15 +19,112 @@ namespace clmpi::mpi {
 
 namespace detail {
 
+namespace {
+
+/// Process-wide progress driver: ONE long-lived thread services every live
+/// cluster, instead of each Cluster::run paying a thread spawn + join
+/// (~50-60 us on this class of machine — real money for millisecond-scale
+/// runs). Cores register at run start and deregister at teardown; the
+/// deregistration blocks while a tick is mid-pass (the tick holds the
+/// registry mutex), so a removed core is never touched again. The thread is
+/// detached and the singleton leaked: at process exit it is parked on the
+/// leaked cv with an empty registry, touching nothing else.
+class ProgressDriverService {
+ public:
+  static ProgressDriverService& instance() {
+    static auto* service = new ProgressDriverService();
+    return *service;
+  }
+
+  void add(ClusterCore* core) {
+    std::lock_guard lock(mutex_);
+    cores_.push_back(core);
+    ++version_;
+    if (!started_) {
+      started_ = true;
+      std::thread([this] {
+        log::set_thread_label("progress-driver");
+        loop();
+      }).detach();
+    }
+    cv_.notify_all();
+  }
+
+  void remove(ClusterCore* core) {
+    std::lock_guard lock(mutex_);
+    std::erase(cores_, core);
+    ++version_;
+  }
+
+ private:
+  void loop() {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      if (cores_.empty()) {
+        cv_.wait(lock, [&] { return !cores_.empty(); });
+        continue;  // re-read the tick under the current config
+      }
+      const std::uint64_t v = version_;
+      const bool changed = cv_.wait_for(lock, progress_config().driver_tick,
+                                        [&] { return version_ != v; });
+      // A registry change only re-arms the sleep (picking up a possibly
+      // changed tick); the flush pass runs on timeout alone, so a cluster
+      // that configured a long tick before starting is never flushed early.
+      if (changed) continue;
+      if (obs::metrics_enabled()) progress_metrics().driver_ticks.add();
+      // The tick is the liveness backstop for queued batches no blocking
+      // wait will ever flush (poll-only peers, ranks that never wait), and
+      // drains completions a producer left behind after losing the consumer
+      // race. Everything here is wall-clock-only: the envelopes' virtual
+      // stamps were fixed at post time.
+      for (ClusterCore* core : cores_) {
+        for (SendCoalescer& co : core->coalescers) co.flush_all(FlushTrigger::tick);
+        for (Mailbox& mb : core->mailboxes) mb.drain_completions();
+        std::unique_lock dl(core->deadline_mutex);
+        core->rescue_stale_deadlines(dl);
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<ClusterCore*> cores_;
+  std::uint64_t version_{0};
+  bool started_{false};
+};
+
+}  // namespace
+
 void ClusterCore::register_deadline(std::shared_ptr<RequestState> state) {
   std::lock_guard lock(deadline_mutex);
   armed_requests.push_back(std::move(state));
-  if (!deadline_reaper.joinable() && !reaper_stop) {
+  // With the progress engine on, the shared driver's tick already rescues
+  // stale deadlines for this core — no dedicated reaper thread needed.
+  if (!progress && !deadline_reaper.joinable() && !reaper_stop) {
     deadline_reaper = std::thread([this] {
       log::set_thread_label("deadline-reaper");
       deadline_reaper_loop();
     });
   }
+}
+
+void ClusterCore::rescue_stale_deadlines(std::unique_lock<std::mutex>& lock) {
+  std::vector<std::shared_ptr<RequestState>> live;
+  live.reserve(armed_requests.size());
+  for (auto& weak : armed_requests) {
+    if (auto s = weak.lock()) live.push_back(std::move(s));
+  }
+  // Rescue outside the registry lock: timeout callbacks may re-enter the
+  // cluster (fire events, post follow-up operations).
+  lock.unlock();
+  const auto grace = deadline_grace();
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& s : live) s->rescue_if_stale(now, grace);
+  lock.lock();
+  std::erase_if(armed_requests, [](const std::weak_ptr<RequestState>& weak) {
+    const auto s = weak.lock();
+    return s == nullptr || s->done();
+  });
 }
 
 void ClusterCore::deadline_reaper_loop() {
@@ -36,27 +133,26 @@ void ClusterCore::deadline_reaper_loop() {
     // Tick a few times per grace period: a stale operation is rescued at
     // most ~1.25 grace after arming. The scan is cheap — only deadline-armed
     // operations ever register, and the set is pruned as they resolve.
-    const auto grace = deadline_grace();
-    const auto tick = std::max<std::chrono::milliseconds>(grace / 4,
+    const auto tick = std::max<std::chrono::milliseconds>(deadline_grace() / 4,
                                                           std::chrono::milliseconds(10));
     if (deadline_cv.wait_for(lock, tick, [&] { return reaper_stop; })) break;
-
-    std::vector<std::shared_ptr<RequestState>> live;
-    live.reserve(armed_requests.size());
-    for (auto& weak : armed_requests) {
-      if (auto s = weak.lock()) live.push_back(std::move(s));
-    }
-    // Rescue outside the registry lock: timeout callbacks may re-enter the
-    // cluster (fire events, post follow-up operations).
-    lock.unlock();
-    const auto now = std::chrono::steady_clock::now();
-    for (auto& s : live) s->rescue_if_stale(now, grace);
-    lock.lock();
-    std::erase_if(armed_requests, [](const std::weak_ptr<RequestState>& weak) {
-      const auto s = weak.lock();
-      return s == nullptr || s->done();
-    });
+    rescue_stale_deadlines(lock);
   }
+}
+
+void ClusterCore::start_progress_driver() {
+  ProgressDriverService::instance().add(this);
+}
+
+void ClusterCore::stop_progress_driver() {
+  ProgressDriverService::instance().remove(this);
+  // One final flush+drain pass after deregistration, so no envelope is left
+  // stranded in a coalescer at teardown (the service can no longer be
+  // mid-pass on this core once remove() returns).
+  for (SendCoalescer& co : coalescers) co.flush_all(FlushTrigger::tick);
+  for (Mailbox& mb : mailboxes) mb.drain_completions();
+  std::unique_lock lock(deadline_mutex);
+  rescue_stale_deadlines(lock);
 }
 
 void ClusterCore::stop_deadline_reaper() {
@@ -116,6 +212,13 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
                                            core.tracer, core.faults.get(),
                                            &options.profile->shmem);
   for (int n = 0; n < options.nranks; ++n) core.mailboxes.emplace_back(*core.network, n);
+  core.progress = detail::progress_config().enabled;
+  if (core.progress) {
+    // One coalescer per source node, sized before any rank thread exists;
+    // the driver starts eagerly so completions progress from the first post.
+    for (int n = 0; n < options.nranks; ++n) core.coalescers.emplace_back();
+    core.start_progress_driver();
+  }
 
   RunResult result;
   result.rank_end_s.assign(static_cast<std::size_t>(options.nranks), 0.0);
@@ -172,8 +275,10 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
     std::lock_guard lock(core.aux_mutex);
     for (auto& t : core.aux_threads) t.join();
   }
-  // The reaper dereferences request states that the mailboxes keep alive;
-  // stop it before `core` (and everything it owns) is torn down.
+  // The shared driver and the reaper dereference request states that the
+  // mailboxes keep alive; detach from the driver and stop the reaper before
+  // `core` (and everything it owns) is torn down.
+  if (core.progress) core.stop_progress_driver();
   core.stop_deadline_reaper();
   if (core.faults) result.faults = core.faults->counters();
   // CLMPI_TRACE=<path>: auto-export the env-attached tracer as Perfetto

@@ -14,6 +14,7 @@
 #include "simmpi/fault.hpp"
 #include "simmpi/mailbox.hpp"
 #include "simmpi/network.hpp"
+#include "simmpi/progress.hpp"
 #include "simmpi/request.hpp"
 #include "systems/profile.hpp"
 #include "vt/tracer.hpp"
@@ -31,6 +32,29 @@ struct ClusterCore {
   std::unique_ptr<Network> network;
   std::deque<Mailbox> mailboxes;  ///< one per node, indexed by global node id
   std::atomic<int> next_context{1};
+
+  /// Progress engine (progress.hpp). `progress` snapshots the config's
+  /// master switch at run start; with it off the cluster behaves exactly as
+  /// before the engine existed (no coalescing, lazy deadline reaper).
+  bool progress{false};
+  std::deque<SendCoalescer> coalescers;  ///< one per SOURCE node
+
+  /// Put every batch queued by `node` on the wire (blocking-wait hook).
+  void flush_sends(int node) {
+    if (progress) coalescers[static_cast<std::size_t>(node)].flush_all(FlushTrigger::wait);
+  }
+
+  /// Register with the progress driver (only when `progress` is set): a
+  /// process-wide service thread that every ProgressConfig::driver_tick
+  /// flushes all coalescers, drains mailbox completion queues, and fires
+  /// deadline rescues — so no rank has to block to make a peer's operation
+  /// complete. One shared thread services every live cluster, so a run
+  /// never pays a driver spawn + join. With the engine on, register_deadline
+  /// never starts a reaper thread (the driver's tick already rescues).
+  void start_progress_driver();
+  /// Deregister and run one final flush+drain+rescue pass; must run before
+  /// the mailboxes are torn down.
+  void stop_progress_driver();
 
   /// RMA window-creation rendezvous slots, keyed (context << 32) | win_seq.
   /// A slot only lives for the duration of one collective create_window call
@@ -65,6 +89,12 @@ struct ClusterCore {
   std::vector<std::weak_ptr<RequestState>> armed_requests;
   std::thread deadline_reaper;
   bool reaper_stop{false};
+
+  /// Shared rescue pass of the reaper loop and the progress driver's tick:
+  /// rescue stale deadline-armed requests outside the registry lock, then
+  /// prune resolved entries. `lock` (on deadline_mutex) is held on entry and
+  /// on return.
+  void rescue_stale_deadlines(std::unique_lock<std::mutex>& lock);
 
  private:
   void deadline_reaper_loop();

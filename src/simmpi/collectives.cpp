@@ -257,7 +257,7 @@ void Comm::alltoall(std::span<const std::byte> send_data, std::span<std::byte> r
 
 Request Comm::spawn_collective(vt::Clock& clock,
                                std::function<void(Comm&, vt::Clock&)> body) {
-  auto state = std::make_shared<detail::RequestState>();
+  auto state = detail::make_request_state();
   const vt::TimePoint start = clock.now();
   // The progression thread works on its own Comm copy and private clock,
   // starting at the issue time. Cluster::run joins it before tear-down.

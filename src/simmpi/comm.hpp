@@ -50,6 +50,36 @@ struct P2POptions {
   vt::Duration deadline{};
 };
 
+/// Persistent operation handle, the analogue of MPI_Send_init/MPI_Recv_init.
+/// Created once by Comm::send_init/recv_init — peer checks, envelope header
+/// assembly and coalescing eligibility are resolved at init time — and
+/// replayed cheaply with start(), which only stamps a fresh completion state
+/// and ready time. start() may be called repeatedly; each call returns an
+/// independent Request, and the buffer bound at init time must stay valid
+/// until that Request completes (the MPI persistent-request contract).
+class PersistentRequest {
+ public:
+  /// A default-constructed handle is null; start() on it throws.
+  PersistentRequest() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+
+  /// Replay the prepared operation. The clock-driven form charges the same
+  /// per-call overhead as isend/irecv, so a persistent replay is
+  /// virtual-time-identical (and byte-identical) to re-issuing the plain
+  /// non-blocking call.
+  Request start(vt::Clock& clock);
+  Request start(vt::TimePoint ready);
+
+ private:
+  Request start_at(vt::TimePoint ready, bool coalescable);
+
+  friend class Comm;
+  struct Impl;
+  explicit PersistentRequest(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+  std::shared_ptr<Impl> impl_;
+};
+
 class Comm {
  public:
   /// Constructed by Cluster (world) or by dup/split.
@@ -102,6 +132,15 @@ class Comm {
   /// MPI_Sendrecv: concurrent exchange; both transfers may overlap.
   void sendrecv(std::span<const std::byte> send_data, int dst, int send_tag,
                 std::span<std::byte> recv_data, int src, int recv_tag, vt::Clock& clock);
+
+  // --- persistent point-to-point (MPI_Send_init / MPI_Recv_init) -----------
+
+  /// Prepare a send/receive once for repeated replay via
+  /// PersistentRequest::start(). Counted under progress.persistent.*.
+  [[nodiscard]] PersistentRequest send_init(std::span<const std::byte> data, int dst,
+                                            int tag, P2POptions opts = {});
+  [[nodiscard]] PersistentRequest recv_init(std::span<std::byte> data, int src, int tag,
+                                            P2POptions opts = {});
 
   [[nodiscard]] std::optional<MsgStatus> iprobe(int src, int tag) const;
 
@@ -179,8 +218,12 @@ class Comm {
                     int seq, vt::Clock& clock);
 
   void check_peer(int peer, bool allow_any) const;
+  /// `coalescable` marks the host-facing non-blocking path: only those sends
+  /// may be queued in the node's coalescer (blocking sends wait immediately,
+  /// so queuing them would be pure overhead; runtime-facing sends carry
+  /// non-default options the coalescer excludes anyway).
   Request post_send(std::span<const std::byte> data, int dst, int tag, vt::TimePoint ready,
-                    const P2POptions& opts);
+                    const P2POptions& opts, bool coalescable = false);
   Request post_recv(std::span<std::byte> data, int src, int tag, vt::TimePoint ready,
                     const P2POptions& opts);
 

@@ -87,28 +87,34 @@ void CompletionQueue::push(std::vector<Completion>& batch) {
   for (Completion& c : batch) queue_.push_back(std::move(c));
 }
 
+void CompletionQueue::fire(Completion& c) {
+  if (c.error) {
+    c.req->fail(c.when, std::move(c.error));
+  } else {
+    c.req->complete(c.when, c.st);
+  }
+}
+
+void CompletionQueue::drain_as_consumer() {
+  for (;;) {
+    std::vector<Completion> items;
+    {
+      std::lock_guard lock(mutex_);
+      if (queue_.empty()) return;
+      items.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+      queue_.clear();
+    }
+    for (Completion& c : items) fire(c);
+  }
+}
+
 void CompletionQueue::drain() {
   for (;;) {
     // Single consumer: whoever flips the flag fires callbacks; everyone else
     // leaves their batch for the current consumer.
     if (draining_.exchange(true, std::memory_order_acquire)) return;
-    for (;;) {
-      std::vector<Completion> items;
-      {
-        std::lock_guard lock(mutex_);
-        if (queue_.empty()) break;
-        items.assign(std::make_move_iterator(queue_.begin()),
-                     std::make_move_iterator(queue_.end()));
-        queue_.clear();
-      }
-      for (Completion& c : items) {
-        if (c.error) {
-          c.req->fail(c.when, std::move(c.error));
-        } else {
-          c.req->complete(c.when, c.st);
-        }
-      }
-    }
+    drain_as_consumer();
     draining_.store(false, std::memory_order_release);
     // A producer may have enqueued between our last emptiness check and the
     // flag release, then seen the flag still up and left. Re-check; if the
@@ -120,12 +126,47 @@ void CompletionQueue::drain() {
   }
 }
 
+void CompletionQueue::settle_batch(std::vector<Completion>& batch) {
+  if (!draining_.exchange(true, std::memory_order_acquire)) {
+    // We are the consumer: leftovers first (cross-batch FIFO), then this
+    // batch in place. A callback may re-enter settle_batch on this thread;
+    // it then takes the push fallback and the post-loop recheck fires it.
+    drain_as_consumer();
+    for (Completion& c : batch) fire(c);
+    draining_.store(false, std::memory_order_release);
+    bool leftover = false;
+    {
+      std::lock_guard lock(mutex_);
+      leftover = !queue_.empty();
+    }
+    if (leftover) drain();
+    return;
+  }
+  push(batch);
+  drain();
+}
+
 // --- Mailbox ----------------------------------------------------------------
 
 bool Mailbox::matches(const Envelope& env, const PostedRecv& pr) {
   return env.context == pr.context &&
          (pr.src_rank == any_source || pr.src_rank == env.src_rank) &&
          (pr.tag == any_tag || pr.tag == env.tag);
+}
+
+bool Mailbox::key_matches(const ChannelKey& k, int src_rank, int tag,
+                          int context) noexcept {
+  return k.context == context && (src_rank == any_source || src_rank == k.src_rank) &&
+         (tag == any_tag || tag == k.tag);
+}
+
+std::size_t Mailbox::ChannelHash::operator()(const ChannelKey& k) const noexcept {
+  std::uint64_t h = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.src_rank)) << 32) ^
+                    static_cast<std::uint32_t>(k.tag);
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.context)) << 13;
+  h *= 0x9E3779B97F4A7C15ull;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h);
 }
 
 std::size_t Mailbox::shard_of(int src_rank, int tag, int context) noexcept {
@@ -141,8 +182,7 @@ std::size_t Mailbox::shard_of(int src_rank, int tag, int context) noexcept {
 
 void Mailbox::settle(std::vector<Completion>& batch) {
   if (batch.empty()) return;
-  completions_.push(batch);
-  completions_.drain();
+  completions_.settle_batch(batch);
 }
 
 void Mailbox::note_arrival() {
@@ -182,7 +222,11 @@ void Mailbox::inject_eager(Envelope& env, std::vector<Completion>& out) {
   // reusable after injection, so copy the payload out first. Small payloads
   // go to the envelope's inline store (no allocation).
   if (env.fault_delivered && env.bytes > 0) {
-    if (env.bytes <= Envelope::kInlineEagerBytes) {
+    // The inline cutoff is a per-profile knob (NicModel::eager_inline),
+    // clamped by the envelope's fixed store capacity.
+    const std::size_t inline_cap =
+        std::min(net_->model().eager_inline, Envelope::kInlineEagerBytes);
+    if (env.bytes <= inline_cap) {
       std::memcpy(env.inline_store.data(), env.payload.data(), env.bytes);
       env.inlined = true;
       if (obs::metrics_enabled()) metrics().eager_inline.add();
@@ -224,12 +268,13 @@ void Mailbox::post_send(Envelope env) {
   PostedRecv pr;
   bool matched = false;
   {
+    const ChannelKey key{env.src_rank, env.tag, env.context};
     Shard& sh = shards_[shard_of(env.src_rank, env.tag, env.context)];
     std::lock_guard shard_lock(sh.mutex);
 
-    auto sit = std::find_if(sh.posted.begin(), sh.posted.end(),
-                            [&](const PostedRecv& p) { return matches(env, p); });
-    const bool s_ok = sit != sh.posted.end();
+    auto sit = sh.posted.find(key);
+    Fifo<PostedRecv>* sq =
+        (sit != sh.posted.end() && !sit->second.empty()) ? &sit->second : nullptr;
     // wild_count_ is re-read under the shard lock: a wildcard receive holds
     // every shard lock while it appends itself, so either it published the
     // count before we got here, or its queue scan will see our envelope.
@@ -238,19 +283,17 @@ void Mailbox::post_send(Envelope env) {
       auto wit = std::find_if(wild_posted_.begin(), wild_posted_.end(),
                               [&](const PostedRecv& p) { return matches(env, p); });
       const bool w_ok = wit != wild_posted_.end();
-      if (w_ok && (!s_ok || wit->seq < sit->seq)) {
+      if (w_ok && (sq == nullptr || wit->seq < sq->front().seq)) {
         pr = std::move(*wit);
         wild_posted_.erase(wit);
         wild_count_.fetch_sub(1, std::memory_order_release);
         matched = true;
-      } else if (s_ok) {
-        pr = std::move(*sit);
-        sh.posted.erase(sit);
+      } else if (sq != nullptr) {
+        pr = sq->pop_front();
         matched = true;
       }
-    } else if (s_ok) {
-      pr = std::move(*sit);
-      sh.posted.erase(sit);
+    } else if (sq != nullptr) {
+      pr = sq->pop_front();
       matched = true;
     }
 
@@ -259,7 +302,7 @@ void Mailbox::post_send(Envelope env) {
       // visible, so a racing receive never double-charges the wire.
       if (env.eager) inject_eager(env, batch);
       env.seq = seq_.fetch_add(1, std::memory_order_relaxed);
-      sh.unexpected.push_back(std::move(env));
+      sh.unexpected[key].push_back(std::move(env));
     }
   }
   if (matched) {
@@ -272,25 +315,120 @@ void Mailbox::post_send(Envelope env) {
   settle(batch);
 }
 
+void Mailbox::post_send_batch(std::vector<Envelope>& envs) {
+  if (envs.empty()) return;
+  if (envs.size() == 1) {
+    post_send(std::move(envs.front()));
+    return;
+  }
+  if (FaultEngine* faults = net_->faults()) {
+    // Decisions are drawn in offer order. This is bit-identical to deciding
+    // at each individual post: fault streams are per-channel, a channel's
+    // messages arrive here in order (the coalescer is FIFO per key), and
+    // different channels draw from independent streams.
+    for (Envelope& env : envs) {
+      const FaultDecision d =
+          faults->decide(env.src_node, node_, env.context, env.tag, env.bytes);
+      env.post_time += d.delay;
+      env.fault_drop = d.drop;
+      env.fault_dup = d.duplicate;
+      env.fault_attempts = d.wire_attempts;
+      env.fault_delivered = d.delivered;
+      env.fault_timeout = d.retries_exhausted;
+    }
+  }
+
+  std::vector<Completion> batch;
+  batch.reserve(envs.size() * 2);
+  // Matched pairs are recorded as (index into envs, receive): the big
+  // envelopes stay put in the batch vector instead of being moved again.
+  std::vector<std::pair<std::size_t, PostedRecv>> matched;
+  matched.reserve(envs.size());
+  std::size_t unexpected = 0;
+  {
+    // One acquisition of every shard lock the batch touches (ascending — the
+    // global lock order), then the envelopes are walked strictly in offer
+    // order, so arrival stamps and wildcard matching are exactly as if each
+    // envelope had been posted individually.
+    std::array<std::unique_lock<std::mutex>, kShards> locks;
+    std::array<bool, kShards> need{};
+    for (const Envelope& env : envs) {
+      need[shard_of(env.src_rank, env.tag, env.context)] = true;
+    }
+    for (std::size_t s = 0; s < kShards; ++s) {
+      if (need[s]) locks[s] = std::unique_lock(shards_[s].mutex);
+    }
+    std::unique_lock<std::mutex> wild_lock;  // lock order: shards, then wild
+    for (std::size_t i = 0; i < envs.size(); ++i) {
+      Envelope& env = envs[i];
+      const ChannelKey key{env.src_rank, env.tag, env.context};
+      Shard& sh = shards_[shard_of(env.src_rank, env.tag, env.context)];
+      auto sit = sh.posted.find(key);
+      Fifo<PostedRecv>* sq =
+          (sit != sh.posted.end() && !sit->second.empty()) ? &sit->second : nullptr;
+      PostedRecv pr;
+      bool env_matched = false;
+      if (wild_count_.load(std::memory_order_acquire) > 0 || wild_lock.owns_lock()) {
+        if (!wild_lock.owns_lock()) wild_lock = std::unique_lock(wild_mutex_);
+        auto wit = std::find_if(wild_posted_.begin(), wild_posted_.end(),
+                                [&](const PostedRecv& p) { return matches(env, p); });
+        const bool w_ok = wit != wild_posted_.end();
+        if (w_ok && (sq == nullptr || wit->seq < sq->front().seq)) {
+          pr = std::move(*wit);
+          wild_posted_.erase(wit);
+          wild_count_.fetch_sub(1, std::memory_order_release);
+          env_matched = true;
+        } else if (sq != nullptr) {
+          pr = sq->pop_front();
+          env_matched = true;
+        }
+      } else if (sq != nullptr) {
+        pr = sq->pop_front();
+        env_matched = true;
+      }
+
+      if (env_matched) {
+        matched.emplace_back(i, std::move(pr));
+      } else {
+        if (env.eager) inject_eager(env, batch);
+        env.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+        sh.unexpected[key].push_back(std::move(env));
+        ++unexpected;
+      }
+    }
+  }
+  if (obs::metrics_enabled() && !matched.empty()) metrics().shard_hit.add(matched.size());
+  for (auto& [i, pr] : matched) {
+    deliver(envs[i], pr, batch);
+  }
+  if (unexpected > 0) {
+    if (obs::metrics_enabled()) metrics().unexpected.add(unexpected);
+    // One epoch bump for the whole batch: probes re-scan the queues on any
+    // epoch change, so collapsing N wakeups into one is observationally
+    // equivalent (and N-1 fewer futex wakes).
+    note_arrival();
+  }
+  settle(batch);
+}
+
 void Mailbox::post_recv(PostedRecv pr) {
   std::vector<Completion> batch;
   const bool wildcard = pr.src_rank == any_source || pr.tag == any_tag;
 
   if (!wildcard) {
+    const ChannelKey key{pr.src_rank, pr.tag, pr.context};
     Shard& sh = shards_[shard_of(pr.src_rank, pr.tag, pr.context)];
     Envelope env;
     bool found = false;
     {
       std::lock_guard lock(sh.mutex);
-      auto it = std::find_if(sh.unexpected.begin(), sh.unexpected.end(),
-                             [&](const Envelope& e) { return matches(e, pr); });
-      if (it != sh.unexpected.end()) {
-        env = std::move(*it);
-        sh.unexpected.erase(it);
+      auto it = sh.unexpected.find(key);
+      if (it != sh.unexpected.end() && !it->second.empty()) {
+        env = it->second.pop_front();
         found = true;
       } else {
         pr.seq = seq_.fetch_add(1, std::memory_order_relaxed);
-        sh.posted.push_back(std::move(pr));
+        sh.posted[key].push_back(std::move(pr));
       }
     }
     if (found) {
@@ -301,8 +439,9 @@ void Mailbox::post_recv(PostedRecv pr) {
     return;
   }
 
-  // Wildcard: match in global arrival order across every shard. Lock order:
-  // all shards ascending, then the wildcard queue.
+  // Wildcard: match in global arrival order across every shard — the
+  // minimum arrival stamp over the heads of the matching channel FIFOs.
+  // Lock order: all shards ascending, then the wildcard queue.
   if (obs::metrics_enabled()) metrics().wildcard_slowpath.add();
   Envelope env;
   bool found = false;
@@ -313,20 +452,15 @@ void Mailbox::post_recv(PostedRecv pr) {
     }
     std::lock_guard wild_lock(wild_mutex_);
 
-    Shard* best_shard = nullptr;
-    std::deque<Envelope>::iterator best;
+    Fifo<Envelope>* best = nullptr;
     for (Shard& sh : shards_) {
-      auto it = std::find_if(sh.unexpected.begin(), sh.unexpected.end(),
-                             [&](const Envelope& e) { return matches(e, pr); });
-      if (it == sh.unexpected.end()) continue;
-      if (best_shard == nullptr || it->seq < best->seq) {
-        best_shard = &sh;
-        best = it;
+      for (auto& [key, q] : sh.unexpected) {
+        if (q.empty() || !key_matches(key, pr.src_rank, pr.tag, pr.context)) continue;
+        if (best == nullptr || q.front().seq < best->front().seq) best = &q;
       }
     }
-    if (best_shard != nullptr) {
-      env = std::move(*best);
-      best_shard->unexpected.erase(best);
+    if (best != nullptr) {
+      env = best->pop_front();
       found = true;
     } else {
       pr.seq = seq_.fetch_add(1, std::memory_order_relaxed);
@@ -341,10 +475,6 @@ void Mailbox::post_recv(PostedRecv pr) {
 }
 
 std::pair<MsgStatus, vt::TimePoint> Mailbox::probe(int src_rank, int tag, int context) {
-  PostedRecv pattern;
-  pattern.src_rank = src_rank;
-  pattern.tag = tag;
-  pattern.context = context;
   const bool wildcard = src_rank == any_source || tag == any_tag;
 
   probe_waiters_.fetch_add(1, std::memory_order_seq_cst);
@@ -360,14 +490,15 @@ std::pair<MsgStatus, vt::TimePoint> Mailbox::probe(int src_rank, int tag, int co
     MsgStatus st;
     vt::TimePoint available;
     if (!wildcard) {
+      const ChannelKey key{src_rank, tag, context};
       Shard& sh = shards_[shard_of(src_rank, tag, context)];
       std::lock_guard lock(sh.mutex);
-      auto it = std::find_if(sh.unexpected.begin(), sh.unexpected.end(),
-                             [&](const Envelope& e) { return matches(e, pattern); });
-      if (it != sh.unexpected.end()) {
-        hit = &*it;
-        st = MsgStatus{it->src_rank, it->tag, it->bytes};
-        available = (it->eager && it->injected) ? it->arrival : it->post_time;
+      auto it = sh.unexpected.find(key);
+      if (it != sh.unexpected.end() && !it->second.empty()) {
+        const Envelope& e = it->second.front();
+        hit = &e;
+        st = MsgStatus{e.src_rank, e.tag, e.bytes};
+        available = (e.eager && e.injected) ? e.arrival : e.post_time;
       }
     } else {
       if (obs::metrics_enabled()) metrics().wildcard_slowpath.add();
@@ -376,13 +507,14 @@ std::pair<MsgStatus, vt::TimePoint> Mailbox::probe(int src_rank, int tag, int co
         locks[s] = std::unique_lock(shards_[s].mutex);
       }
       for (Shard& sh : shards_) {
-        auto it = std::find_if(sh.unexpected.begin(), sh.unexpected.end(),
-                               [&](const Envelope& e) { return matches(e, pattern); });
-        if (it == sh.unexpected.end()) continue;
-        if (hit == nullptr || it->seq < hit->seq) {
-          hit = &*it;
-          st = MsgStatus{it->src_rank, it->tag, it->bytes};
-          available = (it->eager && it->injected) ? it->arrival : it->post_time;
+        for (auto& [key, q] : sh.unexpected) {
+          if (q.empty() || !key_matches(key, src_rank, tag, context)) continue;
+          const Envelope& e = q.front();
+          if (hit == nullptr || e.seq < hit->seq) {
+            hit = &e;
+            st = MsgStatus{e.src_rank, e.tag, e.bytes};
+            available = (e.eager && e.injected) ? e.arrival : e.post_time;
+          }
         }
       }
     }
@@ -396,19 +528,16 @@ std::pair<MsgStatus, vt::TimePoint> Mailbox::probe(int src_rank, int tag, int co
 }
 
 std::optional<MsgStatus> Mailbox::iprobe(int src_rank, int tag, int context) {
-  PostedRecv pattern;
-  pattern.src_rank = src_rank;
-  pattern.tag = tag;
-  pattern.context = context;
   const bool wildcard = src_rank == any_source || tag == any_tag;
 
   if (!wildcard) {
+    const ChannelKey key{src_rank, tag, context};
     Shard& sh = shards_[shard_of(src_rank, tag, context)];
     std::lock_guard lock(sh.mutex);
-    auto it = std::find_if(sh.unexpected.begin(), sh.unexpected.end(),
-                           [&](const Envelope& e) { return matches(e, pattern); });
-    if (it == sh.unexpected.end()) return std::nullopt;
-    return MsgStatus{it->src_rank, it->tag, it->bytes};
+    auto it = sh.unexpected.find(key);
+    if (it == sh.unexpected.end() || it->second.empty()) return std::nullopt;
+    const Envelope& e = it->second.front();
+    return MsgStatus{e.src_rank, e.tag, e.bytes};
   }
 
   if (obs::metrics_enabled()) metrics().wildcard_slowpath.add();
@@ -418,10 +547,10 @@ std::optional<MsgStatus> Mailbox::iprobe(int src_rank, int tag, int context) {
   }
   const Envelope* hit = nullptr;
   for (Shard& sh : shards_) {
-    auto it = std::find_if(sh.unexpected.begin(), sh.unexpected.end(),
-                           [&](const Envelope& e) { return matches(e, pattern); });
-    if (it == sh.unexpected.end()) continue;
-    if (hit == nullptr || it->seq < hit->seq) hit = &*it;
+    for (auto& [key, q] : sh.unexpected) {
+      if (q.empty() || !key_matches(key, src_rank, tag, context)) continue;
+      if (hit == nullptr || q.front().seq < hit->seq) hit = &q.front();
+    }
   }
   if (hit == nullptr) return std::nullopt;
   return MsgStatus{hit->src_rank, hit->tag, hit->bytes};

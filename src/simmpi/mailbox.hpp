@@ -8,14 +8,20 @@
 // receive, so their wire transfer starts at max(send time, recv time).
 //
 // Hot-path structure. The queues are sharded by (peer, tag class): every
-// (src_rank, tag, context) triple maps to one of kShards shard queues, each
-// with its own mutex, so concurrent senders/receivers on different channels
-// never serialize on one lock. Per-(src,tag) FIFO — the MPI matching order —
-// is preserved because a channel always lands in the same shard. Wildcard
-// receives (any_source / any_tag) take a slow path that locks every shard
-// (in index order, then the wildcard queue — a total lock order, so specific
-// and wildcard operations can never deadlock) and match in global posting/
-// arrival order via sequence stamps, exactly as the single-queue engine did.
+// (src_rank, tag, context) triple maps to one of kShards shards, each with
+// its own mutex, so concurrent senders/receivers on different channels
+// never serialize on one lock. Within a shard the queues are indexed by the
+// exact channel key — specific matching is a hash lookup plus a pop from
+// that channel's FIFO, never a linear scan. This is exact because matching
+// is key-uniform: whether an envelope matches a *specific* receive depends
+// only on the (src, tag, context) triple, so every entry of a channel FIFO
+// matches the same receives and the head is always the first match in
+// arrival order. Wildcard receives (any_source / any_tag) take a slow path
+// that locks every shard (in index order, then the wildcard queue — a total
+// lock order, so specific and wildcard operations can never deadlock) and
+// match in global posting/arrival order via sequence stamps — taking the
+// minimum stamp over the heads of the matching channel FIFOs, exactly as
+// the single-queue engine's full scan did.
 //
 // Matched deliveries do their timing, payload copy and request completion
 // OUTSIDE the shard locks: completions are pushed onto a per-mailbox MPSC
@@ -40,6 +46,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -136,8 +143,17 @@ class CompletionQueue {
  public:
   void push(std::vector<Completion>& batch);
   void drain();
+  /// Settle `batch`: when the consumer flag is free (the common case), any
+  /// queued leftovers are fired first and then `batch` is fired IN PLACE —
+  /// no deque round trip, no extra lock pair. Otherwise falls back to
+  /// push + drain, leaving the batch to the active consumer.
+  void settle_batch(std::vector<Completion>& batch);
 
  private:
+  /// Fire everything currently queued; the caller holds the consumer flag.
+  void drain_as_consumer();
+  static void fire(Completion& c);
+
   std::mutex mutex_;
   std::deque<Completion> queue_;
   std::atomic<bool> draining_{false};
@@ -154,6 +170,20 @@ class Mailbox {
   /// the engine is MPI_THREAD_MULTIPLE-safe).
   void post_send(Envelope env);
 
+  /// Batched sender side: post a coalescer batch in ONE mailbox transaction.
+  /// The envelopes are processed strictly in order (their global arrival
+  /// stamps, and hence wildcard matching, are exactly as if each had been
+  /// posted individually) under a single acquisition of the shard locks they
+  /// touch; matched deliveries run outside the locks and every endpoint is
+  /// settled through a single completion-queue drain. The envelopes are
+  /// consumed (left moved-from); the vector keeps its capacity so the
+  /// caller can recycle it.
+  void post_send_batch(std::vector<Envelope>& envs);
+
+  /// Progress-driver hook: drain any completions queued by producers that
+  /// lost the consumer race and left before the queue emptied.
+  void drain_completions() { completions_.drain(); }
+
   /// Receiver side.
   void post_recv(PostedRecv pr);
 
@@ -169,13 +199,62 @@ class Mailbox {
  private:
   static constexpr std::size_t kShards = 8;
 
+  /// Exact-match channel identity: the full matching key of a specific
+  /// (no-wildcard) operation.
+  struct ChannelKey {
+    int src_rank;
+    int tag;
+    int context;
+    bool operator==(const ChannelKey&) const = default;
+  };
+  struct ChannelHash {
+    std::size_t operator()(const ChannelKey& k) const noexcept;
+  };
+
+  /// FIFO over a vector: O(1) amortized push_back/pop_front with the
+  /// consumed prefix compacted lazily. A channel's queue is tiny (usually
+  /// 0–2 entries) and reused across the channel's lifetime, so this beats a
+  /// deque's per-queue block allocation by a wide margin.
+  template <typename T>
+  struct Fifo {
+    std::vector<T> items;
+    std::size_t head{0};
+
+    [[nodiscard]] bool empty() const noexcept { return head >= items.size(); }
+    [[nodiscard]] T& front() { return items[head]; }
+    [[nodiscard]] const T& front() const { return items[head]; }
+    void push_back(T v) { items.push_back(std::move(v)); }
+    T pop_front() {
+      T v = std::move(items[head++]);
+      if (head >= items.size()) {
+        items.clear();
+        head = 0;
+      } else if (head >= 32 && head * 2 >= items.size()) {
+        // Bound the consumed prefix so a queue that never drains to empty
+        // still releases its dead storage.
+        items.erase(items.begin(),
+                    items.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      }
+      return v;
+    }
+  };
+
+  /// One matching-engine shard: channel-keyed FIFOs of unexpected sends and
+  /// specific posted receives. Empty FIFOs are left in place — a reused
+  /// channel (ping-pong, persistent replay) then never reallocates, and the
+  /// wildcard scans skip them with one branch.
   struct Shard {
     std::mutex mutex;
-    std::deque<Envelope> unexpected;
-    std::deque<PostedRecv> posted;  ///< specific (no-wildcard) receives only
+    std::unordered_map<ChannelKey, Fifo<Envelope>, ChannelHash> unexpected;
+    std::unordered_map<ChannelKey, Fifo<PostedRecv>, ChannelHash> posted;
   };
 
   static bool matches(const Envelope& env, const PostedRecv& pr);
+  /// Key-uniform wildcard test: does every operation on channel `k` match a
+  /// receive pattern of (src_rank, tag, context)?
+  static bool key_matches(const ChannelKey& k, int src_rank, int tag,
+                          int context) noexcept;
   static std::size_t shard_of(int src_rank, int tag, int context) noexcept;
 
   /// Complete a matched pair: compute wire timing, copy bytes, queue both

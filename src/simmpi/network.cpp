@@ -48,7 +48,11 @@ vt::Resource::Span Network::transfer(int src, int dst, vt::TimePoint ready,
   if (tracer_ != nullptr) {
     std::string text = label == nullptr ? format_bytes(bytes)
                                         : std::string(label) + ' ' + format_bytes(bytes);
-    tracer_->record("net" + std::to_string(src) + "->" + std::to_string(dst),
+    // Lane is keyed by destination only: equal-cost transfers racing for the
+    // same RX resource may be granted interchangeable backfill slots in
+    // wall-clock order, so naming the source in the lane would bind a racy
+    // identity to a deterministic slot and destabilize the trace hash.
+    tracer_->record("net->" + std::to_string(dst),
                     std::move(text), vt::SpanKind::wire, span.start, span.end);
   }
   return span;
@@ -75,7 +79,8 @@ vt::Resource::Span Network::shmem_transfer(int src, int dst, vt::TimePoint ready
   if (tracer_ != nullptr) {
     std::string text = label == nullptr ? format_bytes(bytes)
                                         : std::string(label) + ' ' + format_bytes(bytes);
-    tracer_->record("shm" + std::to_string(src) + "->" + std::to_string(dst),
+    // Destination-keyed lane for the same determinism reason as transfer().
+    tracer_->record("shm->" + std::to_string(dst),
                     std::move(text), vt::SpanKind::wire, span.start, span.end);
   }
   return span;

@@ -2,10 +2,100 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <vector>
 
+#include "obs/metrics.hpp"
+#include "simmpi/progress.hpp"
 #include "support/error.hpp"
 
 namespace clmpi::mpi {
+
+namespace detail {
+namespace {
+
+/// Fixed-size block pool behind make_request_state. Leaked singleton (the
+/// usual static-destruction guard: completion callbacks may retire a state
+/// arbitrarily late), mutex-guarded free list of raw blocks. allocate_shared
+/// folds the control block and the RequestState into ONE block, so each
+/// request costs a free-list pop/push instead of a malloc/free pair.
+template <std::size_t Size>
+class BlockPool {
+ public:
+  static BlockPool& instance() {
+    static auto* pool = new BlockPool();
+    return *pool;
+  }
+
+  void* get() {
+    {
+      std::lock_guard lock(mutex_);
+      if (!blocks_.empty()) {
+        void* b = blocks_.back();
+        blocks_.pop_back();
+        return b;
+      }
+    }
+    return ::operator new(Size);
+  }
+
+  void put(void* b) {
+    {
+      std::lock_guard lock(mutex_);
+      if (blocks_.size() < kMaxRetained) {
+        blocks_.push_back(b);
+        return;
+      }
+    }
+    ::operator delete(b);
+  }
+
+ private:
+  /// Retention cap: bounds pool memory at the workload's high-water mark of
+  /// live requests (a few thousand in the densest bench scenario).
+  static constexpr std::size_t kMaxRetained = 8192;
+
+  std::mutex mutex_;
+  std::vector<void*> blocks_;
+};
+
+/// Minimal allocator adapter routing single-object allocations of the
+/// rebound control-block type through the matching BlockPool.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    if (n != 1) return static_cast<T*>(::operator new(n * sizeof(T)));
+    return static_cast<T*>(BlockPool<sizeof(T)>::instance().get());
+  }
+
+  void deallocate(T* p, std::size_t n) {
+    if (n != 1) {
+      ::operator delete(p);
+      return;
+    }
+    BlockPool<sizeof(T)>::instance().put(p);
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<RequestState> make_request_state() {
+  return std::allocate_shared<RequestState>(PoolAllocator<RequestState>{});
+}
+
+}  // namespace detail
 
 bool Request::done() const { return state_ != nullptr && state_->done(); }
 
@@ -53,6 +143,12 @@ void Request::on_complete(std::function<void(vt::TimePoint, const MsgStatus&)> f
   state_->on_complete(std::move(fn));
 }
 
+void Request::on_settle(std::function<void(vt::TimePoint, const MsgStatus&,
+                                           const std::exception_ptr&)> fn) {
+  CLMPI_REQUIRE(state_ != nullptr, "on_settle() on a null request");
+  state_->on_settle(std::move(fn));
+}
+
 void wait_all(std::initializer_list<Request*> requests, vt::Clock& clock) {
   for (Request* r : requests) r->wait(clock);
 }
@@ -69,8 +165,14 @@ std::size_t wait_any(std::span<Request> requests, vt::Clock& clock) {
     std::size_t winner{SIZE_MAX};
   };
   auto shared = std::make_shared<Shared>();
+  // Any of the waited requests may depend on traffic still queued in a
+  // coalescer (ours, or a peer's that our queued sends would unblock):
+  // flush the hinted coalescers before parking.
+  for (Request& r : requests) {
+    CLMPI_REQUIRE(r.valid(), "wait_any over a null request");
+    r.state()->flush_hinted();
+  }
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    CLMPI_REQUIRE(requests[i].valid(), "wait_any over a null request");
     requests[i].on_complete([shared, i](vt::TimePoint, const MsgStatus&) {
       {
         std::lock_guard lock(shared->mutex);
@@ -130,7 +232,11 @@ std::exception_ptr RequestState::make_timeout_error() const {
 }
 
 void RequestState::settle(vt::TimePoint when, MsgStatus st, std::exception_ptr error) {
-  std::vector<std::function<void(vt::TimePoint, const MsgStatus&)>> to_run;
+  std::vector<std::function<void(vt::TimePoint, const MsgStatus&,
+                                 const std::exception_ptr&)>>
+      to_run;
+  std::exception_ptr err;
+  bool notify = false;
   {
     std::lock_guard lock(mutex_);
     // A real resolution can race the deadline rescue; the rescue won, and
@@ -150,10 +256,17 @@ void RequestState::settle(vt::TimePoint when, MsgStatus st, std::exception_ptr e
     completion_ = when;
     status_ = st;
     error_ = std::move(error);
+    err = error_;
     to_run.swap(callbacks_);
+    // Release-publish AFTER the completion fields: a lock-free done() reader
+    // may then read them without the mutex.
+    done_flag_.store(true, std::memory_order_release);
+    // Notify elision: spinning waiters and continuation-driven consumers are
+    // not registered, so the futex wake is paid only for true cv blockers.
+    notify = waiters_ > 0;
   }
-  cv_.notify_all();
-  for (auto& fn : to_run) fn(when, st);
+  if (notify) cv_.notify_all();
+  for (auto& fn : to_run) fn(when, st, err);
 }
 
 void RequestState::complete(vt::TimePoint when, const MsgStatus& st) {
@@ -173,7 +286,11 @@ void RequestState::arm_deadline(vt::TimePoint deadline) {
 }
 
 bool RequestState::rescue_timeout() {
-  std::vector<std::function<void(vt::TimePoint, const MsgStatus&)>> to_run;
+  std::vector<std::function<void(vt::TimePoint, const MsgStatus&,
+                                 const std::exception_ptr&)>>
+      to_run;
+  std::exception_ptr err;
+  bool notify = false;
   {
     std::lock_guard lock(mutex_);
     if (!deadline_armed_ || done_) return false;
@@ -185,10 +302,13 @@ bool RequestState::rescue_timeout() {
     completion_ = deadline_;
     status_ = MsgStatus{};
     error_ = make_timeout_error();
+    err = error_;
     to_run.swap(callbacks_);
+    done_flag_.store(true, std::memory_order_release);
+    notify = waiters_ > 0;
   }
-  cv_.notify_all();
-  for (auto& fn : to_run) fn(deadline_, MsgStatus{});
+  if (notify) cv_.notify_all();
+  for (auto& fn : to_run) fn(deadline_, MsgStatus{}, err);
   return true;
 }
 
@@ -201,30 +321,47 @@ void RequestState::rescue_if_stale(std::chrono::steady_clock::time_point now,
   rescue_timeout();
 }
 
-bool RequestState::done() const {
-  std::lock_guard lock(mutex_);
-  return done_;
-}
-
 std::exception_ptr RequestState::error() const {
   std::lock_guard lock(mutex_);
   return error_;
 }
 
+void RequestState::flush_hinted() {
+  if (flush_co_ != nullptr) flush_co_->flush_all(FlushTrigger::wait);
+}
+
 vt::TimePoint RequestState::block_until_done() {
-  std::unique_lock lock(mutex_);
-  if (deadline_armed_) {
-    // Liveness rescue: if nothing resolves this operation within the
-    // real-time grace, treat it as never completing (rescue_timeout fails
-    // it at its virtual deadline). Either way done_ holds afterwards.
-    if (!cv_.wait_for(lock, deadline_grace(), [&] { return done_; })) {
-      lock.unlock();
-      rescue_timeout();
-      lock.lock();
-    }
-  } else {
-    cv_.wait(lock, [&] { return done_; });
+  if (!done()) {
+    // The waiter may be blocked on exactly the traffic queued in its own
+    // node's coalescer (directly, or because a peer needs it before it can
+    // answer): put that on the wire before doing anything else.
+    flush_hinted();
+    if (obs::metrics_enabled()) progress_metrics().blocking_waits.add();
+    // Cooperative spin before the cv slow path: on a small (often 1-core)
+    // host a yield hands the CPU straight to the completing thread, and the
+    // common fast handoff resolves without a futex sleep/wake round trip.
+    for (int i = 0; i < 128 && !done(); ++i) std::this_thread::yield();
   }
+  if (!done()) {
+    std::unique_lock lock(mutex_);
+    ++waiters_;
+    if (deadline_armed_) {
+      // Liveness rescue: if nothing resolves this operation within the
+      // real-time grace, treat it as never completing (rescue_timeout fails
+      // it at its virtual deadline). Either way done_ holds afterwards.
+      if (!cv_.wait_for(lock, deadline_grace(), [&] { return done_; })) {
+        lock.unlock();
+        const bool rescued = rescue_timeout();
+        if (rescued && obs::metrics_enabled()) progress_metrics().rescued_waits.add();
+        lock.lock();
+      }
+    } else {
+      cv_.wait(lock, [&] { return done_; });
+    }
+    --waiters_;
+  }
+  // done() held at least once: the completion fields are frozen, so they
+  // are safe to read without the mutex.
   if (error_) std::rethrow_exception(error_);
   return completion_;
 }
@@ -242,20 +379,29 @@ vt::TimePoint RequestState::completion_time() const {
 }
 
 void RequestState::on_complete(std::function<void(vt::TimePoint, const MsgStatus&)> fn) {
+  on_settle([fn = std::move(fn)](vt::TimePoint when, const MsgStatus& st,
+                                 const std::exception_ptr&) { fn(when, st); });
+}
+
+void RequestState::on_settle(std::function<void(vt::TimePoint, const MsgStatus&,
+                                                const std::exception_ptr&)> fn) {
   bool run_now = false;
   vt::TimePoint when;
   MsgStatus st;
+  std::exception_ptr err;
   {
     std::lock_guard lock(mutex_);
     if (done_) {
       run_now = true;
       when = completion_;
       st = status_;
+      err = error_;
     } else {
       callbacks_.push_back(std::move(fn));
+      if (obs::metrics_enabled()) progress_metrics().continuations.add();
     }
   }
-  if (run_now) fn(when, st);
+  if (run_now) fn(when, st, err);
 }
 
 }  // namespace detail

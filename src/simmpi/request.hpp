@@ -6,6 +6,7 @@
 // clMPI uses to implement clCreateEventFromMPIRequest without polling.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <exception>
@@ -31,6 +32,7 @@ struct MsgStatus {
 
 namespace detail {
 class RequestState;
+class SendCoalescer;
 }  // namespace detail
 
 class Request {
@@ -68,6 +70,14 @@ class Request {
   /// immediately if it already has). Callbacks run on the completing thread.
   void on_complete(std::function<void(vt::TimePoint, const MsgStatus&)> fn);
 
+  /// Full-information continuation: `fn(when, status, error)` fires exactly
+  /// once when the request settles — successfully (error == nullptr) or not.
+  /// This is the progress engine's chaining primitive; every blocking wait
+  /// is a thin shim over it. Callbacks run on the settling thread and must
+  /// not block on other ranks' progress.
+  void on_settle(std::function<void(vt::TimePoint, const MsgStatus&,
+                                    const std::exception_ptr&)> fn);
+
   /// Internal: runtime-side access to the shared state.
   [[nodiscard]] const std::shared_ptr<detail::RequestState>& state() const noexcept {
     return state_;
@@ -95,6 +105,14 @@ namespace detail {
 /// waiter (or the cluster's deadline reaper) concludes it will never
 /// resolve. CLMPI_DEADLINE_GRACE_MS overrides the 2000 ms default.
 std::chrono::milliseconds deadline_grace();
+
+class RequestState;
+
+/// Allocate a fresh RequestState from the process-wide block pool. Every
+/// nonblocking operation creates (and soon retires) one of these, so the
+/// control-block-sized allocations are recycled through a free list instead
+/// of round-tripping the general-purpose allocator on the hot path.
+std::shared_ptr<RequestState> make_request_state();
 
 /// Shared completion state; created pending, completed exactly once.
 class RequestState {
@@ -129,14 +147,34 @@ class RequestState {
   void rescue_if_stale(std::chrono::steady_clock::time_point now,
                        std::chrono::milliseconds grace);
 
-  [[nodiscard]] bool done() const;
+  /// Lock-free completion peek: acquire-load of the done flag. The settle
+  /// path publishes completion_/status_/error_ before the release-store, so
+  /// a true return licenses lock-free reads of those fields (they are never
+  /// written again).
+  [[nodiscard]] bool done() const noexcept {
+    return done_flag_.load(std::memory_order_acquire);
+  }
   /// Blocks until complete; rethrows the operation's exception on failure.
+  /// Flushes the coalescer named by the flush hint, then spins briefly
+  /// (cooperative yields) before the condition-variable slow path; counts
+  /// progress.blocking_waits on entry when the request is still pending and
+  /// progress.rescued_waits when the deadline rescue resolves it.
   vt::TimePoint block_until_done();
   /// The carried failure, if any (nullptr while pending or on success).
   [[nodiscard]] std::exception_ptr error() const;
   [[nodiscard]] MsgStatus status() const;
   [[nodiscard]] vt::TimePoint completion_time() const;
   void on_complete(std::function<void(vt::TimePoint, const MsgStatus&)> fn);
+  void on_settle(std::function<void(vt::TimePoint, const MsgStatus&,
+                                    const std::exception_ptr&)> fn);
+
+  /// Name the coalescer a blocking wait on this request must flush first —
+  /// the waiter may be waiting on exactly the traffic sitting in that queue.
+  /// POD pointer, set strictly BEFORE the request is posted (it is read
+  /// without synchronization on the wait path).
+  void set_flush_hint(SendCoalescer* co) noexcept { flush_co_ = co; }
+  /// Flush the hinted coalescer, if any (wait_any's pre-block pass).
+  void flush_hinted();
 
  private:
   /// Single completion path shared by complete/fail/the deadline rescue.
@@ -147,6 +185,13 @@ class RequestState {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool done_{false};
+  /// Lock-free mirror of done_, release-published after the completion
+  /// fields are written.
+  std::atomic<bool> done_flag_{false};
+  /// Blocked (cv) waiters; settle elides the notify_all when zero — spinning
+  /// and continuation-driven waiters never pay the futex wake.
+  int waiters_{0};
+  SendCoalescer* flush_co_{nullptr};
   bool deadline_armed_{false};
   /// True when the request resolved as a deadline timeout; a late real
   /// completion racing the rescue is then ignored (the operation's outcome
@@ -158,7 +203,9 @@ class RequestState {
   vt::TimePoint completion_{};
   MsgStatus status_{};
   std::exception_ptr error_;
-  std::vector<std::function<void(vt::TimePoint, const MsgStatus&)>> callbacks_;
+  std::vector<std::function<void(vt::TimePoint, const MsgStatus&,
+                                 const std::exception_ptr&)>>
+      callbacks_;
 };
 
 }  // namespace detail

@@ -594,6 +594,10 @@ std::uint64_t selection_fingerprint(const sys::SystemProfile& p) noexcept {
   h = mix(h, double_bits(p.pcie.map_setup.s));
   h = mix(h, static_cast<std::uint64_t>(p.small_preference));
   h = mix(h, p.pipeline_threshold);
+  // Not read by select() itself, but part of the eager wire behavior a
+  // strategy's cost model rides on; a profile copy tuning only the inline
+  // cutoff must key its own memo entries.
+  h = mix(h, p.nic.eager_inline);
   // Read by select_rma / predict_transfer(shmem); a profile copy that only
   // flips the fabric knobs must not hit a stale memo entry.
   h = mix(h, p.shmem.available ? 1 : 0);
