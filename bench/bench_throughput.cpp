@@ -22,6 +22,9 @@
 //   persistent_halo  4-rank ring halo exchange; send_init/recv_init once,
 //                    start() every epoch (persistent-request replay path)
 //   chaos_replay     7 fault classes x 3 strategies, one seeded scenario each
+//   rank_scaling     p2p ring + reduced Himeno at 100/500/1000 ranks under the
+//                    cooperative fiber scheduler (16/64 in smoke); one row per
+//                    rank count with RSS and cross-scheduler determinism gates
 //
 // Output: a human-readable table on stdout and a JSON array (default
 // BENCH_throughput.json, override with --out PATH). `--smoke` shrinks every
@@ -38,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/himeno/himeno.hpp"
 #include "bench_util.hpp"
 #include "clmpi/runtime.hpp"
 #include "obs/metrics.hpp"
@@ -473,6 +477,170 @@ ScenarioResult chaos_replay(const Config& cfg) {
   return r;
 }
 
+// --- rank scaling: the cooperative scheduler's headline numbers --------------
+
+/// Current resident set (VmRSS) in KiB, from /proc/self/status; 0 off-Linux.
+std::uint64_t vm_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return static_cast<std::uint64_t>(std::strtoull(line.c_str() + 6, nullptr, 10));
+    }
+  }
+  return 0;
+}
+
+/// RAII environment override (value == nullptr unsets).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  bool had_{false};
+  std::string old_;
+};
+
+/// Fig. 8-style scaling sweeps under the cooperative scheduler: a blocking
+/// p2p-bandwidth ring and a reduced Himeno grid at rank counts far past what
+/// thread-per-rank is meant for (the paper's evaluation stops at 100 nodes;
+/// the fiber launcher runs 1000+ on a worker pool in bounded memory). Each
+/// rank count emits one scenario row whose counters carry the curve points:
+/// ranks, post-run VmRSS per mode, and the fiber-vs-threads virtual times.
+///
+/// Determinism gates (exit(1), like progress_starved's):
+///   * ring: threads and fibers must produce bit-identical trace hash and
+///     makespan — the lockstep ring is inside the deterministic envelope of
+///     BOTH launchers at every rank count;
+///   * himeno: two fiber runs must be bit-identical (run-to-run identity).
+///     Cross-mode is recorded in the counters rather than gated: under the
+///     threads launcher Himeno's makespan varies run to run (the progress
+///     driver's wall-clock tick lands at different points in the overlapped
+///     halo exchange), while under fibers the idle-hook backstop makes every
+///     run identical — reproducibility the thread launcher cannot offer.
+std::vector<ScenarioResult> rank_scaling(const Config& cfg) {
+  const std::vector<int> rank_counts =
+      cfg.smoke ? std::vector<int>{16, 64} : std::vector<int>{100, 500, 1000};
+
+  std::vector<ScenarioResult> out;
+  for (const int nranks : rank_counts) {
+    const int ring_rounds = 4;
+    const std::size_t ring_bytes = 64_KiB;
+    auto ring_body = [nranks, ring_rounds, ring_bytes](mpi::Rank& rank) {
+      auto& world = rank.world();
+      const int next = (rank.rank() + 1) % nranks;
+      const int prev = (rank.rank() + nranks - 1) % nranks;
+      std::vector<std::byte> out_buf(ring_bytes, std::byte{0x5A});
+      std::vector<std::byte> in_buf(ring_bytes);
+      for (int i = 0; i < ring_rounds; ++i) {
+        mpi::Request s = world.isend(out_buf, next, i, rank.clock());
+        world.recv(in_buf, prev, i, rank.clock());
+        s.wait(rank.clock());
+      }
+    };
+    auto traced_ring = [&](const char* mode) {
+      ScopedEnv sched("CLMPI_SCHED", mode);
+      vt::Tracer tracer;
+      mpi::Cluster::Options o;
+      o.nranks = nranks;
+      o.profile = &sys::ricc();
+      o.tracer = &tracer;
+      const mpi::RunResult res = mpi::Cluster::run(o, ring_body);
+      return std::pair<std::uint64_t, double>{tracer.hash(), res.makespan_s};
+    };
+
+    // Himeno, shrunk so the per-rank slab stays small at 1000 ranks: the
+    // interior must divide by 2*nranks, so scale it with the rank count.
+    apps::himeno::Config grid;
+    grid.interior = static_cast<std::size_t>(2 * nranks);
+    grid.jmax = 32;
+    grid.kmax = 64;
+    grid.iterations = 2;
+    auto traced_himeno = [&](const char* mode) {
+      ScopedEnv sched("CLMPI_SCHED", mode);
+      vt::Tracer tracer;
+      const apps::himeno::RunSummary s =
+          apps::himeno::run_cluster(sys::ricc(), nranks, grid, &tracer);
+      return std::pair<std::uint64_t, double>{tracer.hash(), s.makespan_s};
+    };
+
+    ScenarioResult r;
+    r.name = "rank_scaling_" + std::to_string(nranks);
+    r.msgs_per_rep = static_cast<double>(nranks) * ring_rounds;
+
+    const auto ring_threads = traced_ring("threads");
+    const std::uint64_t rss_threads_kb = vm_rss_kb();
+    const auto ring_fibers = traced_ring("fibers");
+    const std::uint64_t rss_fibers_kb = vm_rss_kb();
+    if (ring_fibers != ring_threads) {
+      std::fprintf(stderr,
+                   "rank_scaling: %d-rank ring diverged between schedulers "
+                   "(threads 0x%016llx / fibers 0x%016llx)\n",
+                   nranks, static_cast<unsigned long long>(ring_threads.first),
+                   static_cast<unsigned long long>(ring_fibers.first));
+      std::exit(1);
+    }
+    const auto himeno_threads = traced_himeno("threads");
+    const auto himeno_fibers = traced_himeno("fibers");
+    const auto himeno_fibers2 = traced_himeno("fibers");
+    if (himeno_fibers != himeno_fibers2) {
+      std::fprintf(stderr,
+                   "rank_scaling: %d-rank himeno not reproducible under fibers "
+                   "(0x%016llx vs 0x%016llx)\n",
+                   nranks, static_cast<unsigned long long>(himeno_fibers.first),
+                   static_cast<unsigned long long>(himeno_fibers2.first));
+      std::exit(1);
+    }
+    r.trace_hash = ring_fibers.first;
+    r.virtual_makespan_s = ring_fibers.second;
+
+    // Wall reps: the fiber launcher, end to end (spawn + run + teardown).
+    {
+      ScopedEnv sched("CLMPI_SCHED", "fibers");
+      obs::Registry::instance().reset();
+      const int reps = nranks >= 500 ? std::min(cfg.reps, 3) : cfg.reps;
+      r.wall = benchutil::time_wall(cfg.warmup, reps, [&] {
+        mpi::Cluster::Options o;
+        o.nranks = nranks;
+        o.profile = &sys::ricc();
+        mpi::Cluster::run(o, ring_body);
+      });
+    }
+    r.metrics = drain_metrics();
+    r.metrics.push_back({"rank_scaling.ranks", static_cast<std::uint64_t>(nranks)});
+    r.metrics.push_back({"rank_scaling.rss_threads_kb", rss_threads_kb});
+    r.metrics.push_back({"rank_scaling.rss_fibers_kb", rss_fibers_kb});
+    r.metrics.push_back({"rank_scaling.himeno_makespan_us_fibers",
+                         static_cast<std::uint64_t>(himeno_fibers.second * 1e6)});
+    r.metrics.push_back({"rank_scaling.himeno_makespan_us_threads",
+                         static_cast<std::uint64_t>(himeno_threads.second * 1e6)});
+    r.metrics.push_back({"rank_scaling.himeno_mode_match",
+                         himeno_fibers == himeno_threads ? std::uint64_t{1} : 0});
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 // --- reporting ---------------------------------------------------------------
 
 void print_table(const std::vector<ScenarioResult>& results) {
@@ -587,6 +755,9 @@ int main(int argc, char** argv) {
   if (want("progress_starved")) results.push_back(progress_starved(cfg, starved_msgs));
   if (want("persistent_halo")) results.push_back(persistent_halo(cfg, halo_epochs));
   if (want("chaos_replay")) results.push_back(chaos_replay(cfg));
+  if (want("rank_scaling")) {
+    for (ScenarioResult& r : rank_scaling(cfg)) results.push_back(std::move(r));
+  }
 
   print_table(results);
   write_json(results, cfg);

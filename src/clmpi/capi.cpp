@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_export.hpp"
 #include "simmpi/datatype.hpp"
+#include "support/context.hpp"
 #include "support/error.hpp"
 
 // Handle definitions ---------------------------------------------------------
@@ -53,12 +54,17 @@ struct Binding {
   rt::Runtime* runtime{nullptr};
 };
 
-thread_local Binding t_binding;
+// Rank-scoped, not thread_local: under the fiber scheduler a rank's body
+// migrates across worker threads mid-call, and the binding must follow the
+// RANK (its execution context), never leak to another rank sharing the
+// worker.
+Binding& binding_slot() { return ctx::current().slot<Binding>(); }
 
 Binding& binding() {
-  CLMPI_REQUIRE(t_binding.rank != nullptr,
-                "no ThreadBinding active on this thread; construct one first");
-  return t_binding;
+  Binding& b = binding_slot();
+  CLMPI_REQUIRE(b.rank != nullptr,
+                "no ThreadBinding active on this task; construct one first");
+  return b;
 }
 
 /// Registry of live handles of one kind. Released handles are erased, so a
@@ -147,11 +153,12 @@ cl_int guarded(Fn&& body) {
 }  // namespace
 
 ThreadBinding::ThreadBinding(mpi::Rank& rank, rt::Runtime& runtime) {
-  CLMPI_REQUIRE(t_binding.rank == nullptr, "thread already has an active binding");
-  t_binding = Binding{&rank, &runtime};
+  Binding& b = binding_slot();
+  CLMPI_REQUIRE(b.rank == nullptr, "task already has an active binding");
+  b = Binding{&rank, &runtime};
 }
 
-ThreadBinding::~ThreadBinding() { t_binding = Binding{}; }
+ThreadBinding::~ThreadBinding() { binding_slot() = Binding{}; }
 
 MPI_Comm comm_world() { return &binding().rank->world(); }
 

@@ -12,7 +12,6 @@
 #include "simmpi/cluster_core.hpp"
 #include "simmpi/progress.hpp"
 #include "simmpi/datatype.hpp"
-#include "support/log.hpp"
 #include "transfer/async.hpp"
 #include "transfer/pool.hpp"
 #include "support/error.hpp"
@@ -122,7 +121,8 @@ Runtime::Runtime(mpi::Rank& rank, ocl::Device& device, xfer::SelectionMode selec
       disk_("disk" + std::to_string(rank.rank())) {
   CLMPI_REQUIRE(device.node() == rank.rank(),
                 "the communicator device must live on the rank's node");
-  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  dispatcher_ = sched::spawn_service("clmpi-comm" + std::to_string(rank.rank()),
+                                     [this] { dispatcher_loop(); });
 }
 
 Runtime::~Runtime() {
@@ -131,6 +131,7 @@ Runtime::~Runtime() {
     shutdown_ = true;
   }
   cv_.notify_all();
+  sched::note_progress();
   dispatcher_.join();
   // Posted transfers reference application buffers; make sure they are all
   // done before the runtime (and with it, typically, those buffers) goes.
@@ -145,7 +146,6 @@ Runtime::~Runtime() {
 }
 
 void Runtime::dispatcher_loop() {
-  log::set_thread_label("clmpi-comm" + std::to_string(rank_->rank()));
   for (;;) {
     // Drain the whole queue per cv wakeup: enqueue bursts (an application
     // posting a dependency chain of commands) cost one wakeup instead of one
@@ -153,7 +153,8 @@ void Runtime::dispatcher_loop() {
     std::deque<Job> batch;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] { return shutdown_ || !jobs_.empty(); });
+      sched::wait(lock, cv_, [&] { return shutdown_ || !jobs_.empty(); },
+                  "rt.dispatcher.idle");
       if (jobs_.empty()) return;  // shutdown with a drained queue
       batch.swap(jobs_);
     }
@@ -201,12 +202,16 @@ void Runtime::dispatcher_loop() {
                 std::lock_guard lk(latch->mutex);
                 last = (--latch->remaining == 0);
               }
-              if (last) latch->cv.notify_one();
+              if (last) {
+                latch->cv.notify_one();
+                sched::note_progress();
+              }
             });
           }
           if (obs::metrics_enabled()) mpi::detail::progress_metrics().continuations.add();
           std::unique_lock lk(latch->mutex);
-          latch->cv.wait(lk, [&] { return latch->remaining == 0; });
+          sched::wait(lk, latch->cv, [&] { return latch->remaining == 0; },
+                      "rt.dispatcher.waitlist");
         }
         std::exception_ptr err;
         for (const auto& w : job.waits) {
@@ -255,6 +260,7 @@ ocl::EventPtr Runtime::submit(ocl::CommandQueue& queue, std::string label,
     depth = jobs_.size();
   }
   cv_.notify_all();
+  sched::note_progress();
   if (obs::metrics_enabled()) {
     static auto& submitted = obs::Registry::instance().counter("rt.dispatcher.jobs");
     static auto& queue_depth = obs::Registry::instance().gauge("rt.dispatcher.queue_depth");

@@ -38,13 +38,13 @@
 #include <mutex>
 #include <optional>
 #include <span>
-#include <thread>
 #include <vector>
 
 #include "ocl/context.hpp"
 #include "ocl/queue.hpp"
 #include "simmpi/cluster.hpp"
 #include "simmpi/window.hpp"
+#include "support/sched.hpp"
 #include "transfer/strategy.hpp"
 
 namespace clmpi::rt {
@@ -268,7 +268,8 @@ class Runtime {
   std::deque<Job> jobs_;
   std::vector<ocl::EventPtr> issued_;
   bool shutdown_{false};
-  std::thread dispatcher_;
+  // Fiber under the cooperative scheduler, plain thread otherwise.
+  sched::ServiceHandle dispatcher_;
 };
 
 }  // namespace clmpi::rt

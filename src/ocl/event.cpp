@@ -1,6 +1,7 @@
 #include "ocl/event.hpp"
 
 #include "support/error.hpp"
+#include "support/sched.hpp"
 
 namespace clmpi::ocl {
 
@@ -36,7 +37,7 @@ std::exception_ptr Event::error() const {
 
 vt::TimePoint Event::wait() {
   std::unique_lock lock(mutex_);
-  cv_.wait(lock, [&] { return state_ == State::complete; });
+  sched::wait(lock, cv_, [&] { return state_ == State::complete; }, "ocl.event.wait");
   if (error_) std::rethrow_exception(error_);
   return profiling_.ended;
 }
@@ -94,6 +95,7 @@ void Event::mark_complete(vt::TimePoint when) {
     to_run.swap(callbacks_);
   }
   cv_.notify_all();
+  sched::note_progress();
   for (auto& fn : to_run) fn(when);
 }
 

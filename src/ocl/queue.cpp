@@ -4,7 +4,6 @@
 
 #include "ocl/context.hpp"
 #include "support/error.hpp"
-#include "support/log.hpp"
 
 namespace clmpi::ocl {
 
@@ -34,10 +33,7 @@ void traced_wait(Device& dev, const EventPtr& ev, vt::Clock& clock, std::string 
 
 CommandQueue::CommandQueue(Context& ctx, Device& dev, std::string label, QueueOrder order)
     : ctx_(&ctx), device_(&dev), label_(std::move(label)), order_(order) {
-  worker_ = std::thread([this] {
-    log::set_thread_label(label_);
-    worker_loop();
-  });
+  worker_ = sched::spawn_service(label_, [this] { worker_loop(); });
 }
 
 CommandQueue::~CommandQueue() {
@@ -46,6 +42,7 @@ CommandQueue::~CommandQueue() {
     shutdown_ = true;
   }
   cv_.notify_all();
+  sched::note_progress();
   worker_.join();
 }
 
@@ -77,6 +74,7 @@ EventPtr CommandQueue::push(std::string op_label, WaitList waits, vt::Clock& clo
     pending_.push_back(std::move(cmd));
   }
   cv_.notify_all();
+  sched::note_progress();
   return event;
 }
 
@@ -85,7 +83,8 @@ void CommandQueue::worker_loop() {
     Command cmd;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] { return shutdown_ || !pending_.empty(); });
+      sched::wait(lock, cv_, [&] { return shutdown_ || !pending_.empty(); },
+                  "ocl.queue.idle");
       if (pending_.empty()) return;  // shutdown with a drained queue
       cmd = std::move(pending_.front());
       pending_.pop_front();

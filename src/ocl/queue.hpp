@@ -16,13 +16,13 @@
 #include <mutex>
 #include <span>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "ocl/buffer.hpp"
 #include "ocl/device.hpp"
 #include "ocl/event.hpp"
 #include "ocl/kernel.hpp"
+#include "support/sched.hpp"
 #include "vt/clock.hpp"
 
 namespace clmpi::ocl {
@@ -147,7 +147,9 @@ class CommandQueue {
   std::vector<EventPtr> since_barrier_;
   EventPtr barrier_gate_;
 
-  std::thread worker_;
+  // Fiber under the cooperative scheduler (when the queue is created from a
+  // fiber), plain thread otherwise.
+  sched::ServiceHandle worker_;
 };
 
 }  // namespace clmpi::ocl

@@ -7,13 +7,16 @@
 #include <iostream>
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/trace_export.hpp"
 #include "simmpi/cluster_core.hpp"
+#include "support/context.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
+#include "support/sched.hpp"
 
 namespace clmpi::mpi {
 
@@ -78,8 +81,15 @@ class ProgressDriverService {
       // race. Everything here is wall-clock-only: the envelopes' virtual
       // stamps were fixed at post time.
       for (ClusterCore* core : cores_) {
-        for (SendCoalescer& co : core->coalescers) co.flush_all(FlushTrigger::tick);
-        for (Mailbox& mb : core->mailboxes) mb.drain_completions();
+        // Cooperative (fiber-mode) clusters get their flush+drain backstop
+        // from the scheduler's idle hook instead: a wall-clock flush here
+        // would race the deterministic cooperative schedule and perturb the
+        // wire post order. Deadline rescue stays — it is wall-clock by
+        // definition (the real-time grace of an armed deadline).
+        if (!core->cooperative.load(std::memory_order_relaxed)) {
+          for (SendCoalescer& co : core->coalescers) co.flush_all(FlushTrigger::tick);
+          for (Mailbox& mb : core->mailboxes) mb.drain_completions();
+        }
         std::unique_lock dl(core->deadline_mutex);
         core->rescue_stale_deadlines(dl);
       }
@@ -174,6 +184,25 @@ std::vector<int> iota_group(int n) {
   return g;
 }
 
+std::string describe_exception(std::exception_ptr e) {
+  try {
+    std::rethrow_exception(std::move(e));
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "non-std exception";
+  }
+}
+
+/// CLMPI_TRACE auto-export arbitration across concurrent Cluster::run calls.
+/// Each run takes a sequence number at START; only the latest-started run
+/// writes the file ("last run wins", now deterministic under concurrency:
+/// start order decides, not finish order), and writes are serialized so two
+/// finishing runs can never interleave output in the same path.
+std::mutex g_trace_export_mutex;
+std::uint64_t g_trace_export_seq = 0;      // last sequence number handed out
+std::uint64_t g_trace_exported_seq = 0;    // highest sequence that exported
+
 }  // namespace
 
 Rank::Rank(detail::ClusterCore* core, int id, int nranks)
@@ -195,6 +224,12 @@ void Rank::compute(vt::Duration d, const std::string& label) {
 RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>& body) {
   CLMPI_REQUIRE(options.nranks > 0, "cluster needs at least one rank");
   CLMPI_REQUIRE(options.profile != nullptr, "cluster needs a system profile");
+
+  std::uint64_t run_seq = 0;
+  {
+    std::lock_guard lock(g_trace_export_mutex);
+    run_seq = ++g_trace_export_seq;
+  }
 
   detail::ClusterCore core;
   core.profile = options.profile;
@@ -220,6 +255,10 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
     core.start_progress_driver();
   }
 
+  // Per-rank blocked-site mirrors (watchdog diagnostics). Owned by the core
+  // so they outlive the rank contexts that write them.
+  for (int n = 0; n < options.nranks; ++n) core.blocked_sites.emplace_back(nullptr);
+
   RunResult result;
   result.rank_end_s.assign(static_cast<std::size_t>(options.nranks), 0.0);
 
@@ -227,53 +266,135 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
   std::condition_variable done_cv;
   int remaining = options.nranks;
   std::exception_ptr first_error;
+  int suppressed = 0;
+  std::vector<char> rank_done(static_cast<std::size_t>(options.nranks), 0);
 
+  // One body shared by both launchers; runs on a dedicated thread
+  // (CLMPI_SCHED=threads, the default) or on a scheduler fiber
+  // (CLMPI_SCHED=fibers).
+  const auto rank_main = [&](int r) {
+    ctx::current().blocked_mirror = &core.blocked_sites[static_cast<std::size_t>(r)];
+    log::set_thread_label("rank" + std::to_string(r));
+    try {
+      Rank rank(&core, r, options.nranks);
+      body(rank);
+      result.rank_end_s[static_cast<std::size_t>(r)] = rank.now_s();
+    } catch (...) {
+      std::lock_guard lock(state_mutex);
+      if (!first_error) {
+        first_error = std::current_exception();
+      } else {
+        // First error wins the rethrow, but secondary failures (usually the
+        // cascade the first one caused in peer ranks) must not vanish
+        // silently: count and log each one.
+        ++suppressed;
+        CLMPI_WARN("rank " << r << ": secondary error suppressed: "
+                           << describe_exception(std::current_exception()));
+        if (obs::metrics_enabled()) {
+          static auto& c = obs::Registry::instance().counter("cluster.suppressed_errors");
+          c.add();
+        }
+      }
+    }
+    {
+      std::lock_guard lock(state_mutex);
+      rank_done[static_cast<std::size_t>(r)] = 1;
+      --remaining;
+    }
+    done_cv.notify_all();
+    sched::note_progress();
+  };
+
+  const sched::Mode mode = sched::mode_from_env();
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(options.nranks));
-  for (int r = 0; r < options.nranks; ++r) {
-    threads.emplace_back([&, r] {
-      log::set_thread_label("rank" + std::to_string(r));
-      try {
-        Rank rank(&core, r, options.nranks);
-        body(rank);
-        result.rank_end_s[static_cast<std::size_t>(r)] = rank.now_s();
-      } catch (...) {
-        std::lock_guard lock(state_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-      {
-        std::lock_guard lock(state_mutex);
-        --remaining;
-      }
-      done_cv.notify_all();
-    });
+  std::optional<sched::Scheduler> scheduler;
+  if (mode == sched::Mode::fibers) {
+    core.cooperative.store(true, std::memory_order_relaxed);
+    scheduler.emplace(sched::Scheduler::Options{});
+    if (core.progress) {
+      // Cooperative stand-in for the progress driver's wall-clock coalescer
+      // flush: run the backstop only at scheduler quiescence, serialized
+      // with fiber execution, so batch composition stays a function of the
+      // cooperative schedule rather than of a racing real-time tick.
+      scheduler->set_idle_hook([&core] {
+        for (detail::SendCoalescer& co : core.coalescers) {
+          co.flush_all(detail::FlushTrigger::tick);
+        }
+        for (detail::Mailbox& mb : core.mailboxes) mb.drain_completions();
+      });
+    }
+    for (int r = 0; r < options.nranks; ++r) {
+      scheduler->spawn([&rank_main, r] { rank_main(r); }, "rank" + std::to_string(r));
+    }
+    scheduler->start();
+  } else {
+    threads.reserve(static_cast<std::size_t>(options.nranks));
+    for (int r = 0; r < options.nranks; ++r) {
+      threads.emplace_back([&rank_main, r] { rank_main(r); });
+    }
   }
 
   if (options.watchdog_seconds > 0.0) {
+    double watchdog_s = options.watchdog_seconds;
+#ifdef CLMPI_SANITIZE_BUILD
+    // Sanitizer instrumentation slows the simulated ranks several-fold;
+    // scale the deadlock watchdog so sanitize runs are not shot while
+    // merely slow.
+    watchdog_s *= 4.0;
+#endif
     std::unique_lock lock(state_mutex);
-    const bool finished = done_cv.wait_for(
-        lock, std::chrono::duration<double>(options.watchdog_seconds),
-        [&] { return remaining == 0; });
+    const bool finished =
+        done_cv.wait_for(lock, std::chrono::duration<double>(watchdog_s),
+                         [&] { return remaining == 0; });
     if (!finished) {
       // A rank is stuck in a blocking operation: this is a communication
       // deadlock in the user program, the same hang a real MPI job would
-      // exhibit. There is no safe way to unwind a foreign stuck thread, so
-      // diagnose and abort.
+      // exhibit. There is no safe way to unwind a foreign stuck task, so
+      // dump everything we know about where each rank is parked, flush the
+      // observability state, and abort.
       std::cerr << "clmpi::mpi::Cluster watchdog: " << remaining << " of " << options.nranks
-                << " ranks still blocked after " << options.watchdog_seconds
+                << " ranks still blocked after " << watchdog_s
                 << "s of real time — communication deadlock; aborting.\n";
+      for (int r = 0; r < options.nranks; ++r) {
+        if (rank_done[static_cast<std::size_t>(r)]) continue;
+        const char* site =
+            core.blocked_sites[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
+        std::cerr << "  rank" << r << ": blocked at "
+                  << (site != nullptr ? site : "<running or unknown>") << "\n";
+      }
+      if (scheduler) {
+        for (const auto& f : scheduler->snapshot()) {
+          std::cerr << "  fiber " << f.label << ": "
+                    << (f.blocked != nullptr ? f.blocked : "<runnable>") << "\n";
+        }
+      }
+      for (const auto& s : obs::Registry::instance().snapshot()) {
+        if (s.value != 0) std::cerr << "  metric " << s.name << " = " << s.value << "\n";
+      }
+      if (core.tracer != nullptr && !obs::trace_export_path().empty()) {
+        obs::write_trace_file(*core.tracer, obs::trace_export_path());
+        std::cerr << "  trace flushed to " << obs::trace_export_path() << "\n";
+      }
+      std::cerr.flush();
       std::abort();
     }
   }
 
-  for (auto& t : threads) t.join();
-  // Join non-blocking-collective progression threads before the mailboxes
+  if (scheduler) {
+    // Waits for every fiber — ranks and the service fibers they spawned
+    // (queue workers, dispatchers, collective progression) — then joins the
+    // worker pool.
+    scheduler->join();
+  } else {
+    for (auto& t : threads) t.join();
+  }
+  // Join non-blocking-collective progression services before the mailboxes
   // and network (owned by `core`) go away. They terminate once every rank
   // has issued its side of the collective, which the rank joins above
   // guarantee for well-formed programs.
   {
     std::lock_guard lock(core.aux_mutex);
-    for (auto& t : core.aux_threads) t.join();
+    for (auto& s : core.aux_services) s.join();
   }
   // The shared driver and the reaper dereference request states that the
   // mailboxes keep alive; detach from the driver and stop the reaper before
@@ -282,11 +403,22 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
   core.stop_deadline_reaper();
   if (core.faults) result.faults = core.faults->counters();
   // CLMPI_TRACE=<path>: auto-export the env-attached tracer as Perfetto
-  // JSON. Last run wins when a process runs several clusters.
+  // JSON. Last run wins when a process runs several clusters — decided by
+  // run START order and serialized (see g_trace_export_mutex above).
   if (core.tracer == &env_tracer && !obs::trace_export_path().empty()) {
-    obs::write_trace_file(env_tracer, obs::trace_export_path());
+    std::lock_guard lock(g_trace_export_mutex);
+    if (run_seq > g_trace_exported_seq) {
+      g_trace_exported_seq = run_seq;
+      obs::write_trace_file(env_tracer, obs::trace_export_path());
+    }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error) {
+    if (suppressed > 0) {
+      CLMPI_WARN("cluster: suppressed " << suppressed
+                                        << " secondary rank error(s); rethrowing the first");
+    }
+    std::rethrow_exception(first_error);
+  }
 
   result.makespan_s = 0.0;
   for (double e : result.rank_end_s) result.makespan_s = std::max(result.makespan_s, e);

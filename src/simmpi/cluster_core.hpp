@@ -16,6 +16,7 @@
 #include "simmpi/network.hpp"
 #include "simmpi/progress.hpp"
 #include "simmpi/request.hpp"
+#include "support/sched.hpp"
 #include "systems/profile.hpp"
 #include "vt/tracer.hpp"
 
@@ -38,6 +39,13 @@ struct ClusterCore {
   /// before the engine existed (no coalescing, lazy deadline reaper).
   bool progress{false};
   std::deque<SendCoalescer> coalescers;  ///< one per SOURCE node
+
+  /// True while this cluster runs under the cooperative fiber scheduler.
+  /// The progress driver's wall-clock tick must then leave the coalescers
+  /// alone: a real-time flush races the (deterministic) cooperative schedule
+  /// and perturbs wire post order. The scheduler's idle hook flushes instead,
+  /// at quiescence points serialized with fiber execution.
+  std::atomic<bool> cooperative{false};
 
   /// Put every batch queued by `node` on the wire (blocking-wait hook).
   void flush_sends(int node) {
@@ -62,16 +70,24 @@ struct ClusterCore {
   std::mutex win_mutex;
   std::unordered_map<std::uint64_t, std::shared_ptr<WindowShared>> windows;
 
-  /// Auxiliary runtime threads (non-blocking collective progression).
-  /// Registered here so Cluster::run joins them before tearing the cluster
-  /// down — a progression thread must never outlive the mailboxes.
+  /// Auxiliary runtime services (non-blocking collective progression) —
+  /// fibers under the cooperative scheduler, threads otherwise. Registered
+  /// here so Cluster::run joins them before tearing the cluster down — a
+  /// progression task must never outlive the mailboxes.
   std::mutex aux_mutex;
-  std::vector<std::thread> aux_threads;
+  std::vector<sched::ServiceHandle> aux_services;
 
-  void register_aux_thread(std::thread t) {
+  void register_aux_service(sched::ServiceHandle s) {
     std::lock_guard lock(aux_mutex);
-    aux_threads.push_back(std::move(t));
+    aux_services.push_back(std::move(s));
   }
+
+  /// Per-rank blocked-site mirrors for watchdog diagnostics. Sized by
+  /// Cluster::run before ranks start; each rank's execution context mirrors
+  /// its current blocked site here (ctx::BlockedScope), so the watchdog can
+  /// report where every rank is stuck even after rank contexts are gone.
+  /// deque: atomics are immovable.
+  std::deque<std::atomic<const char*>> blocked_sites;
 
   /// Deadline reaper: the liveness side of per-operation deadlines for
   /// operations nothing ever blocks on (the clMPI runtime's callback-driven

@@ -17,7 +17,7 @@
 #include "simmpi/cluster_core.hpp"
 #include "simmpi/comm.hpp"
 #include "support/error.hpp"
-#include "support/log.hpp"
+#include "support/sched.hpp"
 
 namespace clmpi::mpi {
 
@@ -259,11 +259,11 @@ Request Comm::spawn_collective(vt::Clock& clock,
                                std::function<void(Comm&, vt::Clock&)> body) {
   auto state = detail::make_request_state();
   const vt::TimePoint start = clock.now();
-  // The progression thread works on its own Comm copy and private clock,
-  // starting at the issue time. Cluster::run joins it before tear-down.
-  core_->register_aux_thread(std::thread(
-      [state, self = *this, start, body = std::move(body)]() mutable {
-        log::set_thread_label("coll-progress");
+  // The progression task (fiber under the cooperative scheduler, thread
+  // otherwise) works on its own Comm copy and private clock, starting at the
+  // issue time. Cluster::run joins it before tear-down.
+  core_->register_aux_service(sched::spawn_service(
+      "coll-progress", [state, self = *this, start, body = std::move(body)]() mutable {
         vt::Clock private_clock(start);
         try {
           body(self, private_clock);

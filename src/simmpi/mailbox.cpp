@@ -6,7 +6,9 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "support/context.hpp"
 #include "support/error.hpp"
+#include "support/sched.hpp"
 
 namespace clmpi::mpi::detail {
 
@@ -187,6 +189,7 @@ void Mailbox::settle(std::vector<Completion>& batch) {
 
 void Mailbox::note_arrival() {
   arrivals_.fetch_add(1, std::memory_order_seq_cst);
+  sched::note_progress();
   if (probe_waiters_.load(std::memory_order_seq_cst) > 0) {
     if (obs::metrics_enabled()) metrics().probe_wakeup.add();
     // Empty critical section: a probe between its predicate check and its
@@ -520,6 +523,14 @@ std::pair<MsgStatus, vt::TimePoint> Mailbox::probe(int src_rank, int tag, int co
     }
     if (hit != nullptr) return {st, available};
 
+    if (sched::on_fiber()) {
+      // Fiber path: yield and rescan. The arrival epoch is not needed — the
+      // rescan itself observes whatever arrived while we were suspended.
+      ctx::BlockedScope blocked("mpi.probe");
+      sched::yield();
+      continue;
+    }
+    ctx::BlockedScope blocked("mpi.probe");
     std::unique_lock lock(probe_mutex_);
     arrival_cv_.wait(lock, [&] {
       return arrivals_.load(std::memory_order_seq_cst) != before;

@@ -9,7 +9,9 @@
 
 #include "obs/metrics.hpp"
 #include "simmpi/progress.hpp"
+#include "support/context.hpp"
 #include "support/error.hpp"
+#include "support/sched.hpp"
 
 namespace clmpi::mpi {
 
@@ -172,16 +174,29 @@ std::size_t wait_any(std::span<Request> requests, vt::Clock& clock) {
     CLMPI_REQUIRE(r.valid(), "wait_any over a null request");
     r.state()->flush_hinted();
   }
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    requests[i].on_complete([shared, i](vt::TimePoint, const MsgStatus&) {
-      {
-        std::lock_guard lock(shared->mutex);
-        if (shared->winner == SIZE_MAX) shared->winner = i;
+  if (sched::on_fiber()) {
+    // Fiber path: poll the done flags directly instead of arming completion
+    // callbacks — the lock-free done() peek per resume is cheaper than a
+    // callback registration per request, and there is no cv to wake.
+    ctx::BlockedScope blocked("mpi.wait_any");
+    const auto any_done = [&] {
+      for (const Request& r : requests) {
+        if (r.done()) return true;
       }
-      shared->cv.notify_all();
-    });
-  }
-  {
+      return false;
+    };
+    while (!any_done()) sched::yield();
+  } else {
+    ctx::BlockedScope blocked("mpi.wait_any");
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      requests[i].on_complete([shared, i](vt::TimePoint, const MsgStatus&) {
+        {
+          std::lock_guard lock(shared->mutex);
+          if (shared->winner == SIZE_MAX) shared->winner = i;
+        }
+        shared->cv.notify_all();
+      });
+    }
     std::unique_lock lock(shared->mutex);
     shared->cv.wait(lock, [&] { return shared->winner != SIZE_MAX; });
   }
@@ -266,6 +281,7 @@ void RequestState::settle(vt::TimePoint when, MsgStatus st, std::exception_ptr e
     notify = waiters_ > 0;
   }
   if (notify) cv_.notify_all();
+  sched::note_progress();
   for (auto& fn : to_run) fn(when, st, err);
 }
 
@@ -308,6 +324,7 @@ bool RequestState::rescue_timeout() {
     notify = waiters_ > 0;
   }
   if (notify) cv_.notify_all();
+  sched::note_progress();
   for (auto& fn : to_run) fn(deadline_, MsgStatus{}, err);
   return true;
 }
@@ -340,9 +357,33 @@ vt::TimePoint RequestState::block_until_done() {
     // Cooperative spin before the cv slow path: on a small (often 1-core)
     // host a yield hands the CPU straight to the completing thread, and the
     // common fast handoff resolves without a futex sleep/wake round trip.
-    for (int i = 0; i < 128 && !done(); ++i) std::this_thread::yield();
+    // On a fiber the poll-yield path below IS the cheap handoff; skip the
+    // OS-thread spin, it would stall every fiber sharing this worker.
+    if (!sched::on_fiber()) {
+      for (int i = 0; i < 128 && !done(); ++i) std::this_thread::yield();
+    }
   }
-  if (!done()) {
+  if (!done() && sched::on_fiber()) {
+    // Fiber path: stay in the scheduler's ready queue and re-poll the done
+    // flag per resume — the worker thread is never parked, so peer ranks
+    // (and the service fibers completing this request) keep running.
+    ctx::BlockedScope blocked("mpi.request.wait");
+    bool armed = false;
+    {
+      std::lock_guard lock(mutex_);
+      armed = deadline_armed_;
+    }
+    if (armed) {
+      const auto limit = std::chrono::steady_clock::now() + deadline_grace();
+      while (!done() && std::chrono::steady_clock::now() < limit) sched::yield();
+      if (!done()) {
+        const bool rescued = rescue_timeout();
+        if (rescued && obs::metrics_enabled()) progress_metrics().rescued_waits.add();
+      }
+    }
+    while (!done()) sched::yield();
+  } else if (!done()) {
+    ctx::BlockedScope blocked("mpi.request.wait");
     std::unique_lock lock(mutex_);
     ++waiters_;
     if (deadline_armed_) {

@@ -13,6 +13,7 @@
 #include "simmpi/cluster_core.hpp"
 #include "simmpi/comm.hpp"
 #include "support/error.hpp"
+#include "support/sched.hpp"
 
 namespace clmpi::mpi {
 
@@ -321,8 +322,10 @@ vt::TimePoint Win::fence(vt::TimePoint ready) {
       std::fill(sh->in_rendezvous.begin(), sh->in_rendezvous.end(), 0);
       ++sh->generation;
       sh->cv.notify_all();
+      sched::note_progress();
     } else {
-      sh->cv.wait(lock, [&] { return sh->generation != my_gen; });
+      sched::wait(lock, sh->cv, [&] { return sh->generation != my_gen; },
+                  "mpi.win.fence");
     }
     // Still under the lock: the next round's apply cannot run until this
     // rank re-arrives, so round_end / rank_fault are this round's values.
@@ -378,8 +381,10 @@ void Win::free(vt::Clock& clock) {
       std::fill(sh->in_rendezvous.begin(), sh->in_rendezvous.end(), 0);
       ++sh->generation;
       sh->cv.notify_all();
+      sched::note_progress();
     } else {
-      sh->cv.wait(lock, [&] { return sh->generation != my_gen; });
+      sched::wait(lock, sh->cv, [&] { return sh->generation != my_gen; },
+                  "mpi.win.free");
     }
     end = sh->round_end;
     had_pending = sh->rank_fault[static_cast<std::size_t>(rank_)] == 3;
@@ -423,8 +428,10 @@ Win create_window(Comm& comm, std::span<std::byte> region, vt::Clock& clock,
     sh->create_end = vt::max(sh->create_end, clock.now());
     if (++sh->registered == sh->nranks) {
       sh->cv.notify_all();
+      sched::note_progress();
     } else {
-      sh->cv.wait(lock, [&] { return sh->registered == sh->nranks; });
+      sched::wait(lock, sh->cv, [&] { return sh->registered == sh->nranks; },
+                  "mpi.win.create");
     }
   }
   {

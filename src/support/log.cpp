@@ -4,13 +4,13 @@
 #include <iostream>
 #include <mutex>
 
+#include "support/context.hpp"
+
 namespace clmpi::log {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(Level::warn)};
 std::mutex g_emit_mutex;
-
-thread_local std::string t_label = "-";
 
 const char* level_name(Level lvl) {
   switch (lvl) {
@@ -30,11 +30,16 @@ void set_level(Level lvl) noexcept { g_level.store(static_cast<int>(lvl)); }
 
 Level level() noexcept { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
 
-void set_thread_label(std::string label) { t_label = std::move(label); }
+// The label lives in the execution context (support/context.hpp) rather than
+// a thread_local: under the fiber scheduler a rank migrates across worker
+// threads, and its log lines must stay tagged with the RANK's label, not
+// whichever worker happened to emit them.
+void set_thread_label(std::string label) { ctx::current().log_label = std::move(label); }
 
 void emit(Level lvl, const std::string& message) {
   std::lock_guard lock(g_emit_mutex);
-  std::cerr << '[' << level_name(lvl) << "][" << t_label << "] " << message << '\n';
+  std::cerr << '[' << level_name(lvl) << "][" << ctx::current().log_label << "] " << message
+            << '\n';
 }
 
 }  // namespace clmpi::log

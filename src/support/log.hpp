@@ -17,7 +17,9 @@ enum class Level : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4, of
 void set_level(Level lvl) noexcept;
 Level level() noexcept;
 
-/// Label the calling thread for subsequent log lines (e.g. "rank 3", "dev0").
+/// Label the calling task (thread or scheduler fiber) for subsequent log
+/// lines (e.g. "rank 3", "dev0"). Stored in the execution context, so the
+/// label follows a fiber across worker threads.
 void set_thread_label(std::string label);
 
 /// Emit one line (already formatted). Prefer the CLMPI_LOG macro.

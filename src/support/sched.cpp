@@ -1,0 +1,400 @@
+#include "support/sched.hpp"
+
+#include <sys/mman.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <string_view>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+// Fiber-switch annotations keep the sanitizers' shadow state consistent
+// across stack switches; without them ASan misattributes frames and TSan
+// reports phantom races between tasks that share a worker.
+#if defined(__SANITIZE_ADDRESS__)
+#define CLMPI_SCHED_ASAN 1
+#include <sanitizer/common_interface_defs.h>
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define CLMPI_SCHED_TSAN 1
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace clmpi::sched {
+
+namespace {
+
+/// Global progress epoch (idle-backoff heartbeat). Only maintained while at
+/// least one scheduler is live, so threads-mode hot paths pay one relaxed
+/// load and nothing else.
+std::atomic<int> g_schedulers{0};
+std::atomic<std::uint64_t> g_epoch{0};
+
+long env_long(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return 0;
+  return std::strtol(env, nullptr, 10);
+}
+
+int default_workers() {
+  const long n = env_long("CLMPI_FIBER_WORKERS");
+  if (n > 0) return static_cast<int>(std::min<long>(n, 1024));
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+std::size_t default_stack_bytes() {
+  const long kb = env_long("CLMPI_FIBER_STACK_KB");
+  if (kb > 0) return static_cast<std::size_t>(kb) * 1024;
+#ifdef CLMPI_SANITIZE_BUILD
+  // Sanitizer instrumentation fattens frames (ASan redzones especially).
+  return std::size_t{1} << 20;
+#else
+  return std::size_t{256} << 10;
+#endif
+}
+
+struct Fiber {
+  ucontext_t uc{};
+  ucontext_t* ret_uc{nullptr};  ///< resuming worker's context, set per resume
+  std::byte* stack_base{nullptr};
+  std::size_t stack_size{0};
+  std::byte* mapping{nullptr};  ///< stack + low guard page
+  std::size_t mapping_size{0};
+  std::function<void()> fn;
+  std::atomic<bool> finished{false};
+  bool started{false};
+  ctx::ExecContext ctx;
+  Scheduler::Impl* owner{nullptr};
+#ifdef CLMPI_SCHED_ASAN
+  void* fake_stack{nullptr};
+  const void* ret_stack_bottom{nullptr};
+  std::size_t ret_stack_size{0};
+#endif
+#ifdef CLMPI_SCHED_TSAN
+  void* tsan_fiber{nullptr};
+  void* tsan_ret{nullptr};
+#endif
+};
+
+thread_local Fiber* t_current = nullptr;
+thread_local ucontext_t t_worker_uc;
+/// Handoff slot for the trampoline's argument: written by the worker right
+/// before the FIRST switch into a fiber, read at trampoline entry on the
+/// same OS thread before anything can intervene.
+thread_local Fiber* t_trampoline_arg = nullptr;
+#ifdef CLMPI_SCHED_ASAN
+thread_local void* t_worker_fake = nullptr;
+#endif
+
+}  // namespace
+
+struct Scheduler::Impl {
+  Options opts;
+  std::size_t stack_bytes{0};
+
+  mutable std::mutex mutex;
+  std::deque<Fiber*> ready;
+  std::vector<std::unique_ptr<Fiber>> all;
+  std::atomic<int> live{0};
+  std::vector<std::thread> workers;
+  bool started{false};
+  std::function<void()> idle_hook;
+
+  void spawn(std::function<void()> fn, std::string label);
+  void worker_loop(int index);
+  void resume(Fiber* f);
+  void retire(Fiber* f);
+};
+
+namespace {
+
+[[noreturn]] void trampoline() {
+  Fiber* f = t_trampoline_arg;
+#ifdef CLMPI_SCHED_ASAN
+  // First entry: complete the switch that brought us here and learn the
+  // resuming worker's stack (where yields will return to).
+  __sanitizer_finish_switch_fiber(nullptr, &f->ret_stack_bottom, &f->ret_stack_size);
+#endif
+  try {
+    f->fn();
+  } catch (...) {
+    // Fiber bodies own their error handling (rank bodies report through the
+    // cluster's first_error path, services poison their events/requests). An
+    // exception escaping to here would have killed the process in threads
+    // mode too — keep that contract.
+    CLMPI_WARN("unhandled exception escaped a scheduler fiber; terminating");
+    std::terminate();
+  }
+  f->fn = nullptr;  // release captures before the stack goes away
+  f->finished.store(true, std::memory_order_release);
+  note_progress();
+#ifdef CLMPI_SCHED_TSAN
+  __tsan_switch_to_fiber(f->tsan_ret, 0);
+#endif
+#ifdef CLMPI_SCHED_ASAN
+  // nullptr fake-stack save: this fiber never runs again.
+  __sanitizer_start_switch_fiber(nullptr, f->ret_stack_bottom, f->ret_stack_size);
+#endif
+  swapcontext(&f->uc, f->ret_uc);
+  std::abort();  // unreachable: a finished fiber is never resumed
+}
+
+}  // namespace
+
+Mode mode_from_env() {
+  const char* env = std::getenv("CLMPI_SCHED");
+  if (env != nullptr && std::string_view(env) == "fibers") return Mode::fibers;
+  return Mode::threads;
+}
+
+bool on_fiber() noexcept { return t_current != nullptr; }
+
+void note_progress() noexcept {
+  if (g_schedulers.load(std::memory_order_relaxed) == 0) return;
+  g_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+void yield() {
+  Fiber* f = t_current;
+  if (f == nullptr) {
+    std::this_thread::yield();
+    return;
+  }
+#ifdef CLMPI_SCHED_TSAN
+  __tsan_switch_to_fiber(f->tsan_ret, 0);
+#endif
+#ifdef CLMPI_SCHED_ASAN
+  __sanitizer_start_switch_fiber(&f->fake_stack, f->ret_stack_bottom, f->ret_stack_size);
+#endif
+  swapcontext(&f->uc, f->ret_uc);
+  // Resumed — possibly on a different worker thread (rank migration).
+#ifdef CLMPI_SCHED_ASAN
+  __sanitizer_finish_switch_fiber(f->fake_stack, &f->ret_stack_bottom, &f->ret_stack_size);
+#endif
+}
+
+void Scheduler::Impl::spawn(std::function<void()> fn, std::string label) {
+  auto f = std::make_unique<Fiber>();
+  f->owner = this;
+  f->fn = std::move(fn);
+  f->ctx.log_label = std::move(label);
+
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  f->stack_size = (stack_bytes + page - 1) / page * page;
+  f->mapping_size = f->stack_size + page;  // + low guard page (stacks grow down)
+  void* mem = mmap(nullptr, f->mapping_size, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  CLMPI_REQUIRE(mem != MAP_FAILED, "fiber stack allocation failed");
+  f->mapping = static_cast<std::byte*>(mem);
+  mprotect(f->mapping, page, PROT_NONE);
+  f->stack_base = f->mapping + page;
+
+  CLMPI_REQUIRE(getcontext(&f->uc) == 0, "getcontext failed");
+  f->uc.uc_stack.ss_sp = f->stack_base;
+  f->uc.uc_stack.ss_size = f->stack_size;
+  f->uc.uc_link = nullptr;
+  makecontext(&f->uc, &trampoline, 0);
+#ifdef CLMPI_SCHED_TSAN
+  f->tsan_fiber = __tsan_create_fiber(0);
+  __tsan_set_fiber_name(f->tsan_fiber, f->ctx.log_label.c_str());
+#endif
+
+  live.fetch_add(1, std::memory_order_acq_rel);
+  std::lock_guard lock(mutex);
+  ready.push_back(f.get());
+  all.push_back(std::move(f));
+}
+
+void Scheduler::Impl::resume(Fiber* f) {
+  f->ret_uc = &t_worker_uc;
+  if (!f->started) {
+    f->started = true;
+    t_trampoline_arg = f;
+  }
+  t_current = f;
+  ctx::set_current(&f->ctx);
+#ifdef CLMPI_SCHED_TSAN
+  f->tsan_ret = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(f->tsan_fiber, 0);
+#endif
+#ifdef CLMPI_SCHED_ASAN
+  __sanitizer_start_switch_fiber(&t_worker_fake, f->stack_base, f->stack_size);
+#endif
+  swapcontext(&t_worker_uc, &f->uc);
+#ifdef CLMPI_SCHED_ASAN
+  __sanitizer_finish_switch_fiber(t_worker_fake, nullptr, nullptr);
+#endif
+  ctx::set_current(nullptr);
+  t_current = nullptr;
+}
+
+void Scheduler::Impl::retire(Fiber* f) {
+#ifdef CLMPI_SCHED_TSAN
+  __tsan_destroy_fiber(f->tsan_fiber);
+  f->tsan_fiber = nullptr;
+#endif
+  munmap(f->mapping, f->mapping_size);
+  f->mapping = nullptr;
+  f->stack_base = nullptr;
+  f->ctx.clear_slots();
+  live.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Scheduler::Impl::worker_loop(int index) {
+  log::set_thread_label("sched-worker" + std::to_string(index));
+  std::uint64_t seen_epoch = g_epoch.load(std::memory_order_relaxed);
+  std::size_t fruitless = 0;
+  for (;;) {
+    Fiber* f = nullptr;
+    {
+      std::lock_guard lock(mutex);
+      if (!ready.empty()) {
+        f = ready.front();
+        ready.pop_front();
+      }
+    }
+    if (f == nullptr) {
+      if (live.load(std::memory_order_acquire) == 0) return;
+      // Every unfinished fiber is mid-resume on another worker (or a spawn
+      // is in flight); back off rather than hammer the queue lock.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    resume(f);
+    if (f->finished.load(std::memory_order_acquire)) {
+      retire(f);
+      continue;
+    }
+    {
+      std::lock_guard lock(mutex);
+      ready.push_back(f);
+    }
+    // Idle backoff: a blocked fiber re-enters the ready queue, so when every
+    // live fiber waits on an external thread (progress driver, a plain-thread
+    // peer) the pool would spin. The progress epoch tells us whether anything
+    // completed since the last pass; after a full fruitless round, nap.
+    const std::uint64_t e = g_epoch.load(std::memory_order_relaxed);
+    if (e != seen_epoch) {
+      seen_epoch = e;
+      fruitless = 0;
+    } else if (++fruitless > static_cast<std::size_t>(
+                                 std::max(1, live.load(std::memory_order_relaxed)))) {
+      fruitless = 0;
+      // Quiescence: every live fiber was resumed once and nothing advanced.
+      // Run the backstop hook first — it may release queued work (coalesced
+      // sends) that unblocks a fiber on the next pass; only nap when even
+      // the hook produced no progress.
+      if (idle_hook) {
+        idle_hook();
+        if (g_epoch.load(std::memory_order_relaxed) != seen_epoch) continue;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+  }
+}
+
+Scheduler::Scheduler(Options options) : impl_(std::make_unique<Impl>()) {
+  impl_->opts = options;
+  impl_->stack_bytes =
+      std::max<std::size_t>(options.stack_bytes > 0 ? options.stack_bytes : default_stack_bytes(),
+                            std::size_t{64} << 10);
+  g_schedulers.fetch_add(1, std::memory_order_relaxed);
+}
+
+Scheduler::~Scheduler() {
+  join();
+  g_schedulers.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Scheduler::spawn(std::function<void()> fn, std::string label) {
+  impl_->spawn(std::move(fn), std::move(label));
+}
+
+void Scheduler::set_idle_hook(std::function<void()> hook) {
+  CLMPI_REQUIRE(!impl_->started, "idle hook must be installed before start()");
+  impl_->idle_hook = std::move(hook);
+}
+
+void Scheduler::start() {
+  CLMPI_REQUIRE(!impl_->started, "scheduler started twice");
+  impl_->started = true;
+  const int configured = impl_->opts.workers > 0 ? impl_->opts.workers : default_workers();
+  const int tasks = std::max(1, impl_->live.load(std::memory_order_relaxed));
+  const int n = std::clamp(configured, 1, tasks);
+  impl_->workers.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    impl_->workers.emplace_back([this, i] { impl_->worker_loop(i); });
+  }
+}
+
+void Scheduler::join() {
+  for (auto& w : impl_->workers) {
+    if (w.joinable()) w.join();
+  }
+  impl_->workers.clear();
+}
+
+std::vector<Scheduler::FiberInfo> Scheduler::snapshot() const {
+  std::vector<FiberInfo> out;
+  std::lock_guard lock(impl_->mutex);
+  for (const auto& f : impl_->all) {
+    if (f->finished.load(std::memory_order_acquire)) continue;
+    out.push_back({f->ctx.log_label, f->ctx.blocked.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+std::size_t Scheduler::stack_bytes() const noexcept { return impl_->stack_bytes; }
+
+ServiceHandle::~ServiceHandle() {
+  if (joinable()) join();
+}
+
+bool ServiceHandle::joinable() const noexcept {
+  return thread_.joinable() || fiber_done_ != nullptr;
+}
+
+void ServiceHandle::join() {
+  if (thread_.joinable()) {
+    thread_.join();
+    return;
+  }
+  if (fiber_done_ != nullptr) {
+    // Fiber-backed service: poll-yield until its wrapper flags completion.
+    // Works from a fiber (cooperative) and from a plain thread (os yield).
+    ctx::BlockedScope blocked("sched.service.join");
+    while (!fiber_done_->load(std::memory_order_acquire)) yield();
+    fiber_done_.reset();
+  }
+}
+
+ServiceHandle spawn_service(std::string label, std::function<void()> fn) {
+  ServiceHandle h;
+  Fiber* cur = t_current;
+  if (cur != nullptr) {
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    h.fiber_done_ = done;
+    cur->owner->spawn(
+        [done, fn = std::move(fn)] {
+          fn();
+          done->store(true, std::memory_order_release);
+          note_progress();
+        },
+        std::move(label));
+    return h;
+  }
+  h.thread_ = std::thread([label = std::move(label), fn = std::move(fn)] {
+    log::set_thread_label(label);
+    fn();
+  });
+  return h;
+}
+
+}  // namespace clmpi::sched

@@ -1,0 +1,191 @@
+// Cooperative rank scheduler: stackful fibers over a small worker pool.
+//
+// Thread-per-rank caps simulated cluster size at what the OS will give us in
+// threads; the paper's evaluation runs 100 nodes, and the scaling benches
+// want 1000+. In fiber mode (CLMPI_SCHED=fibers) each rank body runs as a
+// resumable ucontext fiber, multiplexed over `CLMPI_FIBER_WORKERS` OS
+// threads (default: hardware concurrency). Every blocking point in the
+// runtime — Request waits, collective rendezvous, window fences, mailbox
+// probes, event waits, the dispatcher's and the queue workers' idle waits —
+// goes through sched::wait / sched::yield, which suspends the FIBER instead
+// of parking the OS thread.
+//
+// Blocking model: poll-yield. A blocked fiber stays in the round-robin ready
+// queue and re-checks its predicate on every resume. There is no wakeup
+// bookkeeping to lose: completions produced by other fibers, by the progress
+// driver, or by any plain thread are observed on the next resume regardless
+// of who produced them. The cost — fruitless resumes while everybody waits
+// on an external thread — is bounded by an idle backoff: workers watch a
+// global progress epoch (note_progress(), bumped at every completion site)
+// and sleep briefly when a full pass over the ready queue advanced nothing.
+//
+// Determinism contract: the scheduler never touches virtual time. All
+// timestamps are computed from vt::Clock values fixed at post time, so trace
+// hashes, makespans and fault counters are bit-identical between
+// CLMPI_SCHED=threads and CLMPI_SCHED=fibers (tests/test_sched.cpp holds the
+// two modes to that; the chaos suite's seed-identity oracle already holds
+// each mode to itself).
+//
+// Sanitizers: fiber stack switches are annotated for ASan
+// (__sanitizer_{start,finish}_switch_fiber) and TSan (__tsan_*_fiber), so
+// CLMPI_SANITIZE=address / thread builds run fiber mode cleanly.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/context.hpp"
+
+namespace clmpi::sched {
+
+enum class Mode { threads, fibers };
+
+/// CLMPI_SCHED: "fibers" selects the cooperative scheduler, anything else
+/// (including unset) the classic thread-per-rank launcher. Read per call so
+/// tests can flip modes between cluster runs.
+Mode mode_from_env();
+
+/// True when the calling code runs on a scheduler fiber.
+[[nodiscard]] bool on_fiber() noexcept;
+
+/// Cooperative reschedule point. On a fiber: suspend and hand the worker to
+/// the next ready fiber (the caller resumes later, possibly on a different
+/// worker). On a plain thread: std::this_thread::yield().
+void yield();
+
+/// Completion-side hook: something observable by a blocked task happened
+/// (request settled, event completed, message arrived, epoch closed). Bumps
+/// the global progress epoch that gates the workers' idle backoff — cheap
+/// (one relaxed add), safe to call from any thread, never required for
+/// correctness (blocked fibers re-poll regardless).
+void note_progress() noexcept;
+
+/// Fiber-aware condition wait. Publishes `site` as the caller's blocked site
+/// (watchdog diagnostics) in both modes. Fiber path: unlock-yield-relock
+/// until `pred()` holds — the cv is not used (poll-yield needs no wakeup).
+/// Thread path: exactly cv.wait(lock, pred). `site` must be a string
+/// literal (or otherwise outlive the wait).
+template <typename Pred>
+void wait(std::unique_lock<std::mutex>& lock, std::condition_variable& cv, Pred&& pred,
+          const char* site) {
+  ctx::BlockedScope blocked(site);
+  if (on_fiber()) {
+    while (!pred()) {
+      lock.unlock();
+      yield();
+      lock.lock();
+    }
+    return;
+  }
+  cv.wait(lock, std::forward<Pred>(pred));
+}
+
+/// Fiber-aware wait with a real-time timeout (the deadline-grace slow path).
+/// Returns pred() — false only when the timeout expired first.
+template <typename Pred>
+bool wait_for(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+              std::chrono::milliseconds timeout, Pred&& pred, const char* site) {
+  ctx::BlockedScope blocked(site);
+  if (on_fiber()) {
+    const auto limit = std::chrono::steady_clock::now() + timeout;
+    while (!pred()) {
+      if (std::chrono::steady_clock::now() >= limit) return pred();
+      lock.unlock();
+      yield();
+      lock.lock();
+    }
+    return true;
+  }
+  return cv.wait_for(lock, timeout, std::forward<Pred>(pred));
+}
+
+/// A long-lived service task (command-queue worker, clMPI dispatcher,
+/// collective progression): a fiber when spawned from inside a running
+/// scheduler, a plain std::thread otherwise. join() is fiber-aware on both
+/// ends — a fiber joining a fiber-backed service yields until it finishes.
+class ServiceHandle {
+ public:
+  ServiceHandle() = default;
+  ServiceHandle(ServiceHandle&&) = default;
+  ServiceHandle& operator=(ServiceHandle&&) = default;
+  ServiceHandle(const ServiceHandle&) = delete;
+  ServiceHandle& operator=(const ServiceHandle&) = delete;
+  ~ServiceHandle();
+
+  [[nodiscard]] bool joinable() const noexcept;
+  void join();
+
+ private:
+  friend ServiceHandle spawn_service(std::string label, std::function<void()> fn);
+  std::thread thread_;
+  std::shared_ptr<std::atomic<bool>> fiber_done_;
+};
+
+/// Spawn `fn` as a service task labelled `label` (becomes its log label).
+ServiceHandle spawn_service(std::string label, std::function<void()> fn);
+
+/// The fiber scheduler backing one Cluster::run in fiber mode.
+class Scheduler {
+ public:
+  struct Options {
+    /// Worker OS threads; 0 = min(hardware concurrency, task count).
+    int workers{0};
+    /// Per-fiber stack bytes; 0 = CLMPI_FIBER_STACK_KB or the built-in
+    /// default (256 KiB, 1 MiB under sanitizer builds).
+    std::size_t stack_bytes{0};
+  };
+
+  explicit Scheduler(Options options);
+  /// Joins the workers; every fiber must have finished (Cluster::run joins
+  /// via join() on the success path and aborts via the watchdog otherwise).
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Queue a fiber. Thread-safe; fibers spawn service fibers mid-run.
+  /// `label` becomes the fiber's log label.
+  void spawn(std::function<void()> fn, std::string label);
+
+  /// Launch the worker pool. Call once, after the initial spawns.
+  void start();
+
+  /// Install a quiescence backstop, run by a worker after a full pass over
+  /// the ready queue advanced nothing (before the idle nap). This is where
+  /// wall-clock backstops of the runtime (the progress engine's coalescer
+  /// tick flush) move in fiber mode: a racing real-time thread would perturb
+  /// post order against the deterministic cooperative schedule, while the
+  /// hook runs serialized with fiber execution at a schedule-determined
+  /// point. Call before start(); the hook must be callable from any worker.
+  void set_idle_hook(std::function<void()> hook);
+
+  /// Block until every fiber (including ones spawned mid-run) finished, then
+  /// join the workers.
+  void join();
+
+  /// Diagnostic snapshot of every unfinished fiber: (label, blocked site or
+  /// nullptr). Safe to call from the watchdog while workers run.
+  struct FiberInfo {
+    std::string label;
+    const char* blocked{nullptr};
+  };
+  [[nodiscard]] std::vector<FiberInfo> snapshot() const;
+
+  /// Stack bytes per fiber after defaulting (for the scaling bench's
+  /// memory accounting).
+  [[nodiscard]] std::size_t stack_bytes() const noexcept;
+
+  struct Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace clmpi::sched

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "support/context.hpp"
 
 namespace clmpi::xfer {
 
@@ -169,15 +170,19 @@ PoolRegistry& registry() {
 }  // namespace
 
 StagingPool& StagingPool::for_node(int node) {
-  // Each rank's threads keep asking for the same node; a thread-local memo
-  // keeps the registry mutex off the per-message path.
-  thread_local int cached_node = -2;
-  thread_local StagingPool* cached = nullptr;
-  if (cached_node != node) {
-    cached = &registry().lookup(node);
-    cached_node = node;
+  // Each rank keeps asking for the same node; a rank-scoped memo
+  // (execution-context slot — a fiber's cache must follow it across worker
+  // threads) keeps the registry mutex off the per-message path.
+  struct NodeCache {
+    int node{-2};
+    StagingPool* pool{nullptr};
+  };
+  NodeCache& cached = ctx::current().slot<NodeCache>();
+  if (cached.node != node) {
+    cached.pool = &registry().lookup(node);
+    cached.node = node;
   }
-  return *cached;
+  return *cached.pool;
 }
 
 StagingPool::Stats StagingPool::aggregate_stats() {

@@ -14,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "simmpi/datatype.hpp"
 #include "simmpi/fault.hpp"
+#include "support/context.hpp"
 #include "support/error.hpp"
 #include "support/units.hpp"
 #include "transfer/pool.hpp"
@@ -728,18 +729,25 @@ Strategy select(const sys::SystemProfile& profile, std::size_t size, SelectionMo
   // Memoized front-end: selection is a pure function of (profile content,
   // size, mode), so re-running the predictive argmin per message is wasted
   // work on the steady-state path where sizes repeat. A direct-mapped,
-  // thread-local cache indexed by size-class and validated on the EXACT
-  // (fingerprint, size, mode) key — size-class-granular keys would return
-  // the wrong strategy near policy thresholds and in predictive mode, which
-  // would change wire decompositions and break trace neutrality.
-  struct MemoEntry {
-    std::uint64_t fp{0};
-    std::size_t size{0};
-    SelectionMode mode{SelectionMode::heuristic};
-    Strategy result{};
-    bool valid{false};
+  // rank-scoped cache (execution-context slot, NOT thread_local: under the
+  // fiber scheduler a rank migrates across workers mid-run and must keep its
+  // memo, and two ranks time-sharing a worker must not share entries)
+  // indexed by size-class and validated on the EXACT (fingerprint, size,
+  // mode) key — size-class-granular keys would return the wrong strategy
+  // near policy thresholds and in predictive mode, which would change wire
+  // decompositions and break trace neutrality.
+  struct SelectMemo {
+    struct Entry {
+      std::uint64_t fp{0};
+      std::size_t size{0};
+      SelectionMode mode{SelectionMode::heuristic};
+      Strategy result{};
+      bool valid{false};
+    };
+    std::array<Entry, 64> entries;
   };
-  thread_local std::array<MemoEntry, 64> memo;
+  using MemoEntry = SelectMemo::Entry;
+  auto& memo = ctx::current().slot<SelectMemo>().entries;
 
   const std::uint64_t fp = selection_fingerprint(profile);
   MemoEntry& e = memo[static_cast<std::size_t>(std::bit_width(size)) & 63];
