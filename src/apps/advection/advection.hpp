@@ -1,0 +1,55 @@
+// 1D linear advection on the clmpi_halo plan API.
+//
+// First-order upwind transport of a scalar profile around a periodic ring:
+// u'[i] = u[i] - cfl * (u[i] - u[i-1]). The periodic 1-D decomposition makes
+// this the canonical exerciser of the plan library's ring topology — at
+// nranks == 1 both edges are neighbor-is-self edges (device-local staging
+// copies), at 2 ranks both faces talk to the same peer on distinct tags.
+// The upwind sum is exactly conserved, so the globally reduced mass is the
+// correctness oracle: it must equal the initial mass bit-for-bit per rank
+// count.
+#pragma once
+
+#include <cstddef>
+
+#include "simmpi/cluster.hpp"
+#include "systems/profile.hpp"
+
+namespace clmpi::apps::advection {
+
+struct Config {
+  /// Global cells; must divide evenly by the rank count.
+  std::size_t n{4096};
+  int iterations{16};
+  double cfl{0.5};
+
+  static Config size_s() { return {.n = 4096, .iterations = 16}; }
+  static Config size_m() { return {.n = 65536, .iterations = 24}; }
+
+  /// sub + mul + sub per updated cell.
+  static constexpr double flops_per_cell = 3.0;
+
+  [[nodiscard]] double total_flops() const {
+    return static_cast<double>(n) * flops_per_cell * iterations;
+  }
+};
+
+struct RankResult {
+  double mass{0.0};       ///< globally reduced sum of u after the last step
+  double elapsed_s{0.0};  ///< this rank's virtual end time
+  double compute_s{0.0};  ///< device compute-engine busy time on this rank
+};
+
+/// Execute on the calling rank (collective over the whole communicator).
+RankResult run_rank(mpi::Rank& rank, const Config& config);
+
+struct RunSummary {
+  double mass{0.0};
+  double makespan_s{0.0};
+  double gflops{0.0};
+  double compute_s{0.0};  ///< max per-rank device busy time
+};
+RunSummary run_cluster(const sys::SystemProfile& profile, int nranks, const Config& config,
+                       vt::Tracer* tracer = nullptr);
+
+}  // namespace clmpi::apps::advection

@@ -1,0 +1,57 @@
+// 2D Jacobi heat solver on the clmpi_halo plan API.
+//
+// A 5-point Jacobi sweep over a 2-D grid with Dirichlet boundaries, block
+// decomposition over a px x py process grid, ghost layers exchanged each
+// iteration through a halo::Plan per buffer (double-buffered, disjoint tag
+// ranges). The whole iteration — pack, wire, unpack, stencil — is chained by
+// events; the host only joins at the end of the run. The reference consumer
+// of the plan library: the simplest full app on top of it.
+#pragma once
+
+#include <cstddef>
+
+#include "simmpi/cluster.hpp"
+#include "systems/profile.hpp"
+
+namespace clmpi::apps::jacobi2d {
+
+struct Config {
+  /// Global interior extents; each must divide evenly by the process grid.
+  std::size_t nx{64};
+  std::size_t ny{64};
+  /// Process grid; px * py must equal the communicator size.
+  int px{1};
+  int py{1};
+  int iterations{10};
+
+  static Config size_s() { return {.nx = 64, .ny = 64, .iterations = 10}; }
+  static Config size_m() { return {.nx = 256, .ny = 256, .iterations = 12}; }
+
+  /// 4 adds + 1 mul per updated cell, plus the residual's sub and fma.
+  static constexpr double flops_per_cell = 7.0;
+
+  [[nodiscard]] double total_flops() const {
+    return static_cast<double>(nx) * static_cast<double>(ny) * flops_per_cell *
+           iterations;
+  }
+};
+
+struct RankResult {
+  double residual{0.0};   ///< globally reduced |nxt-cur|^2 of the last sweep
+  double elapsed_s{0.0};  ///< this rank's virtual end time
+  double compute_s{0.0};  ///< device compute-engine busy time on this rank
+};
+
+/// Execute on the calling rank (collective over the whole communicator).
+RankResult run_rank(mpi::Rank& rank, const Config& config);
+
+struct RunSummary {
+  double residual{0.0};
+  double makespan_s{0.0};
+  double gflops{0.0};
+  double compute_s{0.0};  ///< max per-rank device busy time
+};
+RunSummary run_cluster(const sys::SystemProfile& profile, int nranks, const Config& config,
+                       vt::Tracer* tracer = nullptr);
+
+}  // namespace clmpi::apps::jacobi2d

@@ -1,0 +1,195 @@
+#include "apps/overlap/overlap.hpp"
+
+#include <algorithm>
+#include <array>
+#include <span>
+#include <vector>
+
+#include "halo/halo.hpp"
+#include "ocl/context.hpp"
+#include "ocl/kernel.hpp"
+#include "ocl/platform.hpp"
+#include "ocl/queue.hpp"
+#include "support/error.hpp"
+
+namespace clmpi::apps::overlap {
+
+namespace {
+
+/// Args: 0 src, 1 dst, 2 resid, 3 x0, 4 y0, 5 ex, 6 ey (region in padded
+/// coords), 7 padded_x, 8 slot. Each region launch stores its residual sum
+/// into its own slot so the split sweep accumulates without read-modify-write
+/// hazards between the inner and rim launches.
+void region_body(const ocl::NDRange&, const ocl::KernelArgs& a) {
+  auto src = a.buffer(0)->as<float>();
+  auto dst = a.buffer(1)->as<float>();
+  auto resid = a.buffer(2)->as<double>();
+  const auto x0 = static_cast<std::size_t>(a.integer(3));
+  const auto y0 = static_cast<std::size_t>(a.integer(4));
+  const auto ex = static_cast<std::size_t>(a.integer(5));
+  const auto ey = static_cast<std::size_t>(a.integer(6));
+  const auto px = static_cast<std::size_t>(a.integer(7));
+  const auto slot = static_cast<std::size_t>(a.integer(8));
+  double acc = 0.0;
+  for (std::size_t y = y0; y < y0 + ey; ++y) {
+    for (std::size_t x = x0; x < x0 + ex; ++x) {
+      const std::size_t at = y * px + x;
+      const float v = 0.25f * (src[at - 1] + src[at + 1] + src[at - px] + src[at + px]);
+      const float d = v - src[at];
+      acc += static_cast<double>(d) * static_cast<double>(d);
+      dst[at] = v;
+    }
+  }
+  resid[slot] = acc;
+}
+
+/// The five disjoint regions of one split sweep, in padded coordinates with
+/// the interior spanning [1, nx] x [1, ny]: the inner block plus the
+/// one-cell rim as two full-width rows and two clipped columns.
+struct Region {
+  std::size_t x0, y0, ex, ey;
+};
+
+}  // namespace
+
+RankResult run_rank(mpi::Rank& rank, const Config& config) {
+  CLMPI_REQUIRE(config.px * config.py == rank.size(), "overlap process grid != nranks");
+  CLMPI_REQUIRE(config.nx % static_cast<std::size_t>(config.px) == 0 &&
+                    config.ny % static_cast<std::size_t>(config.py) == 0,
+                "overlap global grid must divide evenly");
+  ocl::Platform platform(rank.profile(), rank.rank(), rank.tracer());
+  ocl::Context ctx(platform.device());
+  rt::Runtime runtime(rank, platform.device());
+
+  halo::Spec spec;
+  spec.dims = 2;
+  spec.interior = {config.nx / static_cast<std::size_t>(config.px),
+                   config.ny / static_cast<std::size_t>(config.py), 1};
+  spec.grid = {config.px, config.py, 1};
+  spec.elem_size = sizeof(float);
+  spec.tag_base = 880;
+  const std::size_t nx = spec.interior[0];
+  const std::size_t ny = spec.interior[1];
+  CLMPI_REQUIRE(nx >= 3 && ny >= 3, "overlap local tile too small for an inner block");
+  const auto padded = halo::padded_extents(spec);
+
+  auto cur = ctx.create_buffer(halo::field_bytes(spec), ocl::MemFlags::read_write, "cur");
+  auto nxt = ctx.create_buffer(halo::field_bytes(spec), ocl::MemFlags::read_write, "nxt");
+  auto resid_buf =
+      ctx.create_buffer(5 * sizeof(double), ocl::MemFlags::read_write, "resid");
+  for (std::size_t s = 0; s < 5; ++s) resid_buf->as<double>()[s] = 0.0;
+
+  // Same initialization as apps::jacobi2d: global-coordinate bump inside,
+  // Dirichlet value 1 on the open-boundary ghosts.
+  const auto coords = halo::coords_of(rank.rank(), spec);
+  const auto base_x = static_cast<std::size_t>(coords[0]) * nx;
+  const auto base_y = static_cast<std::size_t>(coords[1]) * ny;
+  for (ocl::BufferPtr* buf : {&cur, &nxt}) {
+    auto data = (*buf)->as<float>();
+    for (std::size_t y = 0; y < padded[1]; ++y) {
+      for (std::size_t x = 0; x < padded[0]; ++x) {
+        const long gx = static_cast<long>(base_x + x) - 1;
+        const long gy = static_cast<long>(base_y + y) - 1;
+        const bool inside = gx >= 0 && gy >= 0 && gx < static_cast<long>(config.nx) &&
+                            gy < static_cast<long>(config.ny);
+        const auto h = static_cast<float>((gx * 31 + gy * 17) & 1023);
+        data[y * padded[0] + x] = inside ? h / 1024.0f : 1.0f;
+      }
+    }
+  }
+
+  ocl::Program program;
+  program.define("overlap", region_body, ocl::flops_per_item(Config::flops_per_cell));
+  auto make_kernel = [&](const ocl::BufferPtr& src, const ocl::BufferPtr& dst,
+                         const Region& r, std::size_t slot) {
+    ocl::KernelPtr k = program.create_kernel("overlap");
+    k->set_arg(0, src);
+    k->set_arg(1, dst);
+    k->set_arg(2, resid_buf);
+    k->set_arg(3, static_cast<std::int64_t>(r.x0));
+    k->set_arg(4, static_cast<std::int64_t>(r.y0));
+    k->set_arg(5, static_cast<std::int64_t>(r.ex));
+    k->set_arg(6, static_cast<std::int64_t>(r.ey));
+    k->set_arg(7, static_cast<std::int64_t>(padded[0]));
+    k->set_arg(8, static_cast<std::int64_t>(slot));
+    return k;
+  };
+
+  const Region inner{2, 2, nx - 2, ny - 2};
+  const std::array<Region, 4> rim{{
+      {1, 1, nx, 1},           // bottom row, full width
+      {1, ny, nx, 1},          // top row, full width
+      {1, 2, 1, ny - 2},       // left column, clipped to avoid the rows
+      {nx, 2, 1, ny - 2},      // right column, clipped to avoid the rows
+  }};
+
+  auto queue = ctx.create_queue("overlap");
+  halo::Spec spec_nxt = spec;
+  spec_nxt.tag_base = spec.tag_base + 10;
+  halo::Plan plan_cur(runtime, ctx, rank.world(), cur, spec);
+  halo::Plan plan_nxt(runtime, ctx, rank.world(), nxt, spec_nxt);
+
+  ocl::EventPtr prev;  // marker joining the whole previous sweep
+  ocl::BufferPtr src = cur;
+  ocl::BufferPtr dst = nxt;
+  for (int it = 0; it < config.iterations; ++it) {
+    halo::Plan& plan = (it % 2 == 0) ? plan_cur : plan_nxt;
+    std::array<ocl::EventPtr, 1> w{prev};
+    const ocl::WaitList sweep_waits = prev ? ocl::WaitList(w) : ocl::WaitList{};
+
+    plan.start(*queue, sweep_waits);
+    // The inner block reads no ghosts: launch it before complete() so the
+    // wire time of the exchange hides under it.
+    std::vector<ocl::EventPtr> done;
+    done.push_back(queue->enqueue_ndrange(make_kernel(src, dst, inner, 0),
+                                          ocl::NDRange::grid2(inner.ex, inner.ey),
+                                          sweep_waits, rank.clock()));
+    ocl::EventPtr ready = plan.complete(*queue);
+    std::array<ocl::EventPtr, 1> rim_waits{ready};
+    for (std::size_t i = 0; i < rim.size(); ++i) {
+      done.push_back(queue->enqueue_ndrange(make_kernel(src, dst, rim[i], i + 1),
+                                            ocl::NDRange::grid2(rim[i].ex, rim[i].ey),
+                                            rim_waits, rank.clock()));
+    }
+    prev = queue->enqueue_marker(done, rank.clock());
+    std::swap(src, dst);
+  }
+  if (prev) prev->wait(rank.clock());
+  queue->finish(rank.clock());
+  runtime.finish(rank.clock());
+
+  double local = 0.0;
+  for (std::size_t s = 0; s < 5; ++s) local += resid_buf->as<double>()[s];
+  double global = 0.0;
+  rank.world().allreduce(std::as_bytes(std::span(&local, 1)),
+                         std::as_writable_bytes(std::span(&global, 1)),
+                         mpi::Datatype::float64, mpi::ReduceOp::sum, rank.clock());
+
+  RankResult result;
+  result.residual = global;
+  result.elapsed_s = rank.now_s();
+  result.compute_s = platform.device().compute_engine().busy_time().s;
+  return result;
+}
+
+RunSummary run_cluster(const sys::SystemProfile& profile, int nranks, const Config& config,
+                       vt::Tracer* tracer) {
+  mpi::Cluster::Options options;
+  options.nranks = nranks;
+  options.profile = &profile;
+  options.tracer = tracer;
+
+  RunSummary summary;
+  std::vector<RankResult> results(static_cast<std::size_t>(nranks));
+  const auto run = mpi::Cluster::run(options, [&](mpi::Rank& rank) {
+    results[static_cast<std::size_t>(rank.rank())] = run_rank(rank, config);
+  });
+
+  summary.residual = results[0].residual;
+  summary.makespan_s = run.makespan_s;
+  summary.gflops = config.total_flops() / run.makespan_s / 1e9;
+  for (const auto& r : results) summary.compute_s = std::max(summary.compute_s, r.compute_s);
+  return summary;
+}
+
+}  // namespace clmpi::apps::overlap

@@ -1,0 +1,64 @@
+// Physis-style inner/boundary overlap stencil on the clmpi_halo plan API.
+//
+// The same 5-point Jacobi sweep as apps::jacobi2d, but split the way
+// stencil DSL runtimes (Physis) schedule it:
+//
+//   plan.start(queue, {previous sweep})
+//   inner kernel        — cells whose stencil never touches a ghost; depends
+//                         only on the previous sweep, so it is enqueued
+//                         immediately and the wire time hides under it
+//   ready = plan.complete(queue)
+//   boundary kernels    — the one-cell rim, gated on `ready`
+//
+// Numerics are identical to the unsplit sweep (pure Jacobi: all reads from
+// the previous buffer), so the split changes the schedule, never the data.
+// This is the paper's Figure 6 overlap argument expressed through the plan
+// API instead of hand-rolled sends.
+#pragma once
+
+#include <cstddef>
+
+#include "simmpi/cluster.hpp"
+#include "systems/profile.hpp"
+
+namespace clmpi::apps::overlap {
+
+struct Config {
+  /// Global interior extents; each must divide evenly by the process grid.
+  std::size_t nx{64};
+  std::size_t ny{64};
+  /// Process grid; px * py must equal the communicator size.
+  int px{1};
+  int py{1};
+  int iterations{10};
+
+  static Config size_s() { return {.nx = 64, .ny = 64, .iterations = 10}; }
+  static Config size_m() { return {.nx = 256, .ny = 256, .iterations = 12}; }
+
+  static constexpr double flops_per_cell = 7.0;
+
+  [[nodiscard]] double total_flops() const {
+    return static_cast<double>(nx) * static_cast<double>(ny) * flops_per_cell *
+           iterations;
+  }
+};
+
+struct RankResult {
+  double residual{0.0};   ///< globally reduced |nxt-cur|^2 of the last sweep
+  double elapsed_s{0.0};  ///< this rank's virtual end time
+  double compute_s{0.0};  ///< device compute-engine busy time on this rank
+};
+
+/// Execute on the calling rank (collective over the whole communicator).
+RankResult run_rank(mpi::Rank& rank, const Config& config);
+
+struct RunSummary {
+  double residual{0.0};
+  double makespan_s{0.0};
+  double gflops{0.0};
+  double compute_s{0.0};  ///< max per-rank device busy time
+};
+RunSummary run_cluster(const sys::SystemProfile& profile, int nranks, const Config& config,
+                       vt::Tracer* tracer = nullptr);
+
+}  // namespace clmpi::apps::overlap

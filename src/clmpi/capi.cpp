@@ -6,45 +6,15 @@
 #include <unordered_set>
 #include <vector>
 
+#include "clmpi/capi_internal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_export.hpp"
 #include "simmpi/datatype.hpp"
 #include "support/context.hpp"
 #include "support/error.hpp"
 
-// Handle definitions ---------------------------------------------------------
-
-struct _cl_context {
-  clmpi::ocl::Context* ctx;
-};
-
-struct _cl_command_queue {
-  std::unique_ptr<clmpi::ocl::CommandQueue> queue;
-};
-
-struct _cl_mem {
-  clmpi::ocl::BufferPtr buf;
-};
-
-struct _cl_event {
-  clmpi::ocl::EventPtr ev;
-  int refs;
-};
-
-struct _clmpi_window {
-  clmpi::mpi::Win win;
-  // Keeps the exposed region alive for the window's whole lifetime even if
-  // the application releases its cl_mem handle early.
-  clmpi::ocl::BufferPtr buf;
-};
-
-struct _clmpi_prequest {
-  // Exactly one of the two is non-null: host-datatype persistents are
-  // comm-level handles, MPI_CL_MEM persistents carry the runtime's
-  // pre-resolved strategy and wire decomposition.
-  clmpi::mpi::PersistentRequest host;
-  clmpi::rt::PersistentRequest dev;
-};
+// Handle struct definitions live in capi_internal.hpp, shared with the
+// extension surfaces layered on this registry (src/halo/halo_capi.cpp).
 
 namespace clmpi::capi {
 namespace {
@@ -98,7 +68,12 @@ HandleRegistry<cl_mem> g_mems;
 HandleRegistry<cl_command_queue> g_queues;
 HandleRegistry<clmpi_window> g_windows;
 HandleRegistry<clmpi_prequest> g_prequests;
+HandleRegistry<clmpi_halo> g_halos;
 
+}  // namespace
+
+// External linkage (declared in capi_internal.hpp): the extension surfaces
+// in other translation units validate against these same registries.
 void register_event(cl_event handle) { g_events.add(handle); }
 void unregister_event(cl_event handle) { g_events.remove(handle); }
 bool event_live(cl_event handle) { return g_events.live(handle); }
@@ -114,6 +89,9 @@ bool window_live(clmpi_window handle) { return g_windows.live(handle); }
 void register_prequest(clmpi_prequest handle) { g_prequests.add(handle); }
 void unregister_prequest(clmpi_prequest handle) { g_prequests.remove(handle); }
 bool prequest_live(clmpi_prequest handle) { return g_prequests.live(handle); }
+void register_halo(clmpi_halo handle) { g_halos.add(handle); }
+void unregister_halo(clmpi_halo handle) { g_halos.remove(handle); }
+bool halo_live(clmpi_halo handle) { return g_halos.live(handle); }
 
 std::vector<ocl::EventPtr> to_waitlist(cl_uint numevts, const cl_event* wlist) {
   if ((numevts == 0) != (wlist == nullptr)) {
@@ -136,21 +114,6 @@ void return_event(cl_event* evtret, ocl::EventPtr ev) {
     register_event(*evtret);
   }
 }
-
-/// Run `body`, translating exceptions into OpenCL status codes.
-template <typename Fn>
-cl_int guarded(Fn&& body) {
-  try {
-    body();
-    return CL_SUCCESS;
-  } catch (const Error& e) {
-    return static_cast<cl_int>(e.status());
-  } catch (...) {
-    return CL_INVALID_OPERATION;
-  }
-}
-
-}  // namespace
 
 ThreadBinding::ThreadBinding(mpi::Rank& rank, rt::Runtime& runtime) {
   Binding& b = binding_slot();

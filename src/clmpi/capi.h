@@ -60,6 +60,8 @@ inline constexpr cl_int CLMPI_INVALID_WINDOW = -1009;
 /// An RMA access violated the fence-epoch discipline (posted outside an
 /// open epoch, or the window was freed with accesses still pending).
 inline constexpr cl_int CLMPI_RMA_EPOCH = -1010;
+/// A null, released or otherwise unknown halo-plan handle.
+inline constexpr cl_int CLMPI_INVALID_HALO = -1011;
 // Extension-namespaced aliases for stale/invalid handle lookups through the
 // clmpiGet* escape hatches; same numeric values as the OpenCL codes.
 inline constexpr cl_int CLMPI_INVALID_MEM_OBJECT = CL_INVALID_MEM_OBJECT;
@@ -73,12 +75,14 @@ struct _cl_mem;
 struct _cl_event;
 struct _clmpi_window;
 struct _clmpi_prequest;
+struct _clmpi_halo;
 using cl_context = _cl_context*;
 using cl_command_queue = _cl_command_queue*;
 using cl_mem = _cl_mem*;
 using cl_event = _cl_event*;
 using clmpi_window = _clmpi_window*;
 using clmpi_prequest = _clmpi_prequest*;
+using clmpi_halo = _clmpi_halo*;
 
 // --- MPI surface --------------------------------------------------------------
 
@@ -332,3 +336,42 @@ int clmpiStart(clmpi_prequest preq, MPI_Request* request);
 /// Release a persistent request handle. Requests already started stay valid
 /// and must still be waited on. MPI_ERR_REQUEST on a null or freed handle.
 int clmpiRequestFree(clmpi_prequest preq);
+
+// --- split-phase halo exchange (clmpi_halo, clMPI extension) -----------------
+//
+// C surface over halo::Plan (src/halo/halo.hpp, docs/HALO.md): a plan built
+// once over a padded field buffer replays a whole pack -> wire -> unpack
+// epoch per clmpiHaloStart/clmpiHaloComplete pair. Implemented in the
+// clmpi_halo library — link it to use these entry points.
+
+/// Mirrors halo::Spec. `dims` in [1,3]; the product of grid[0..dims) must
+/// equal the communicator size; periodic[] entries are booleans.
+struct clmpi_halo_spec {
+  cl_int dims;
+  std::size_t interior[3];
+  cl_int grid[3];
+  cl_int periodic[3];
+  std::size_t elem_size;
+  std::size_t width;
+  cl_int tag_base;
+};
+
+/// Build a plan for `field` (a padded domain of `spec`, see
+/// halo::field_bytes) on the calling rank's bound runtime. Collective over
+/// `comm` when the plan resolves to the RMA tier. Null handle + error in
+/// `*errcode_ret` on failure; the buffer is retained until clmpiHaloFree.
+clmpi_halo clmpiHaloCreate(cl_context context, cl_mem field, const clmpi_halo_spec* spec,
+                           MPI_Comm comm, cl_int* errcode_ret);
+
+/// Begin an exchange epoch on `queue`, gated on the wait list. Strictly
+/// alternates with clmpiHaloComplete.
+cl_int clmpiHaloStart(clmpi_halo halo, cl_command_queue queue, cl_uint numevts,
+                      const cl_event* wlist);
+
+/// Finish the epoch; `*evtret` (optional) completes when every ghost is
+/// valid and every outbound edge has left the staging buffers.
+cl_int clmpiHaloComplete(clmpi_halo halo, cl_command_queue queue, cl_event* evtret);
+
+/// Destroy a plan. Drain the queue first (clFinish semantics); collective
+/// when the plan uses the RMA tier. CLMPI_INVALID_HALO on a dead handle.
+cl_int clmpiHaloFree(clmpi_halo halo);

@@ -1,0 +1,103 @@
+// Shared internals of the C API translation units.
+//
+// The core surface (capi.cpp, in clmpi_core) and extension surfaces layered
+// on top of it (src/halo/halo_capi.cpp, in clmpi_halo) must agree on the
+// handle layouts and share one live-handle registry per kind — a wait list
+// built by an extension entry point has to validate against the same event
+// registry clEnqueue* populates. This header is NOT installed API: only the
+// opaque declarations in capi.h are.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "clmpi/capi.h"
+#include "clmpi/runtime.hpp"
+#include "ocl/context.hpp"
+#include "ocl/event.hpp"
+#include "ocl/queue.hpp"
+#include "simmpi/comm.hpp"
+#include "support/error.hpp"
+
+// Handle definitions ---------------------------------------------------------
+
+struct _cl_context {
+  clmpi::ocl::Context* ctx;
+};
+
+struct _cl_command_queue {
+  std::unique_ptr<clmpi::ocl::CommandQueue> queue;
+};
+
+struct _cl_mem {
+  clmpi::ocl::BufferPtr buf;
+};
+
+struct _cl_event {
+  clmpi::ocl::EventPtr ev;
+  int refs;
+};
+
+struct _clmpi_window {
+  clmpi::mpi::Win win;
+  // Keeps the exposed region alive for the window's whole lifetime even if
+  // the application releases its cl_mem handle early.
+  clmpi::ocl::BufferPtr buf;
+};
+
+struct _clmpi_prequest {
+  // Exactly one of the two is non-null: host-datatype persistents are
+  // comm-level handles, MPI_CL_MEM persistents carry the runtime's
+  // pre-resolved strategy and wire decomposition.
+  clmpi::mpi::PersistentRequest host;
+  clmpi::rt::PersistentRequest dev;
+};
+
+namespace clmpi::capi {
+
+/// The runtime bound to the calling task (see ThreadBinding).
+rt::Runtime& bound_runtime();
+
+// Live-handle registries (defined in capi.cpp). Released handles are
+// erased, so a use-after-release is reported as the matching CL_INVALID_*
+// status instead of dereferencing freed memory.
+void register_event(cl_event handle);
+void unregister_event(cl_event handle);
+bool event_live(cl_event handle);
+void register_mem(cl_mem handle);
+void unregister_mem(cl_mem handle);
+bool mem_live(cl_mem handle);
+void register_queue(cl_command_queue handle);
+void unregister_queue(cl_command_queue handle);
+bool queue_live(cl_command_queue handle);
+void register_window(clmpi_window handle);
+void unregister_window(clmpi_window handle);
+bool window_live(clmpi_window handle);
+void register_prequest(clmpi_prequest handle);
+void unregister_prequest(clmpi_prequest handle);
+bool prequest_live(clmpi_prequest handle);
+void register_halo(clmpi_halo handle);
+void unregister_halo(clmpi_halo handle);
+bool halo_live(clmpi_halo handle);
+
+/// Resolve a (count, list) pair of event handles into engine events,
+/// validating liveness. Throws Status::invalid_event_wait_list.
+std::vector<ocl::EventPtr> to_waitlist(cl_uint numevts, const cl_event* wlist);
+
+/// Wrap an engine event into a fresh retained cl_event (no-op on null out).
+void return_event(cl_event* evtret, ocl::EventPtr ev);
+
+/// Run `body`, translating exceptions into OpenCL status codes.
+template <typename Fn>
+cl_int guarded(Fn&& body) {
+  try {
+    body();
+    return CL_SUCCESS;
+  } catch (const Error& e) {
+    return static_cast<cl_int>(e.status());
+  } catch (...) {
+    return CL_INVALID_OPERATION;
+  }
+}
+
+}  // namespace clmpi::capi

@@ -70,9 +70,9 @@ mpi::Request aggregate_requests(std::vector<mpi::Request> subs, const mpi::MsgSt
 /// (or worse, on the dispatcher thread after the call already returned).
 void validate_transfer_args(const ocl::BufferPtr& buf, std::size_t offset, std::size_t size,
                             int peer, int tag, const mpi::Comm& comm) {
-  if (size == 0) {
-    throw Error("zero-size buffer transfer", Status::invalid_value);
-  }
+  // A zero-size transfer is legal: it is carried as a single empty message
+  // (matching-only, no payload wire time) under every strategy, mirroring
+  // the RMA rule below and the transfer layer's empty-pipeline handling.
   if (offset > buf->size() || size > buf->size() - offset) {
     throw Error("transfer region outside the device buffer", Status::invalid_value);
   }

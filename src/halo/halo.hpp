@@ -1,0 +1,179 @@
+// clmpi_halo: a split-phase halo-exchange library on top of the clMPI runtime.
+//
+// The paper's Figure 6 thesis — communication sliding under compute via
+// event-chained communication commands — generalizes beyond hand-rolled
+// stencils into a reusable plan object (the tausch-style pack / start /
+// complete / unpack shape):
+//
+//   halo::Spec spec{.dims = 2, .interior = {nx, ny, 1}, .grid = {px, py, 1}};
+//   halo::Plan plan(runtime, ctx, comm, field, spec);
+//   per iteration:
+//     plan.start(queue, {events the boundary data depends on});
+//     ... enqueue interior compute (overlaps the wire time) ...
+//     ocl::EventPtr ready = plan.complete(queue);
+//     ... enqueue boundary compute waiting on `ready` ...
+//
+// A plan is built once: neighbor ranks, per-edge slab geometry, staging
+// segments, transfer strategies and the persistent wire legs (MPI_Send_init /
+// MPI_Recv_init with MPI_CL_MEM, PR 7) are all resolved at creation;
+// start()/complete() only replay them. Per epoch, each exchanged face is
+//
+//   pack kernel (device gather into a contiguous staging segment)
+//     -> wire leg (persistent replay, or a one-sided put on the shmem tier)
+//       -> unpack kernel (device scatter into the ghost slab),
+//
+// chained by events so independent edges and unrelated device work overlap
+// freely.
+//
+// Edge cases the plan guarantees (the ISSUE 9 bugfix sweep):
+//   * neighbor-is-self edges (periodic wrap with a 1-wide process grid) are
+//     executed as device-local staging copies — byte-exact, no send-to-self
+//     through the mailbox, no deadlock, no double delivery;
+//   * zero-width edges (open boundaries of a non-periodic dimension) complete
+//     as no-ops with valid events under every strategy.
+//
+// On systems with a shared-memory fabric (sys::cxlpod), plans whose largest
+// edge crosses the one-sided threshold switch to the RMA tier: staging
+// segments are exposed as an MPI window, edges become enqueued puts, and one
+// collective fence per epoch lands them (docs/RMA.md). The selection is a
+// pure function of (profile, geometry), so every rank picks the same mode.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "clmpi/runtime.hpp"
+#include "ocl/context.hpp"
+#include "ocl/kernel.hpp"
+#include "ocl/queue.hpp"
+#include "simmpi/window.hpp"
+#include "transfer/strategy.hpp"
+
+namespace clmpi::halo {
+
+/// Geometry of a plan. The field buffer holds `interior[d]` elements per
+/// decomposed dimension plus `width` ghost layers on each side of the first
+/// `dims` dimensions, row-major with x fastest (index = (z*py + y)*px + x
+/// over the padded extents).
+struct Spec {
+  /// Decomposed dimensions (1, 2 or 3). Dimensions >= dims carry no ghosts.
+  int dims{1};
+  /// Interior (owned) elements per dimension; unused dimensions stay 1.
+  std::array<std::size_t, 3> interior{1, 1, 1};
+  /// Process grid; the product over [0, dims) must equal the comm size.
+  std::array<int, 3> grid{1, 1, 1};
+  /// Periodic wrap per dimension. A periodic dimension with a 1-wide process
+  /// grid produces neighbor-is-self edges; a non-periodic one produces
+  /// zero-width edges at the domain ends.
+  std::array<bool, 3> periodic{false, false, false};
+  /// Bytes per element.
+  std::size_t elem_size{4};
+  /// Ghost layers per face. Zero makes every edge a no-op.
+  std::size_t width{1};
+  /// First of the 2*dims consecutive tags the plan's wire legs use. Two
+  /// plans live on the same communicator iff their tag ranges are disjoint.
+  int tag_base{840};
+};
+
+/// One face of the local domain, as resolved at plan creation.
+struct Edge {
+  int dim{0};
+  int side{0};       ///< 0 = low face, 1 = high face
+  int neighbor{-1};  ///< peer rank; the own rank for self edges; -1 for open
+  std::size_t bytes{0};  ///< wire bytes; 0 for open-boundary (no-op) edges
+  xfer::StrategyKind strategy{xfer::StrategyKind::pinned};  ///< resolved pick
+  bool self{false};  ///< periodic wrap onto this rank (device-local copy)
+};
+
+/// Padded field extents for a spec (interior plus 2*width ghosts on the
+/// decomposed dimensions).
+[[nodiscard]] std::array<std::size_t, 3> padded_extents(const Spec& spec);
+
+/// Required field buffer size in bytes.
+[[nodiscard]] std::size_t field_bytes(const Spec& spec);
+
+/// This rank's process-grid coordinates.
+[[nodiscard]] std::array<int, 3> coords_of(int rank, const Spec& spec);
+
+/// A reusable split-phase halo-exchange plan bound to one field buffer.
+///
+/// Collective: when the plan resolves to the RMA tier, creation and
+/// destruction perform a collective window create/free, so every rank of
+/// `comm` must construct and destroy its plans in the same order. Epochs are
+/// strictly alternating: start(), then complete(), then start() again. Drain
+/// the queue and the runtime (clFinish semantics) before destroying a plan.
+class Plan {
+ public:
+  Plan(rt::Runtime& runtime, ocl::Context& ctx, mpi::Comm& comm, ocl::BufferPtr field,
+       const Spec& spec);
+  ~Plan();
+
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  [[nodiscard]] const Spec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
+  /// Whether the plan exchanges over the one-sided shmem tier.
+  [[nodiscard]] bool uses_rma() const noexcept { return rma_; }
+  /// Completed start()/complete() epochs.
+  [[nodiscard]] int epochs() const noexcept { return epochs_; }
+
+  /// Begin an exchange epoch: enqueue the pack kernels (gated on `waits`
+  /// plus reuse of the staging segments), post the inbound wire legs and
+  /// chain the outbound ones on the packs. The host joins only the pack
+  /// kernels; the wire time overlaps whatever the caller enqueues next.
+  /// `waits` must name every event the boundary data depends on — including
+  /// the last readers of the current ghost values, since this epoch's
+  /// unpack kernels (enqueued by complete()) overwrite them.
+  void start(ocl::CommandQueue& queue, ocl::WaitList waits = {});
+
+  /// Finish the epoch: enqueue the unpack kernels gated on the per-edge
+  /// arrivals (or the collective fence on the RMA tier) and return one event
+  /// that completes when every ghost slab is valid and every outbound edge
+  /// has left the staging buffers.
+  ocl::EventPtr complete(ocl::CommandQueue& queue);
+
+ private:
+  struct EdgeState {
+    Edge info;
+    std::size_t stage_off{0};   ///< this edge's segment in both staging buffers
+    std::size_t mirror_off{0};  ///< peer-side landing segment (RMA tier)
+    std::array<std::size_t, 3> send_origin{};  ///< boundary slab (padded coords)
+    std::array<std::size_t, 3> recv_origin{};  ///< ghost slab (padded coords)
+    std::array<std::size_t, 3> extent{};       ///< slab extents (elements)
+    std::size_t count{0};                      ///< slab elements
+    rt::PersistentRequest send_preq, recv_preq;
+    // Per-epoch events: arrival gate for the unpack, outbound completion,
+    // the previous epoch's unpack (anti-dependency on the recv segment) and
+    // the last reader of this edge's send segment (pack anti-dependency).
+    ocl::EventPtr pack_ev, recv_ev, send_ev, prev_unpack, stage_reuse;
+  };
+
+  [[nodiscard]] EdgeState& opposite(const EdgeState& es);
+  void enqueue_slab_kernel(ocl::CommandQueue& queue, const char* name, EdgeState& es,
+                           const std::array<std::size_t, 3>& origin, bool pack,
+                           ocl::WaitList waits, ocl::EventPtr& out);
+
+  rt::Runtime* runtime_;
+  mpi::Comm* comm_;
+  ocl::BufferPtr field_;
+  Spec spec_;
+  std::array<std::size_t, 3> padded_{};
+  std::vector<EdgeState> states_;
+  std::vector<Edge> edges_;  ///< snapshot of states_[i].info for edges()
+
+  ocl::Program program_;
+  ocl::BufferPtr send_stage_, recv_stage_;
+
+  bool rma_{false};
+  mpi::Win win_;
+  ocl::EventPtr last_fence_;
+  std::vector<ocl::EventPtr> epoch_waits_;  ///< start() waits, re-used by complete()
+
+  bool started_{false};
+  int epochs_{0};
+};
+
+}  // namespace clmpi::halo

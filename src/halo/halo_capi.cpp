@@ -1,0 +1,76 @@
+// C API surface of the clmpi_halo library (clmpiHaloCreate / Start /
+// Complete / Free). Lives in clmpi_halo, not clmpi_core: the plan sits above
+// the runtime, and the core registry internals are shared through
+// clmpi/capi_internal.hpp.
+#include <memory>
+
+#include "clmpi/capi_internal.hpp"
+#include "halo/halo.hpp"
+
+struct _clmpi_halo {
+  std::unique_ptr<clmpi::halo::Plan> plan;
+  // Keeps the padded field alive for the plan's whole lifetime even if the
+  // application releases its cl_mem handle early.
+  clmpi::ocl::BufferPtr field;
+};
+
+clmpi_halo clmpiHaloCreate(cl_context context, cl_mem field, const clmpi_halo_spec* spec,
+                           MPI_Comm comm, cl_int* errcode_ret) {
+  const auto fail = [&](cl_int code) {
+    if (errcode_ret != nullptr) *errcode_ret = code;
+    return nullptr;
+  };
+  if (context == nullptr) return fail(CL_INVALID_CONTEXT);
+  if (!clmpi::capi::mem_live(field)) return fail(CLMPI_INVALID_MEM_OBJECT);
+  if (spec == nullptr) return fail(CLMPI_INVALID_HALO);
+  if (comm == nullptr) return fail(CLMPI_INVALID_COMMUNICATOR);
+
+  clmpi::halo::Spec s;
+  s.dims = spec->dims;
+  for (std::size_t d = 0; d < 3; ++d) {
+    s.interior[d] = spec->interior[d];
+    s.grid[d] = spec->grid[d];
+    s.periodic[d] = spec->periodic[d] != 0;
+  }
+  s.elem_size = spec->elem_size;
+  s.width = spec->width;
+  s.tag_base = spec->tag_base;
+
+  clmpi_halo handle = nullptr;
+  const cl_int status = clmpi::capi::guarded([&] {
+    auto plan = std::make_unique<clmpi::halo::Plan>(
+        clmpi::capi::bound_runtime(), *context->ctx, *comm, field->buf, s);
+    handle = new _clmpi_halo{std::move(plan), field->buf};
+    clmpi::capi::register_halo(handle);
+  });
+  if (errcode_ret != nullptr) *errcode_ret = status;
+  return handle;
+}
+
+cl_int clmpiHaloStart(clmpi_halo halo, cl_command_queue queue, cl_uint numevts,
+                      const cl_event* wlist) {
+  if (!clmpi::capi::halo_live(halo)) return CLMPI_INVALID_HALO;
+  if (!clmpi::capi::queue_live(queue)) return CL_INVALID_COMMAND_QUEUE;
+  return clmpi::capi::guarded([&] {
+    const auto waits = clmpi::capi::to_waitlist(numevts, wlist);
+    halo->plan->start(*queue->queue, waits);
+  });
+}
+
+cl_int clmpiHaloComplete(clmpi_halo halo, cl_command_queue queue, cl_event* evtret) {
+  if (!clmpi::capi::halo_live(halo)) return CLMPI_INVALID_HALO;
+  if (!clmpi::capi::queue_live(queue)) return CL_INVALID_COMMAND_QUEUE;
+  return clmpi::capi::guarded([&] {
+    clmpi::capi::return_event(evtret, halo->plan->complete(*queue->queue));
+  });
+}
+
+cl_int clmpiHaloFree(clmpi_halo halo) {
+  if (!clmpi::capi::halo_live(halo)) return CLMPI_INVALID_HALO;
+  clmpi::capi::unregister_halo(halo);
+  // The collective window free of an RMA-tier plan may surface a typed
+  // error; the handle dies either way.
+  const cl_int status = clmpi::capi::guarded([&] { halo->plan.reset(); });
+  delete halo;
+  return status;
+}

@@ -1,5 +1,6 @@
 #include "simmpi/cluster.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
@@ -246,6 +247,26 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
   core.network = std::make_unique<Network>(options.profile->nic, options.nranks,
                                            core.tracer, core.faults.get(),
                                            &options.profile->shmem);
+  // The per-profile eager-inline cutoff is clamped by the envelope's fixed
+  // store capacity (see Mailbox::inject_eager). A profile asking for more
+  // would otherwise be silently degraded to heap-copied eager sends; surface
+  // the clamp once and publish the effective cutoff for observability.
+  {
+    const std::size_t requested = options.profile->nic.eager_inline;
+    const std::size_t effective = std::min(requested, detail::Envelope::kInlineEagerBytes);
+    obs::Registry::instance()
+        .gauge("simmpi.mailbox.eager_inline_effective")
+        .record(effective);
+    if (requested > effective) {
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        CLMPI_WARN("profile '" << options.profile->nic.name << "' requests eager_inline="
+                               << requested << " B, above the envelope inline store ("
+                               << detail::Envelope::kInlineEagerBytes
+                               << " B); clamping to " << effective << " B");
+      }
+    }
+  }
   for (int n = 0; n < options.nranks; ++n) core.mailboxes.emplace_back(*core.network, n);
   core.progress = detail::progress_config().enabled;
   if (core.progress) {

@@ -221,10 +221,16 @@ TEST(CApiNegative, TransferRegionAndPeerValidation) {
     EXPECT_EQ(clEnqueueSendBuffer(s.cmd, buf, CL_TRUE, 512, 1, 1, 0, MPI_COMM_WORLD, 0,
                                   nullptr, nullptr),
               CL_INVALID_VALUE);
-    // Zero-size device transfers are rejected.
-    EXPECT_EQ(clEnqueueSendBuffer(s.cmd, buf, CL_TRUE, 0, 0, 1, 0, MPI_COMM_WORLD, 0,
-                                  nullptr, nullptr),
-              CL_INVALID_VALUE);
+    // Zero-size device transfers are legal and must succeed (matched pair).
+    if (rank.rank() == 0) {
+      EXPECT_EQ(clEnqueueSendBuffer(s.cmd, buf, CL_TRUE, 0, 0, 1, 5, MPI_COMM_WORLD, 0,
+                                    nullptr, nullptr),
+                CL_SUCCESS);
+    } else {
+      EXPECT_EQ(clEnqueueRecvBuffer(s.cmd, buf, CL_TRUE, 0, 0, 0, 5, MPI_COMM_WORLD, 0,
+                                    nullptr, nullptr),
+                CL_SUCCESS);
+    }
     // Peer outside the communicator.
     EXPECT_EQ(clEnqueueSendBuffer(s.cmd, buf, CL_TRUE, 0, 64, 7, 0, MPI_COMM_WORLD, 0,
                                   nullptr, nullptr),

@@ -6,6 +6,7 @@
 
 #include "test_util.hpp"
 
+#include <optional>
 #include <vector>
 
 #include "clmpi/capi.h"
@@ -57,6 +58,38 @@ TEST(SendRecvBuffer, Fig5DeviceToDevice) {
                                        /*src=*/0, /*tag=*/0, rank.world(), {});
       EXPECT_TRUE(check_pattern(buf->storage(), 1));
     }
+  });
+}
+
+TEST(SendRecvBuffer, ZeroSizeCompletesWithValidEvent) {
+  // A zero-width halo edge reaches the runtime as a size-0 transfer. It must
+  // be accepted (not rejected as invalid_value), complete as a matched no-op
+  // under every strategy tier, and leave destination bytes untouched.
+  mpi::Cluster::run(opts(2), [&](mpi::Rank& rank) {
+    Node node(rank);
+    auto queue = node.ctx.create_queue();
+    ocl::BufferPtr buf = node.ctx.create_buffer(256);
+    fill_pattern(buf->storage(), 99);
+
+    int tag = 20;
+    for (const auto force :
+         {std::optional<xfer::Strategy>{}, std::optional{xfer::Strategy::pinned()},
+          std::optional{xfer::Strategy::mapped()},
+          std::optional{xfer::Strategy::pipelined(64_KiB)}}) {
+      ocl::EventPtr ev;
+      if (rank.rank() == 0) {
+        ev = node.runtime.enqueue_send_buffer(*queue, buf, false, 128, 0, 1, tag,
+                                              rank.world(), {}, force);
+      } else {
+        ev = node.runtime.enqueue_recv_buffer(*queue, buf, false, 128, 0, 0, tag,
+                                              rank.world(), {}, force);
+      }
+      ASSERT_NE(ev, nullptr);
+      ev->wait(rank.clock());
+      ++tag;
+    }
+    EXPECT_TRUE(check_pattern(buf->storage(), 99));
+    node.runtime.finish(rank.clock());
   });
 }
 

@@ -179,6 +179,15 @@ struct MixedOutcome {
 MixedOutcome run_mixed(bool engine, std::uint64_t seed, const mpi::FaultPlan& plan) {
   ProgressConfigGuard guard;
   mpi::detail::progress_config().enabled = engine;
+  // The fan-in part of this workload has three senders racing variable-size
+  // eager messages into rank 0's RX resource. With thread-per-rank, which
+  // contender gets the early backfill slot is decided by wall-clock grant
+  // order (vt/resource.hpp), so the trace hash is schedule-dependent under
+  // machine load — the same threads-mode limitation docs/SCHEDULER.md
+  // records for contended workloads. Pin the fiber launcher: cooperative
+  // serialization makes grant order deterministic, so the engine-on vs
+  // engine-off comparison below is exact instead of load-flaky.
+  testutil::EnvGuard sched("CLMPI_SCHED", "fibers");
 
   constexpr int kRanks = 4;
   constexpr int kPerSender = 24;

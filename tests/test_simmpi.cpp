@@ -9,8 +9,10 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "simmpi/cluster.hpp"
 #include "simmpi/datatype.hpp"
+#include "simmpi/mailbox.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/units.hpp"
@@ -147,6 +149,126 @@ TEST(P2P, SelfSendLoopback) {
     r.wait(rank.clock());
     EXPECT_TRUE(check_pattern(in, 9));
   });
+}
+
+TEST(P2P, SelfSendEveryProtocolTier) {
+  // A neighbor-is-self halo edge (nranks==1 ring, or a periodic 1-wide
+  // decomposition) sends through the same mailbox as any peer. Cover every
+  // wire tier: eager-inline (<= Envelope store), eager-heap (inline cap <
+  // size <= eager threshold) and rendezvous (> eager threshold). The send
+  // posts first each time, so the eager tiers must copy the payload out
+  // before the sender's buffer is reused.
+  for (int nranks : {1, 2}) {
+    Cluster::run(opts(nranks), [](Rank& rank) {
+      const int self = rank.rank();
+      int tag = 40;
+      for (std::size_t n : {std::size_t{64}, std::size_t{4096}, 80 * std::size_t{1024}}) {
+        std::vector<std::byte> out(n), in(n);
+        fill_pattern(out, n + 1);
+        Request rr = rank.world().irecv(in, self, tag, rank.clock());
+        Request sr = rank.world().isend(out, self, tag, rank.clock());
+        if (n <= 64 * 1024) {
+          // Eager: the send completes on its own; scribbling over the source
+          // buffer afterwards must not corrupt the delivery.
+          sr.wait(rank.clock());
+          std::fill(out.begin(), out.end(), std::byte{0xAA});
+        }
+        rr.wait(rank.clock());
+        sr.wait(rank.clock());
+        const MsgStatus st = rr.status();
+        EXPECT_TRUE(check_pattern(in, n + 1)) << "self tier " << n;
+        EXPECT_EQ(st.source, self);
+        EXPECT_EQ(st.bytes, n);
+        ++tag;
+      }
+    });
+  }
+}
+
+TEST(P2P, SelfSendCoalescedBurst) {
+  // Small coalescable self-sends queue in the rank's own SendCoalescer; the
+  // wait on the receive must flush that queue rather than deadlock waiting
+  // for a message the rank itself is still holding. At 2 ranks the burst
+  // interleaves self and peer traffic through the same coalescer.
+  for (int nranks : {1, 2}) {
+    Cluster::run(opts(nranks), [nranks](Rank& rank) {
+      constexpr int kMsgs = 24;
+      const int self = rank.rank();
+      const int peer = nranks == 1 ? 0 : 1 - self;
+      std::vector<std::vector<std::byte>> out(2 * kMsgs, std::vector<std::byte>(48));
+      std::vector<std::vector<std::byte>> in(2 * kMsgs, std::vector<std::byte>(48));
+      std::vector<Request> reqs;
+      for (int i = 0; i < kMsgs; ++i) {
+        fill_pattern(out[static_cast<std::size_t>(2 * i)], static_cast<std::size_t>(100 + i));
+        fill_pattern(out[static_cast<std::size_t>(2 * i + 1)],
+                     static_cast<std::size_t>(500 + i));
+        reqs.push_back(rank.world().irecv(in[static_cast<std::size_t>(2 * i)], self, 2 * i,
+                                          rank.clock()));
+        reqs.push_back(rank.world().irecv(in[static_cast<std::size_t>(2 * i + 1)], peer,
+                                          2 * i + 1, rank.clock()));
+        reqs.push_back(rank.world().isend(out[static_cast<std::size_t>(2 * i)], self, 2 * i,
+                                          rank.clock()));
+        reqs.push_back(rank.world().isend(out[static_cast<std::size_t>(2 * i + 1)], peer,
+                                          2 * i + 1, rank.clock()));
+      }
+      for (auto& r : reqs) r.wait(rank.clock());
+      for (int i = 0; i < kMsgs; ++i) {
+        EXPECT_TRUE(check_pattern(in[static_cast<std::size_t>(2 * i)],
+                                  static_cast<std::size_t>(100 + i)));
+        EXPECT_TRUE(check_pattern(in[static_cast<std::size_t>(2 * i + 1)],
+                                  static_cast<std::size_t>(500 + i)));
+      }
+    });
+  }
+}
+
+TEST(P2P, SelfSendPersistentReplay) {
+  // Persistent send/recv pair bound to self, replayed across epochs with a
+  // fresh payload each time — the clmpi_halo self-edge pattern at the MPI
+  // layer. Eager and rendezvous sizes both replay byte-exactly.
+  for (int nranks : {1, 2}) {
+    for (std::size_t n : {std::size_t{256}, 80 * std::size_t{1024}}) {
+      Cluster::run(opts(nranks), [n](Rank& rank) {
+        const int self = rank.rank();
+        std::vector<std::byte> out(n), in(n);
+        PersistentRequest spreq = rank.world().send_init(out, self, 77);
+        PersistentRequest rpreq = rank.world().recv_init(in, self, 77);
+        for (int epoch = 0; epoch < 4; ++epoch) {
+          fill_pattern(out, n + static_cast<std::size_t>(epoch));
+          Request rr = rpreq.start(rank.clock());
+          Request sr = spreq.start(rank.clock());
+          sr.wait(rank.clock());
+          rr.wait(rank.clock());
+          EXPECT_TRUE(check_pattern(in, n + static_cast<std::size_t>(epoch)))
+              << "epoch " << epoch << " size " << n;
+        }
+      });
+    }
+  }
+}
+
+TEST(P2P, EagerInlineOverCapacityClampsAndReportsGauge) {
+  // A profile asking for a bigger inline-eager cutoff than the envelope's
+  // fixed store silently degraded to heap-copied eager sends; the clamp is
+  // now surfaced as the "simmpi.mailbox.eager_inline_effective" gauge (and a
+  // one-time warning at cluster start). Delivery in the clamped band — above
+  // the store capacity but below the requested cutoff — must stay byte-exact.
+  sys::SystemProfile prof = sys::cichlid();
+  prof.nic.eager_inline = 4 * detail::Envelope::kInlineEagerBytes;
+  Cluster::run(opts(2, prof), [](Rank& rank) {
+    const std::size_t n = 2 * detail::Envelope::kInlineEagerBytes;  // clamped band
+    std::vector<std::byte> buf(n);
+    if (rank.rank() == 0) {
+      fill_pattern(buf, 11);
+      rank.world().send(buf, 1, 3, rank.clock());
+    } else {
+      rank.world().recv(buf, 0, 3, rank.clock());
+      EXPECT_TRUE(check_pattern(buf, 11));
+    }
+  });
+  std::uint64_t v = 0;
+  ASSERT_TRUE(obs::Registry::instance().value("simmpi.mailbox.eager_inline_effective", v));
+  EXPECT_EQ(v, detail::Envelope::kInlineEagerBytes);
 }
 
 TEST(P2P, IprobeSeesUnexpectedMessage) {

@@ -258,6 +258,87 @@ TEST(PipelineEdges, SingleByteEveryStrategy) {
   }
 }
 
+TEST(ZeroSize, CompletesAsNoOpEveryStrategy) {
+  // A zero-width halo edge (empty boundary on a non-periodic domain end)
+  // degenerates to a size-0 message. It must still match and complete under
+  // every strategy — as a no-op that leaves the destination bytes untouched.
+  for (const Strategy s : {Strategy::pinned(), Strategy::mapped(),
+                           Strategy::pipelined(256_KiB), Strategy::gpudirect()}) {
+    const auto& prof = sys::ricc();
+    mpi::Cluster::run(opts(2, prof), [&](mpi::Rank& rank) {
+      ocl::Platform platform(prof, rank.rank(), rank.tracer());
+      ocl::Context ctx(platform.device());
+      ocl::BufferPtr buf = ctx.create_buffer(1024);
+      fill_pattern(buf->storage(), 1024);
+
+      DeviceEndpoint ep{&rank.world(), &platform.device(), buf.get(), 64, 0,
+                        1 - rank.rank(), 3};
+      if (rank.rank() == 0) {
+        const vt::TimePoint done = send_device(ep, s, rank.clock().now());
+        EXPECT_GE(done.s, 0.0);
+      } else {
+        const vt::TimePoint done = recv_device(ep, s, rank.clock().now());
+        EXPECT_GE(done.s, 0.0);
+        EXPECT_TRUE(check_pattern(buf->storage(), 1024));
+      }
+    });
+  }
+}
+
+TEST(ZeroSize, ExchangeWithEmptyDirectionDelivers) {
+  // Full-duplex exchange where one direction is empty: the non-empty
+  // direction must still deliver byte-exactly and the empty one must not
+  // steal or corrupt its match.
+  const auto& prof = sys::ricc();
+  constexpr std::size_t size = 192 * 1024 + 5;
+  mpi::Cluster::run(opts(2, prof), [&](mpi::Rank& rank) {
+    ocl::Platform platform(prof, rank.rank(), rank.tracer());
+    ocl::Context ctx(platform.device());
+    ocl::BufferPtr full = ctx.create_buffer(size);
+    ocl::BufferPtr empty = ctx.create_buffer(64);
+    fill_pattern(empty->storage(), 64);
+
+    // Rank 0 sends `size` bytes and receives 0; rank 1 mirrors.
+    DeviceEndpoint full_ep{&rank.world(), &platform.device(), full.get(), 0, size,
+                           1 - rank.rank(), 7};
+    DeviceEndpoint empty_ep{&rank.world(), &platform.device(), empty.get(), 0, 0,
+                            1 - rank.rank(), 8};
+    const Strategy s = Strategy::pipelined(64_KiB);
+    if (rank.rank() == 0) {
+      fill_pattern(full->storage(), size);
+      const vt::TimePoint done =
+          exchange_device(full_ep, empty_ep, s, rank.clock().now());
+      EXPECT_GE(done.s, 0.0);
+    } else {
+      const vt::TimePoint done =
+          exchange_device(empty_ep, full_ep, s, rank.clock().now());
+      EXPECT_GE(done.s, 0.0);
+      EXPECT_TRUE(check_pattern(full->storage(), size));
+    }
+    EXPECT_TRUE(check_pattern(empty->storage(), 64));
+  });
+}
+
+TEST(ZeroSize, BothDirectionsEmptyStillMatch) {
+  // Degenerate exchange: both directions size 0 (a 1-wide periodic
+  // decomposition where both halo edges are empty). Must complete, not hang.
+  const auto& prof = sys::cichlid();
+  mpi::Cluster::run(opts(2, prof), [&](mpi::Rank& rank) {
+    ocl::Platform platform(prof, rank.rank(), rank.tracer());
+    ocl::Context ctx(platform.device());
+    ocl::BufferPtr buf = ctx.create_buffer(32);
+    fill_pattern(buf->storage(), 32);
+    DeviceEndpoint snd{&rank.world(), &platform.device(), buf.get(), 0, 0,
+                       1 - rank.rank(), 11};
+    DeviceEndpoint rcv{&rank.world(), &platform.device(), buf.get(), 16, 0,
+                       1 - rank.rank(), 11};
+    const vt::TimePoint done =
+        exchange_device(snd, rcv, Strategy::pinned(), rank.clock().now());
+    EXPECT_GE(done.s, 0.0);
+    EXPECT_TRUE(check_pattern(buf->storage(), 32));
+  });
+}
+
 TEST(Endpoint, InvalidRegionsRejected) {
   const auto& prof = sys::cichlid();
   mpi::Cluster::run(opts(2, prof), [&](mpi::Rank& rank) {
