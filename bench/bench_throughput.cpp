@@ -28,6 +28,9 @@
 //   rank_scaling     p2p ring + reduced Himeno at 100/500/1000 ranks under the
 //                    cooperative fiber scheduler (16/64 in smoke); one row per
 //                    rank count with RSS and cross-scheduler determinism gates
+//   service_soak     multi-tenant svc::Service burst of 240 short mixed jobs
+//                    (48 in smoke) x3 runs; gates per-job trace-hash
+//                    stability and records p99 job latency
 //
 // Output: a human-readable table on stdout and a JSON array (default
 // BENCH_throughput.json, override with --out PATH). `--smoke` shrinks every
@@ -60,6 +63,7 @@
 #include "support/rng.hpp"
 #include "support/sched.hpp"
 #include "support/units.hpp"
+#include "svc/service.hpp"
 #include "transfer/strategy.hpp"
 #include "vt/tracer.hpp"
 
@@ -90,6 +94,7 @@ struct ScenarioResult {
   mpi::FaultCounters counters;
   double pool_hit_rate{-1.0};   ///< -1 when the build has no staging pool
   std::size_t pool_high_water{0};
+  double p99_job_latency_s{-1.0};  ///< service_soak only; -1 elsewhere
   std::vector<obs::Sample> metrics;  ///< nonzero obs counters from the timed reps
 };
 
@@ -727,6 +732,109 @@ std::vector<ScenarioResult> rank_scaling(const Config& cfg) {
   return out;
 }
 
+// --- service soak: multi-tenant burst, per-job hash stability + p99 ----------
+
+double latency_percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(v.size()) - 1.0,
+                       p * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+/// A shrunken bench_service soak as a throughput scenario: the identical
+/// mixed-job burst replayed against three fresh Services, gating that every
+/// job's private trace hash is bit-identical across runs (zero cross-job
+/// nondeterminism) and recording the p99 submit-to-terminal latency of the
+/// final (warm) run. trace_hash is the FNV fold of the per-job hashes —
+/// zeroed on divergence so the JSON gate trips.
+ScenarioResult service_soak(const Config& cfg) {
+  const int jobs = cfg.smoke ? 48 : 240;
+  std::vector<svc::JobSpec> specs;
+  specs.reserve(static_cast<std::size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    svc::JobSpec spec;
+    switch (i % 3) {
+      case 0:
+        spec.kind = svc::JobKind::himeno;
+        spec.nranks = 2;
+        spec.iterations = 1 + (i / 3) % 2;
+        break;
+      case 1:
+        spec.kind = svc::JobKind::halo;
+        spec.nranks = 2 + 2 * ((i / 3) % 2);
+        spec.iterations = 2 + (i / 3) % 3;
+        break;
+      default:
+        spec.kind = svc::JobKind::chaos;
+        spec.nranks = 2;
+        spec.iterations = 4 + (i / 3) % 5;
+        break;
+    }
+    spec.seed = 1 + static_cast<std::uint64_t>(i);
+    specs.push_back(std::move(spec));
+  }
+
+  constexpr int kRuns = 3;
+  bool stable = true;
+  std::uint64_t failures = 0;
+  std::vector<double> walls;
+  std::vector<double> latencies;
+  std::vector<std::uint64_t> base_hashes;
+  for (int run = 0; run < kRuns; ++run) {
+    svc::Service::Options so;
+    so.queue_limit = specs.size() + 8;
+    so.max_active = 4;
+    svc::Service service(so);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::uint64_t> ids;
+    ids.reserve(specs.size());
+    for (const svc::JobSpec& spec : specs) ids.push_back(service.submit(spec));
+    std::vector<std::uint64_t> hashes;
+    hashes.reserve(ids.size());
+    latencies.clear();
+    for (std::uint64_t id : ids) {
+      const svc::JobResult res = service.wait(id);
+      hashes.push_back(res.trace_hash);
+      latencies.push_back(res.queue_delay_s + res.run_wall_s);
+      if (res.state != svc::JobState::succeeded) ++failures;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    walls.push_back(std::chrono::duration<double>(t1 - t0).count());
+    if (run == 0) {
+      base_hashes = std::move(hashes);
+    } else if (hashes != base_hashes) {
+      stable = false;
+      std::fprintf(stderr, "service_soak: per-job hashes diverged on run %d\n",
+                   run + 1);
+    }
+  }
+  // The soak publishes hundreds of job.<id>.* series; drop them so they do
+  // not bloat this scenario's JSON counters.
+  obs::Registry::instance().reset();
+
+  ScenarioResult r;
+  r.name = "service_soak";
+  r.msgs_per_rep = static_cast<double>(jobs);  // one row per completed job
+  std::sort(walls.begin(), walls.end());
+  r.wall.reps = kRuns;
+  r.wall.min_s = walls.front();
+  r.wall.max_s = walls.back();
+  r.wall.median_s = walls[walls.size() / 2];
+  std::uint64_t fold = 1469598103934665603ull;
+  for (std::uint64_t h : base_hashes) {
+    fold ^= h;
+    fold *= 1099511628211ull;
+  }
+  r.trace_hash = (stable && failures == 0) ? fold : 0;
+  r.p99_job_latency_s = latency_percentile(latencies, 0.99);
+  r.metrics.push_back({"service_soak.jobs", static_cast<std::uint64_t>(jobs)});
+  r.metrics.push_back({"service_soak.hash_stable", stable ? std::uint64_t{1} : 0});
+  r.metrics.push_back({"service_soak.failures", failures});
+  return r;
+}
+
 // --- reporting ---------------------------------------------------------------
 
 void print_table(const std::vector<ScenarioResult>& results) {
@@ -766,6 +874,9 @@ void write_json(const std::vector<ScenarioResult>& results, const Config& cfg) {
         << ", \"fault_drops\": " << r.counters.drops
         << ", \"fault_duplicates\": " << r.counters.duplicates
         << ", \"fault_delays\": " << r.counters.delays;
+    if (r.p99_job_latency_s >= 0.0) {
+      out << ", \"p99_job_latency_s\": " << r.p99_job_latency_s;
+    }
     if (r.pool_hit_rate >= 0.0) {
       out << ", \"pool_hit_rate\": " << r.pool_hit_rate
           << ", \"pool_high_water_bytes\": " << r.pool_high_water;
@@ -847,6 +958,7 @@ int main(int argc, char** argv) {
   if (want("rank_scaling")) {
     for (ScenarioResult& r : rank_scaling(cfg)) results.push_back(std::move(r));
   }
+  if (want("service_soak")) results.push_back(service_soak(cfg));
 
   print_table(results);
   write_json(results, cfg);

@@ -57,8 +57,20 @@ struct Config {
   /// so every node count up to 32 decomposes evenly. The M-class plane is
   /// 256 x 768 x 4 B = 768 KiB — the paper's "halo data of about 750
   /// KBytes" (§V-C).
-  static Config size_s() { return {.interior = 64, .jmax = 64, .kmax = 128}; }
-  static Config size_m() { return {.interior = 128, .jmax = 256, .kmax = 768}; }
+  static Config size_s() {
+    Config c;
+    c.interior = 64;
+    c.jmax = 64;
+    c.kmax = 128;
+    return c;
+  }
+  static Config size_m() {
+    Config c;
+    c.interior = 128;
+    c.jmax = 256;
+    c.kmax = 768;
+    return c;
+  }
 
   /// Floating point operations per updated cell (the Himeno standard count).
   static constexpr double flops_per_cell = 34.0;

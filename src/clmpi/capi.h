@@ -375,3 +375,88 @@ cl_int clmpiHaloComplete(clmpi_halo halo, cl_command_queue queue, cl_event* evtr
 /// Destroy a plan. Drain the queue first (clFinish semantics); collective
 /// when the plan uses the RMA tier. CLMPI_INVALID_HALO on a dead handle.
 cl_int clmpiHaloFree(clmpi_halo halo);
+
+// --- multi-tenant service jobs (clmpi_svc extension) -------------------------
+//
+// C surface over svc::Service (src/svc/service.hpp, docs/SERVICE.md): a
+// process-global service hosts many concurrent cluster simulations with
+// per-job quotas, deadlines and cancellation. Implemented in the clmpi_svc
+// library — link it to use these entry points.
+
+/// The job was refused at admission (queue full or service shutting down).
+inline constexpr cl_int CLMPI_REJECTED = -1012;
+/// The job exceeded one of its resource quotas and failed itself.
+inline constexpr cl_int CLMPI_QUOTA_EXCEEDED = -1013;
+/// Unknown job id (never submitted, or the service was restarted).
+inline constexpr cl_int CLMPI_INVALID_JOB = -1014;
+/// The job was cancelled (clmpiCancelJob or its deadline).
+inline constexpr cl_int CLMPI_CANCELLED = -1015;
+
+/// Job handle: the service-assigned id (monotone from 1). 0 is never a
+/// valid job.
+using clmpi_job = cl_ulong;
+
+// Workload kinds (svc::JobKind).
+inline constexpr cl_uint CLMPI_JOB_KIND_HIMENO = 0;
+inline constexpr cl_uint CLMPI_JOB_KIND_HALO = 1;
+inline constexpr cl_uint CLMPI_JOB_KIND_CHAOS = 2;
+
+// Job states (svc::JobState).
+inline constexpr cl_uint CLMPI_JOB_QUEUED = 0;
+inline constexpr cl_uint CLMPI_JOB_RUNNING = 1;
+inline constexpr cl_uint CLMPI_JOB_SUCCEEDED = 2;
+inline constexpr cl_uint CLMPI_JOB_FAILED = 3;
+inline constexpr cl_uint CLMPI_JOB_CANCELLED = 4;
+
+/// Mirrors svc::JobSpec. Quota fields of 0 mean unlimited; deadline_s of 0
+/// means no deadline; a null profile means the default ("ricc").
+struct clmpi_job_desc {
+  cl_uint kind;
+  cl_int nranks;
+  const char* profile;
+  cl_int iterations;
+  cl_ulong seed;
+  cl_ulong quota_staging_bytes;
+  cl_ulong quota_mailbox_depth;
+  cl_int quota_max_ranks;
+  double deadline_s;
+};
+
+/// Mirrors svc::JobResult (+ the usage counters flattened in).
+struct clmpi_job_result {
+  cl_uint state;           ///< CLMPI_JOB_*
+  cl_int status;           ///< typed failure code; CL_SUCCESS otherwise
+  double makespan_s;       ///< virtual makespan of the job's cluster run
+  cl_ulong trace_hash;     ///< the job's own trace digest
+  cl_ulong staging_hwm;    ///< peak staging-pool bytes charged
+  cl_ulong mailbox_hwm;    ///< peak pending p2p operations
+  cl_ulong quota_denials;  ///< allocations refused by quota
+  cl_ulong messages;       ///< p2p operations posted
+  double queue_delay_s;    ///< wall seconds from submit to run start
+  double run_wall_s;       ///< wall seconds of the run itself
+};
+
+/// Start the process-global service. `max_active` runner threads (0 = 2),
+/// admission queue bounded at `queue_limit` (0 = 64). CL_INVALID_OPERATION
+/// when already started.
+cl_int clmpiServiceStart(cl_uint max_active, cl_uint queue_limit);
+
+/// Drain every admitted job to a terminal state, then shut the service
+/// down. CL_INVALID_OPERATION when not started. Callers must collect their
+/// outstanding clmpiWaitJob calls before stopping.
+cl_int clmpiServiceStop(void);
+
+/// Submit a job. Returns its handle, or 0 with the failure in
+/// `*errcode_ret` (CLMPI_REJECTED when the queue is full,
+/// CLMPI_QUOTA_EXCEEDED when nranks already exceeds quota_max_ranks).
+clmpi_job clmpiSubmitJob(const clmpi_job_desc* desc, cl_int* errcode_ret);
+
+/// Block until the job reaches a terminal state; fill `*result` (optional).
+cl_int clmpiWaitJob(clmpi_job job, clmpi_job_result* result);
+
+/// Request cooperative cancellation. CL_SUCCESS when delivered to a live
+/// job, CLMPI_CANCELLED when the job was already terminal.
+cl_int clmpiCancelJob(clmpi_job job);
+
+/// Non-blocking snapshot of the job's counters into `*result`.
+cl_int clmpiJobCounters(clmpi_job job, clmpi_job_result* result);

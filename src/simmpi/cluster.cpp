@@ -91,6 +91,12 @@ class ProgressDriverService {
           for (SendCoalescer& co : core->coalescers) co.flush_all(FlushTrigger::tick);
           for (Mailbox& mb : core->mailboxes) mb.drain_completions();
         }
+        // Job cancellation is wall-clock by definition, like deadline
+        // rescue: fail the cancelled job's still-pending operations so its
+        // blocked ranks wake and unwind.
+        if (core->job != nullptr && core->job->cancel_requested()) {
+          core->fail_pending_as_cancelled();
+        }
         std::unique_lock dl(core->deadline_mutex);
         core->rescue_stale_deadlines(dl);
       }
@@ -136,6 +142,39 @@ void ClusterCore::rescue_stale_deadlines(std::unique_lock<std::mutex>& lock) {
     const auto s = weak.lock();
     return s == nullptr || s->done();
   });
+}
+
+void ClusterCore::register_pending(std::shared_ptr<RequestState> state) {
+  std::lock_guard lock(pending_mutex);
+  // Opportunistic pruning keeps the registry proportional to in-flight
+  // operations rather than to the job's lifetime message count.
+  if (pending_ops.size() >= 64 && (pending_ops.size() & (pending_ops.size() - 1)) == 0) {
+    std::erase_if(pending_ops, [](const std::weak_ptr<RequestState>& weak) {
+      const auto s = weak.lock();
+      return s == nullptr || s->done();
+    });
+  }
+  pending_ops.push_back(std::move(state));
+}
+
+void ClusterCore::fail_pending_as_cancelled() {
+  std::vector<std::shared_ptr<RequestState>> live;
+  {
+    std::lock_guard lock(pending_mutex);
+    std::erase_if(pending_ops, [&live](const std::weak_ptr<RequestState>& weak) {
+      auto s = weak.lock();
+      if (s == nullptr || s->done()) return true;
+      live.push_back(std::move(s));
+      return false;
+    });
+  }
+  // Fail outside the registry lock: settle callbacks may re-enter the
+  // cluster (fire events, post follow-ups that call register_pending).
+  for (auto& s : live) {
+    s->cancel_now(std::make_exception_ptr(
+        CancelledError("job " + std::to_string(job->id()) + " cancelled; pending "
+                       "operation failed by the cancel backstop")));
+  }
 }
 
 void ClusterCore::deadline_reaper_loop() {
@@ -214,6 +253,9 @@ const sys::SystemProfile& Rank::profile() const { return *core_->profile; }
 vt::Tracer* Rank::tracer() const { return core_->tracer; }
 
 void Rank::compute(vt::Duration d, const std::string& label) {
+  // Cancellation point: compute loops are where a rank can go longest
+  // without touching the comm layer's posts.
+  if (core_->job != nullptr) core_->job->check_cancelled("compute");
   const vt::TimePoint start = clock_.now();
   clock_.advance(d);
   if (core_->tracer != nullptr) {
@@ -225,6 +267,9 @@ void Rank::compute(vt::Duration d, const std::string& label) {
 RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>& body) {
   CLMPI_REQUIRE(options.nranks > 0, "cluster needs at least one rank");
   CLMPI_REQUIRE(options.profile != nullptr, "cluster needs a system profile");
+  // Rank-count quota: checked before anything is allocated, so an oversized
+  // job fails typed without having touched shared state.
+  if (options.job != nullptr) options.job->check_ranks(options.nranks);
 
   std::uint64_t run_seq = 0;
   {
@@ -235,6 +280,7 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
   detail::ClusterCore core;
   core.profile = options.profile;
   core.tracer = options.tracer;
+  core.job = options.job;
   // CLMPI_TRACE: when the caller did not attach a tracer, attach an
   // internally owned one so clmpiDumpTrace (and the optional auto-export
   // below) see the run. Tracing is passive — it never advances a clock — so
@@ -295,27 +341,38 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
   // (CLMPI_SCHED=fibers).
   const auto rank_main = [&](int r) {
     ctx::current().blocked_mirror = &core.blocked_sites[static_cast<std::size_t>(r)];
+    // Tenancy: the rank task (and, via spawn_service propagation, every
+    // runtime service it starts) charges allocations to the job.
+    ctx::current().job = options.job;
     log::set_thread_label("rank" + std::to_string(r));
     try {
       Rank rank(&core, r, options.nranks);
       body(rank);
       result.rank_end_s[static_cast<std::size_t>(r)] = rank.now_s();
     } catch (...) {
-      std::lock_guard lock(state_mutex);
-      if (!first_error) {
-        first_error = std::current_exception();
-      } else {
-        // First error wins the rethrow, but secondary failures (usually the
-        // cascade the first one caused in peer ranks) must not vanish
-        // silently: count and log each one.
-        ++suppressed;
-        CLMPI_WARN("rank " << r << ": secondary error suppressed: "
-                           << describe_exception(std::current_exception()));
-        if (obs::metrics_enabled()) {
-          static auto& c = obs::Registry::instance().counter("cluster.suppressed_errors");
-          c.add();
+      {
+        std::lock_guard lock(state_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        } else {
+          // First error wins the rethrow, but secondary failures (usually the
+          // cascade the first one caused in peer ranks) must not vanish
+          // silently: count and log each one.
+          ++suppressed;
+          CLMPI_WARN("rank " << r << ": secondary error suppressed: "
+                             << describe_exception(std::current_exception()));
+          if (obs::metrics_enabled()) {
+            static auto& c = obs::Registry::instance().counter("cluster.suppressed_errors");
+            c.add();
+          }
         }
       }
+      // A failed rank fails the whole job: without a runtime teardown to
+      // poison them, peer ranks of a plain-MPI workload would block forever
+      // on the dead rank's messages. The cancel backstop fails the job's
+      // pending operations, so peers unwind (as secondary, suppressed
+      // CancelledErrors — the line above already recorded the real cause).
+      if (options.job != nullptr) options.job->request_cancel();
     }
     {
       std::lock_guard lock(state_mutex);
@@ -329,7 +386,30 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
   const sched::Mode mode = sched::mode_from_env();
   std::vector<std::thread> threads;
   std::optional<sched::Scheduler> scheduler;
-  if (mode == sched::Mode::fibers) {
+  sched::Scheduler* external = options.scheduler;
+  if (external != nullptr) {
+    // Service mode: ranks run as job-tagged fibers on the shared persistent
+    // scheduler. The per-job idle task is the cooperative liveness backstop
+    // (coalescer flush + completion drain + cancel rescue), registered for
+    // exactly the job's lifetime; `&core` keys its removal.
+    core.cooperative.store(true, std::memory_order_relaxed);
+    external->add_idle_task(&core, [&core] {
+      if (core.progress) {
+        for (detail::SendCoalescer& co : core.coalescers) {
+          co.flush_all(detail::FlushTrigger::tick);
+        }
+        for (detail::Mailbox& mb : core.mailboxes) mb.drain_completions();
+      }
+      if (core.job != nullptr && core.job->cancel_requested()) {
+        core.fail_pending_as_cancelled();
+      }
+    });
+    const std::string tag = "job" + std::to_string(options.job_tag) + ".rank";
+    for (int r = 0; r < options.nranks; ++r) {
+      external->spawn([&rank_main, r] { rank_main(r); }, tag + std::to_string(r),
+                      options.job_tag);
+    }
+  } else if (mode == sched::Mode::fibers) {
     core.cooperative.store(true, std::memory_order_relaxed);
     scheduler.emplace(sched::Scheduler::Options{});
     if (core.progress) {
@@ -383,8 +463,11 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
         std::cerr << "  rank" << r << ": blocked at "
                   << (site != nullptr ? site : "<running or unknown>") << "\n";
       }
-      if (scheduler) {
-        for (const auto& f : scheduler->snapshot()) {
+      if (const sched::Scheduler* snap_from = scheduler ? &*scheduler : external) {
+        for (const auto& f : snap_from->snapshot()) {
+          // On a shared service scheduler, only this job's fibers are ours
+          // to report.
+          if (external != nullptr && f.job != options.job_tag) continue;
           std::cerr << "  fiber " << f.label << ": "
                     << (f.blocked != nullptr ? f.blocked : "<runnable>") << "\n";
         }
@@ -401,7 +484,13 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
     }
   }
 
-  if (scheduler) {
+  if (external != nullptr) {
+    // Shared scheduler: other jobs' fibers keep it busy, so "join" for this
+    // job means waiting for its own ranks (the aux-service joins below cover
+    // the service fibers they spawned).
+    std::unique_lock lock(state_mutex);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  } else if (scheduler) {
     // Waits for every fiber — ranks and the service fibers they spawned
     // (queue workers, dispatchers, collective progression) — then joins the
     // worker pool.
@@ -417,6 +506,9 @@ RunResult Cluster::run(const Options& options, const std::function<void(Rank&)>&
     std::lock_guard lock(core.aux_mutex);
     for (auto& s : core.aux_services) s.join();
   }
+  // Detach the per-job idle task before `core` is torn down; removal blocks
+  // while an idle pass is mid-flight, so the task never touches a dead core.
+  if (external != nullptr) external->remove_idle_task(&core);
   // The shared driver and the reaper dereference request states that the
   // mailboxes keep alive; detach from the driver and stop the reaper before
   // `core` (and everything it owns) is torn down.

@@ -7,6 +7,7 @@
 // block real MPI processes) into a diagnosed abort instead of a hang.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -16,6 +17,13 @@
 #include "systems/profile.hpp"
 #include "vt/clock.hpp"
 #include "vt/tracer.hpp"
+
+namespace clmpi::sched {
+class Scheduler;  // support/sched.hpp
+}
+namespace clmpi::tenant {
+class JobControl;  // support/tenant.hpp
+}
 
 namespace clmpi::mpi {
 
@@ -78,6 +86,18 @@ class Cluster {
     double watchdog_seconds{120.0};
     /// Deterministic fault-injection plan; all-zero rates disable injection.
     FaultPlan faults{};
+
+    // --- service (multi-tenant) mode — set by svc::Service ---------------
+    /// Run rank fibers on this external persistent scheduler instead of
+    /// creating one (overrides CLMPI_SCHED; the run is always cooperative).
+    /// The scheduler must already be started and outlive the run.
+    sched::Scheduler* scheduler{nullptr};
+    /// Tenancy tag for fibers spawned onto the external scheduler (the
+    /// fair-pick round robin keys on it). Meaningful only with `scheduler`.
+    std::uint64_t job_tag{0};
+    /// Quota/cancellation control block; null = standalone (no hooks). Must
+    /// outlive the run.
+    tenant::JobControl* job{nullptr};
   };
 
   /// Run `body` on every rank; blocks until all ranks return. The first

@@ -17,6 +17,7 @@
 #include "simmpi/progress.hpp"
 #include "simmpi/request.hpp"
 #include "support/sched.hpp"
+#include "support/tenant.hpp"
 #include "systems/profile.hpp"
 #include "vt/tracer.hpp"
 
@@ -27,6 +28,12 @@ struct WindowShared;  // window.cpp: shared state of one RMA window
 struct ClusterCore {
   const sys::SystemProfile* profile{nullptr};
   vt::Tracer* tracer{nullptr};
+  /// Tenancy control block when this cluster runs as a service job; null in
+  /// standalone mode (every hook below is then skipped). Quotas are charged
+  /// at the comm/pool allocation points; the cancel flag is observed at
+  /// cancellation points and enforced on blocked operations via
+  /// fail_pending_as_cancelled.
+  tenant::JobControl* job{nullptr};
   /// Fault oracle; null unless Cluster::Options::faults is enabled. Must
   /// outlive `network`, which holds a raw pointer to it.
   std::unique_ptr<FaultEngine> faults;
@@ -111,6 +118,20 @@ struct ClusterCore {
   /// prune resolved entries. `lock` (on deadline_mutex) is held on entry and
   /// on return.
   void rescue_stale_deadlines(std::unique_lock<std::mutex>& lock);
+
+  /// Cancellation liveness (service jobs only; `job` must be set). Every
+  /// point-to-point operation registers its request state at post time; when
+  /// the job's cancel flag is up, fail_pending_as_cancelled fails every
+  /// still-pending one with CancelledError so blocked waiters wake instead
+  /// of hanging on peers that already unwound. Called from the progress
+  /// driver's tick and the scheduler's per-job idle task — both wall-clock
+  /// backstops; the cooperative cancellation points in the post paths do the
+  /// prompt part.
+  void register_pending(std::shared_ptr<RequestState> state);
+  void fail_pending_as_cancelled();
+
+  std::mutex pending_mutex;
+  std::vector<std::weak_ptr<RequestState>> pending_ops;
 
  private:
   void deadline_reaper_loop();

@@ -65,10 +65,34 @@ void Comm::check_peer(int peer, bool allow_any) const {
   }
 }
 
+namespace {
+
+/// Tenancy hook shared by every point-to-point post funnel: cancellation
+/// point + mailbox-depth quota charge (credited back when the operation
+/// settles) + registration with the cancel backstop. Runs strictly BEFORE
+/// the operation is posted, on the posting rank's own fiber/thread — a
+/// QuotaError/CancelledError leaves nothing in flight. No-op in standalone
+/// mode (core->job == nullptr).
+void tenant_admit_p2p(detail::ClusterCore* core,
+                      const std::shared_ptr<detail::RequestState>& state, const char* where) {
+  tenant::JobControl* job = core->job;
+  if (job == nullptr) return;
+  job->check_cancelled(where);
+  job->charge_mailbox();
+  state->on_settle(
+      [job](vt::TimePoint, const MsgStatus&, const std::exception_ptr&) noexcept {
+        job->credit_mailbox();
+      });
+  core->register_pending(state);
+}
+
+}  // namespace
+
 Request Comm::post_send(std::span<const std::byte> data, int dst, int tag,
                         vt::TimePoint ready, const P2POptions& opts, bool coalescable) {
   check_peer(dst, /*allow_any=*/false);
   auto state = detail::make_request_state();
+  tenant_admit_p2p(core_, state, "isend");
   detail::Envelope env;
   env.src_rank = my_rank_;
   env.src_node = group_[static_cast<std::size_t>(my_rank_)];
@@ -113,6 +137,7 @@ Request Comm::post_recv(std::span<std::byte> data, int src, int tag, vt::TimePoi
                         const P2POptions& opts) {
   check_peer(src, /*allow_any=*/true);
   auto state = detail::make_request_state();
+  tenant_admit_p2p(core_, state, "irecv");
   detail::PostedRecv pr;
   pr.src_rank = src;
   pr.tag = tag;
@@ -250,6 +275,7 @@ PersistentRequest Comm::recv_init(std::span<std::byte> data, int src, int tag,
 Request PersistentRequest::start_at(vt::TimePoint ready, bool coalescable) {
   CLMPI_REQUIRE(impl_ != nullptr, "start() on a null persistent request");
   auto state = detail::make_request_state();
+  tenant_admit_p2p(impl_->core, state, "persistent-start");
   if (impl_->co != nullptr) state->set_flush_hint(impl_->co);
   if (obs::metrics_enabled()) detail::progress_metrics().persistent_starts.add();
   if (impl_->is_send) {
@@ -303,6 +329,9 @@ std::optional<MsgStatus> Comm::iprobe(int src, int tag) const {
 
 MsgStatus Comm::probe(int src, int tag, vt::Clock& clock) {
   check_peer(src, /*allow_any=*/true);
+  // Cancellation point at entry only: a probe already blocked on arrival is
+  // woken by its peers' cancel-failed sends unwinding, not by the backstop.
+  if (core_->job != nullptr) core_->job->check_cancelled("probe");
   auto [status, available] =
       core_->mailboxes[static_cast<std::size_t>(group_[static_cast<std::size_t>(my_rank_)])]
           .probe(src, tag, context_);

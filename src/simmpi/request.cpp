@@ -329,6 +329,35 @@ bool RequestState::rescue_timeout() {
   return true;
 }
 
+bool RequestState::cancel_now(std::exception_ptr error) {
+  std::vector<std::function<void(vt::TimePoint, const MsgStatus&,
+                                 const std::exception_ptr&)>>
+      to_run;
+  vt::TimePoint when{};
+  std::exception_ptr err;
+  bool notify = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (done_) return false;
+    // Fix the outcome here: a real resolution racing the cancel is ignored
+    // by settle() (same protocol as the deadline rescue).
+    done_ = true;
+    timed_out_ = true;
+    if (deadline_armed_) when = deadline_;
+    completion_ = when;
+    status_ = MsgStatus{};
+    error_ = std::move(error);
+    err = error_;
+    to_run.swap(callbacks_);
+    done_flag_.store(true, std::memory_order_release);
+    notify = waiters_ > 0;
+  }
+  if (notify) cv_.notify_all();
+  sched::note_progress();
+  for (auto& fn : to_run) fn(when, MsgStatus{}, err);
+  return true;
+}
+
 void RequestState::rescue_if_stale(std::chrono::steady_clock::time_point now,
                                    std::chrono::milliseconds grace) {
   {

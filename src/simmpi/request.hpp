@@ -147,6 +147,15 @@ class RequestState {
   void rescue_if_stale(std::chrono::steady_clock::time_point now,
                        std::chrono::milliseconds grace);
 
+  /// Job-cancellation rescue: fail a still-pending operation with `error`
+  /// (a CancelledError) now, fixing its outcome — a real resolution racing
+  /// the cancel is ignored, exactly like the deadline rescue. Returns false
+  /// (no-op) when the operation already resolved. The failure is stamped at
+  /// the virtual deadline when one is armed, else at virtual time zero
+  /// (sync_to is monotone, so waiters' clocks never move backwards);
+  /// cancelled jobs make no determinism claims about their timeline.
+  bool cancel_now(std::exception_ptr error);
+
   /// Lock-free completion peek: acquire-load of the done flag. The settle
   /// path publishes completion_/status_/error_ before the release-store, so
   /// a true return licenses lock-free reads of those fields (they are never

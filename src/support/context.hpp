@@ -25,6 +25,10 @@
 #include <string>
 #include <vector>
 
+namespace clmpi::tenant {
+class JobControl;  // support/tenant.hpp
+}
+
 namespace clmpi::ctx {
 
 namespace detail {
@@ -48,8 +52,14 @@ class ExecContext {
   std::atomic<const char*> blocked{nullptr};
   /// Optional mirror slot owned by the cluster (one per rank, outliving the
   /// context), so the watchdog can dump per-RANK sites in both scheduler
-  /// modes without touching a possibly-dead thread's context.
+  /// modes without touching a possibly-dead rank's context.
   std::atomic<const char*>* blocked_mirror{nullptr};
+
+  /// The service job this task runs under; null for standalone runs. Set by
+  /// the cluster launcher on rank tasks and propagated by spawn_service to
+  /// the runtime services a rank starts. Allocation layers below the cluster
+  /// (the staging pool) read it to charge quotas to the right tenant.
+  tenant::JobControl* job{nullptr};
 
   /// This task's instance of T (default-constructed on first access). Only
   /// the owning task may touch its slots; no synchronization is performed.

@@ -24,6 +24,11 @@ const char* to_string(Status s) noexcept {
     case Status::truncated: return "CLMPI_TRUNCATED";
     case Status::invalid_window: return "CLMPI_INVALID_WINDOW";
     case Status::rma_epoch: return "CLMPI_RMA_EPOCH";
+    case Status::invalid_halo: return "CLMPI_INVALID_HALO";
+    case Status::rejected: return "CLMPI_REJECTED";
+    case Status::quota_exceeded: return "CLMPI_QUOTA_EXCEEDED";
+    case Status::invalid_job: return "CLMPI_INVALID_JOB";
+    case Status::cancelled: return "CLMPI_CANCELLED";
   }
   return "CLMPI_UNKNOWN_STATUS";
 }

@@ -43,6 +43,20 @@ enum class Status : int {
   /// An RMA access posted outside an open fence epoch, or an epoch-protocol
   /// violation (e.g. freeing a window with accesses still pending).
   rma_epoch = -1010,
+  /// A halo-plan handle that was never valid or has been freed.
+  invalid_halo = -1011,
+  /// Service admission control refused the job: the pending queue is at
+  /// capacity, or the service is shutting down. The job never ran.
+  rejected = -1012,
+  /// A per-job quota (staging-pool bytes, mailbox depth, max ranks) was
+  /// exceeded at an allocation point; the allocating operation fails typed
+  /// instead of starving co-tenant jobs.
+  quota_exceeded = -1013,
+  /// A job handle that was never valid or refers to a reaped job.
+  invalid_job = -1014,
+  /// The job was cancelled (explicitly, or by its job-level deadline); ranks
+  /// unwind at their next cancellation point with this status.
+  cancelled = -1015,
 };
 
 /// Human-readable name of a status code ("CL_SUCCESS", ...).
@@ -87,6 +101,32 @@ class TimeoutError : public Error {
  public:
   explicit TimeoutError(const std::string& what_arg)
       : Error(what_arg, Status::timeout) {}
+};
+
+/// Raised by service admission control when a job cannot be accepted (the
+/// pending queue is full, or the service stopped admitting). The job never
+/// started; nothing needs cleanup.
+class RejectedError : public Error {
+ public:
+  explicit RejectedError(const std::string& what_arg)
+      : Error(what_arg, Status::rejected) {}
+};
+
+/// Raised at an allocation point (staging-pool acquire, mailbox post, rank
+/// spawn) when the operation would exceed the owning job's quota.
+class QuotaError : public Error {
+ public:
+  explicit QuotaError(const std::string& what_arg)
+      : Error(what_arg, Status::quota_exceeded) {}
+};
+
+/// Raised at a cancellation point of a job whose cancel flag is set (explicit
+/// clmpiCancelJob, or the job-level deadline). Every rank of the job unwinds
+/// with this error; the service reports the job as cancelled.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what_arg)
+      : Error(what_arg, Status::cancelled) {}
 };
 
 namespace detail {

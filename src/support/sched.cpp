@@ -10,6 +10,8 @@
 #include <cstdlib>
 #include <deque>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 
 #include "support/error.hpp"
 #include "support/log.hpp"
@@ -70,6 +72,7 @@ struct Fiber {
   std::function<void()> fn;
   std::atomic<bool> finished{false};
   bool started{false};
+  std::uint64_t job{0};  ///< tenancy tag; 0 = untagged (single-job mode)
   ctx::ExecContext ctx;
   Scheduler::Impl* owner{nullptr};
 #ifdef CLMPI_SCHED_ASAN
@@ -99,19 +102,54 @@ struct Scheduler::Impl {
   Options opts;
   std::size_t stack_bytes{0};
 
+  // Ready structure: one FIFO per job tag plus a round-robin rotation of
+  // job tags with runnable fibers. Invariant (under `mutex`): a tag appears
+  // in `rotation` exactly once iff its deque is non-empty.
   mutable std::mutex mutex;
-  std::deque<Fiber*> ready;
+  std::unordered_map<std::uint64_t, std::deque<Fiber*>> ready_jobs;
+  std::deque<std::uint64_t> rotation;
   std::vector<std::unique_ptr<Fiber>> all;
   std::atomic<int> live{0};
   std::vector<std::thread> workers;
   bool started{false};
-  std::function<void()> idle_hook;
+  std::atomic<bool> stopping{false};
 
-  void spawn(std::function<void()> fn, std::string label);
+  // Idle backstops: the single pre-start hook (single-job path) plus
+  // dynamically registered per-job tasks (service path). Both run under
+  // `idle_mutex`, so remove_idle_task blocks while a pass is in flight and
+  // a removed task can never run again after removal returns.
+  std::mutex idle_mutex;
+  std::function<void()> idle_hook;
+  std::vector<std::pair<const void*, std::function<void()>>> idle_tasks;
+
+  void spawn(std::function<void()> fn, std::string label, std::uint64_t job);
+  void push_ready(Fiber* f);   // requires `mutex`
+  Fiber* pop_ready();          // requires `mutex`
   void worker_loop(int index);
   void resume(Fiber* f);
   void retire(Fiber* f);
 };
+
+void Scheduler::Impl::push_ready(Fiber* f) {
+  auto& q = ready_jobs[f->job];
+  if (q.empty()) rotation.push_back(f->job);
+  q.push_back(f);
+}
+
+Fiber* Scheduler::Impl::pop_ready() {
+  if (rotation.empty()) return nullptr;
+  const std::uint64_t id = rotation.front();
+  rotation.pop_front();
+  const auto it = ready_jobs.find(id);
+  Fiber* f = it->second.front();
+  it->second.pop_front();
+  if (it->second.empty()) {
+    ready_jobs.erase(it);  // keep the map bounded across many short jobs
+  } else {
+    rotation.push_back(id);
+  }
+  return f;
+}
 
 namespace {
 
@@ -180,10 +218,11 @@ void yield() {
 #endif
 }
 
-void Scheduler::Impl::spawn(std::function<void()> fn, std::string label) {
+void Scheduler::Impl::spawn(std::function<void()> fn, std::string label, std::uint64_t job) {
   auto f = std::make_unique<Fiber>();
   f->owner = this;
   f->fn = std::move(fn);
+  f->job = job;
   f->ctx.log_label = std::move(label);
 
   const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
@@ -208,7 +247,7 @@ void Scheduler::Impl::spawn(std::function<void()> fn, std::string label) {
 
   live.fetch_add(1, std::memory_order_acq_rel);
   std::lock_guard lock(mutex);
-  ready.push_back(f.get());
+  push_ready(f.get());
   all.push_back(std::move(f));
 }
 
@@ -244,6 +283,12 @@ void Scheduler::Impl::retire(Fiber* f) {
   f->mapping = nullptr;
   f->stack_base = nullptr;
   f->ctx.clear_slots();
+  {
+    // Drop the Fiber record itself: a persistent scheduler hosts thousands
+    // of short jobs over its life and must not accumulate their corpses.
+    std::lock_guard lock(mutex);
+    std::erase_if(all, [f](const std::unique_ptr<Fiber>& p) { return p.get() == f; });
+  }
   live.fetch_sub(1, std::memory_order_acq_rel);
 }
 
@@ -255,13 +300,15 @@ void Scheduler::Impl::worker_loop(int index) {
     Fiber* f = nullptr;
     {
       std::lock_guard lock(mutex);
-      if (!ready.empty()) {
-        f = ready.front();
-        ready.pop_front();
-      }
+      f = pop_ready();
     }
     if (f == nullptr) {
-      if (live.load(std::memory_order_acquire) == 0) return;
+      if (live.load(std::memory_order_acquire) == 0) {
+        if (!opts.persistent || stopping.load(std::memory_order_acquire)) return;
+        // Persistent pool between jobs: nothing to run until a submit.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
       // Every unfinished fiber is mid-resume on another worker (or a spawn
       // is in flight); back off rather than hammer the queue lock.
       std::this_thread::sleep_for(std::chrono::microseconds(50));
@@ -274,7 +321,7 @@ void Scheduler::Impl::worker_loop(int index) {
     }
     {
       std::lock_guard lock(mutex);
-      ready.push_back(f);
+      push_ready(f);
     }
     // Idle backoff: a blocked fiber re-enters the ready queue, so when every
     // live fiber waits on an external thread (progress driver, a plain-thread
@@ -288,13 +335,23 @@ void Scheduler::Impl::worker_loop(int index) {
                                  std::max(1, live.load(std::memory_order_relaxed)))) {
       fruitless = 0;
       // Quiescence: every live fiber was resumed once and nothing advanced.
-      // Run the backstop hook first — it may release queued work (coalesced
-      // sends) that unblocks a fiber on the next pass; only nap when even
-      // the hook produced no progress.
-      if (idle_hook) {
-        idle_hook();
-        if (g_epoch.load(std::memory_order_relaxed) != seen_epoch) continue;
+      // Run the backstop hooks first — they may release queued work
+      // (coalesced sends, cancel-failed requests) that unblocks a fiber on
+      // the next pass; only nap when even the hooks produced no progress.
+      bool ran_backstop = false;
+      {
+        std::lock_guard ilock(idle_mutex);
+        if (idle_hook) {
+          idle_hook();
+          ran_backstop = true;
+        }
+        for (auto& [token, task] : idle_tasks) {
+          (void)token;
+          task();
+          ran_backstop = true;
+        }
       }
+      if (ran_backstop && g_epoch.load(std::memory_order_relaxed) != seen_epoch) continue;
       std::this_thread::sleep_for(std::chrono::microseconds(20));
     }
   }
@@ -309,12 +366,13 @@ Scheduler::Scheduler(Options options) : impl_(std::make_unique<Impl>()) {
 }
 
 Scheduler::~Scheduler() {
+  stop();
   join();
   g_schedulers.fetch_sub(1, std::memory_order_relaxed);
 }
 
-void Scheduler::spawn(std::function<void()> fn, std::string label) {
-  impl_->spawn(std::move(fn), std::move(label));
+void Scheduler::spawn(std::function<void()> fn, std::string label, std::uint64_t job) {
+  impl_->spawn(std::move(fn), std::move(label), job);
 }
 
 void Scheduler::set_idle_hook(std::function<void()> hook) {
@@ -322,17 +380,35 @@ void Scheduler::set_idle_hook(std::function<void()> hook) {
   impl_->idle_hook = std::move(hook);
 }
 
+void Scheduler::add_idle_task(const void* token, std::function<void()> task) {
+  std::lock_guard lock(impl_->idle_mutex);
+  impl_->idle_tasks.emplace_back(token, std::move(task));
+}
+
+void Scheduler::remove_idle_task(const void* token) {
+  std::lock_guard lock(impl_->idle_mutex);
+  std::erase_if(impl_->idle_tasks,
+                [token](const auto& entry) { return entry.first == token; });
+}
+
 void Scheduler::start() {
   CLMPI_REQUIRE(!impl_->started, "scheduler started twice");
   impl_->started = true;
   const int configured = impl_->opts.workers > 0 ? impl_->opts.workers : default_workers();
-  const int tasks = std::max(1, impl_->live.load(std::memory_order_relaxed));
-  const int n = std::clamp(configured, 1, tasks);
+  int n = configured;
+  if (!impl_->opts.persistent) {
+    // One-shot mode: no point in more workers than fibers.
+    const int tasks = std::max(1, impl_->live.load(std::memory_order_relaxed));
+    n = std::clamp(configured, 1, tasks);
+  }
+  n = std::max(1, n);
   impl_->workers.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     impl_->workers.emplace_back([this, i] { impl_->worker_loop(i); });
   }
 }
+
+void Scheduler::stop() { impl_->stopping.store(true, std::memory_order_release); }
 
 void Scheduler::join() {
   for (auto& w : impl_->workers) {
@@ -346,7 +422,7 @@ std::vector<Scheduler::FiberInfo> Scheduler::snapshot() const {
   std::lock_guard lock(impl_->mutex);
   for (const auto& f : impl_->all) {
     if (f->finished.load(std::memory_order_acquire)) continue;
-    out.push_back({f->ctx.log_label, f->ctx.blocked.load(std::memory_order_relaxed)});
+    out.push_back({f->ctx.log_label, f->ctx.blocked.load(std::memory_order_relaxed), f->job});
   }
   return out;
 }
@@ -377,21 +453,27 @@ void ServiceHandle::join() {
 
 ServiceHandle spawn_service(std::string label, std::function<void()> fn) {
   ServiceHandle h;
+  // Tenancy propagation: a runtime service works on behalf of the task that
+  // started it, so it inherits the spawner's job (scheduler tag AND context
+  // pointer — quota charges from inside the service bill the right tenant).
+  tenant::JobControl* job_ctx = ctx::current().job;
   Fiber* cur = t_current;
   if (cur != nullptr) {
     auto done = std::make_shared<std::atomic<bool>>(false);
     h.fiber_done_ = done;
     cur->owner->spawn(
-        [done, fn = std::move(fn)] {
+        [done, job_ctx, fn = std::move(fn)] {
+          ctx::current().job = job_ctx;
           fn();
           done->store(true, std::memory_order_release);
           note_progress();
         },
-        std::move(label));
+        std::move(label), cur->job);
     return h;
   }
-  h.thread_ = std::thread([label = std::move(label), fn = std::move(fn)] {
+  h.thread_ = std::thread([label = std::move(label), job_ctx, fn = std::move(fn)] {
     log::set_thread_label(label);
+    ctx::current().job = job_ctx;
     fn();
   });
   return h;

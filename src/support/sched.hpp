@@ -34,6 +34,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -131,7 +132,19 @@ class ServiceHandle {
 /// Spawn `fn` as a service task labelled `label` (becomes its log label).
 ServiceHandle spawn_service(std::string label, std::function<void()> fn);
 
-/// The fiber scheduler backing one Cluster::run in fiber mode.
+/// The fiber scheduler backing one Cluster::run in fiber mode — or, in
+/// persistent mode, the process-wide worker pool a svc::Service multiplexes
+/// MANY concurrent cluster runs (jobs) onto.
+///
+/// Multi-tenancy: every fiber carries a job tag (0 = untagged). The ready
+/// structure is one FIFO deque per job plus a round-robin rotation across
+/// jobs with runnable fibers, so each scheduling decision picks the next
+/// job in rotation and the oldest ready fiber of that job. Fairness is
+/// deterministic: a job's fibers execute in exactly the FIFO order they
+/// would with the job alone on the scheduler (co-tenants only interleave
+/// BETWEEN its resumes, never reorder them), which is what keeps per-job
+/// trace hashes independent of co-tenancy. With a single job the rotation
+/// degenerates to the classic single-deque round robin.
 class Scheduler {
  public:
   struct Options {
@@ -140,19 +153,26 @@ class Scheduler {
     /// Per-fiber stack bytes; 0 = CLMPI_FIBER_STACK_KB or the built-in
     /// default (256 KiB, 1 MiB under sanitizer builds).
     std::size_t stack_bytes{0};
+    /// Persistent (service) mode: workers idle when no fibers are live
+    /// instead of exiting, so jobs can keep arriving; stop() begins the
+    /// shutdown and join() then waits for the drain. start() sizes the pool
+    /// from `workers` alone (there may be zero fibers yet).
+    bool persistent{false};
   };
 
   explicit Scheduler(Options options);
   /// Joins the workers; every fiber must have finished (Cluster::run joins
   /// via join() on the success path and aborts via the watchdog otherwise).
+  /// A persistent scheduler is stopped first.
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  /// Queue a fiber. Thread-safe; fibers spawn service fibers mid-run.
-  /// `label` becomes the fiber's log label.
-  void spawn(std::function<void()> fn, std::string label);
+  /// Queue a fiber under job tag `job` (0 = untagged). Thread-safe; fibers
+  /// spawn service fibers mid-run (these inherit the spawner's job tag —
+  /// see spawn_service). `label` becomes the fiber's log label.
+  void spawn(std::function<void()> fn, std::string label, std::uint64_t job = 0);
 
   /// Launch the worker pool. Call once, after the initial spawns.
   void start();
@@ -166,15 +186,29 @@ class Scheduler {
   /// point. Call before start(); the hook must be callable from any worker.
   void set_idle_hook(std::function<void()> hook);
 
+  /// Register / remove a quiescence backstop while the scheduler runs (the
+  /// per-job variant of set_idle_hook: each service job adds its coalescer
+  /// flush + cancel backstop for its lifetime). Tasks run serialized with the
+  /// legacy idle hook; remove_idle_task blocks while an idle pass is in
+  /// flight, so after it returns the task is guaranteed never to run again.
+  void add_idle_task(const void* token, std::function<void()> task);
+  void remove_idle_task(const void* token);
+
+  /// Persistent mode: stop admitting idle waits — workers exit once no fiber
+  /// is live. Call before join() (the destructor does both). No-op in
+  /// one-shot mode.
+  void stop();
+
   /// Block until every fiber (including ones spawned mid-run) finished, then
   /// join the workers.
   void join();
 
   /// Diagnostic snapshot of every unfinished fiber: (label, blocked site or
-  /// nullptr). Safe to call from the watchdog while workers run.
+  /// nullptr, job tag). Safe to call from the watchdog while workers run.
   struct FiberInfo {
     std::string label;
     const char* blocked{nullptr};
+    std::uint64_t job{0};
   };
   [[nodiscard]] std::vector<FiberInfo> snapshot() const;
 

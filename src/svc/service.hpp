@@ -1,0 +1,191 @@
+// svc::Service — multi-tenant service mode: many concurrent cluster
+// simulations (jobs) hosted in one process.
+//
+// This is the ROADMAP's "millions of users" step: instead of one
+// Cluster::run per process, a Service owns
+//
+//   * one persistent fiber-scheduler worker pool (support/sched.hpp) that
+//     every job's rank fibers share, scheduled by the deterministic per-job
+//     round robin (job-tagged fibers, fair pick),
+//   * the process-wide progress driver (already shared — jobs register
+//     their cores like any cluster run),
+//   * a bounded admission queue with typed rejection (Status::rejected),
+//   * a small set of runner threads (`max_active`) that dequeue jobs and
+//     drive Cluster::run in service mode (external scheduler + JobControl),
+//   * a wall-clock deadline monitor that cancels overdue jobs.
+//
+// Isolation story, per job:
+//   * quotas — staging-pool bytes, mailbox depth, max ranks — enforced at
+//     the allocation points (transfer/pool, simmpi comm) against the job's
+//     tenant::JobControl; an overrunning job fails itself with QuotaError
+//     and can never starve a co-tenant;
+//   * cancellation/deadline — cooperative cancel flag observed at the
+//     runtime's cancellation points, plus the cancel backstop that fails
+//     the job's pending operations so blocked ranks unwind (built on PR 4's
+//     timeout rescue protocol);
+//   * observability — each job runs with its OWN vt::Tracer, so its trace
+//     hash is computable in isolation (the soak bench's cross-tenancy
+//     determinism oracle), and its counters are published under the
+//     "job.<id>." namespace in the obs registry at completion.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/sched.hpp"
+#include "support/tenant.hpp"
+#include "vt/tracer.hpp"
+
+namespace clmpi::svc {
+
+/// Workload catalog: every job is one cluster simulation of one of these
+/// kinds (see workloads.cpp for the exact bodies).
+enum class JobKind {
+  himeno,  ///< the paper's Jacobi pressure solver (full clMPI runtime path)
+  halo,    ///< persistent-request ring halo exchange (plain MPI layer)
+  chaos,   ///< seeded randomized p2p mix (the chaos suite's workload shape)
+};
+
+const char* to_string(JobKind k) noexcept;
+
+enum class JobState {
+  queued,     ///< admitted, waiting for a runner
+  running,    ///< a runner is driving its cluster
+  succeeded,  ///< cluster run returned normally
+  failed,     ///< cluster run threw (quota, fault, programming error)
+  cancelled,  ///< explicit cancel or deadline fired before completion
+};
+
+const char* to_string(JobState s) noexcept;
+
+/// What to run and under which limits.
+struct JobSpec {
+  JobKind kind{JobKind::halo};
+  int nranks{4};
+  std::string profile{"ricc"};  ///< systems profile name (profile_by_name)
+  int iterations{4};            ///< workload scale knob
+  std::uint64_t seed{1};        ///< workload variation (chaos mix, sizes)
+  tenant::JobQuotas quotas{};   ///< 0 = unlimited
+  /// Wall-clock job deadline measured from SUBMISSION, seconds; 0 = none.
+  /// An overdue job is cancelled (queued: immediately; running: via the
+  /// cooperative cancel protocol).
+  double deadline_s{0.0};
+};
+
+/// Terminal report of one job (also readable mid-run via Service::counters,
+/// with the not-yet-final fields at their current values).
+struct JobResult {
+  JobState state{JobState::queued};
+  Status status{Status::success};  ///< typed failure; success while running
+  std::string error;               ///< what() of the failure, empty otherwise
+  double makespan_s{0.0};          ///< virtual makespan of the cluster run
+  std::uint64_t trace_hash{0};     ///< the job's own tracer digest
+  tenant::JobControl::Usage usage;
+  double queue_delay_s{0.0};  ///< wall seconds from submit to run start
+  double run_wall_s{0.0};     ///< wall seconds of the cluster run itself
+};
+
+class Service {
+ public:
+  struct Options {
+    /// Fiber worker threads of the shared pool; 0 = CLMPI_FIBER_WORKERS or
+    /// hardware concurrency.
+    int workers{0};
+    /// Admission control: max jobs waiting in the queue (running jobs do
+    /// not count). Submits beyond it fail with RejectedError.
+    std::size_t queue_limit{64};
+    /// Runner threads = max jobs whose clusters run concurrently.
+    std::size_t max_active{4};
+    /// Per-job cluster watchdog (deadlock abort), seconds; 0 disables.
+    double watchdog_seconds{120.0};
+  };
+
+  explicit Service(Options options);
+  /// Drains: every admitted job still runs to a terminal state, then the
+  /// runners, the deadline monitor and the shared pool shut down.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Admit a job. Returns its id (monotone from 1). Throws RejectedError
+  /// when the queue is at capacity or the service is shutting down; throws
+  /// QuotaError immediately when spec.nranks already exceeds
+  /// spec.quotas.max_ranks (nothing would ever run).
+  std::uint64_t submit(JobSpec spec);
+
+  /// Block until the job reaches a terminal state; returns its result.
+  /// Throws Error(Status::invalid_job) for an unknown id.
+  JobResult wait(std::uint64_t id);
+
+  /// Request cooperative cancellation. Returns true when the cancel was
+  /// delivered to a queued or running job (the job will report
+  /// JobState::cancelled unless completion won the race), false when the
+  /// job already reached a terminal state. Throws on unknown id.
+  bool cancel(std::uint64_t id);
+
+  /// Non-blocking snapshot of the job's result-so-far (state, usage
+  /// counters; terminal fields final only once state is terminal). Throws
+  /// on unknown id.
+  JobResult counters(std::uint64_t id);
+
+  /// Jobs admitted over the service lifetime / currently queued / currently
+  /// running (diagnostics).
+  struct Stats {
+    std::uint64_t submitted{0};
+    std::uint64_t rejected{0};
+    std::size_t queued{0};
+    std::size_t active{0};
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct JobRecord {
+    std::uint64_t id{0};
+    JobSpec spec;
+    tenant::JobControl control;
+    vt::Tracer tracer;  ///< the job's own trace namespace
+    JobResult result;
+    std::chrono::steady_clock::time_point submitted{};
+    std::chrono::steady_clock::time_point started{};
+    bool deadline_armed{false};
+    std::chrono::steady_clock::time_point deadline{};
+
+    JobRecord(std::uint64_t job_id, JobSpec s)
+        : id(job_id), spec(std::move(s)), control(job_id, spec.quotas) {}
+  };
+
+  void runner_loop(int index);
+  void monitor_loop();
+  void run_job(const std::shared_ptr<JobRecord>& rec);
+  void publish_metrics(const JobRecord& rec);
+  std::shared_ptr<JobRecord> find(std::uint64_t id);
+
+  Options opts_;
+  sched::Scheduler pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;          ///< runner wakeups (queue + shutdown)
+  std::condition_variable monitor_cv_;  ///< deadline-monitor pacing
+  std::condition_variable state_cv_;    ///< job state transitions (wait())
+  bool stopping_{false};
+  std::uint64_t submitted_{0};
+  std::uint64_t rejected_{0};
+  std::size_t active_{0};
+  std::deque<std::shared_ptr<JobRecord>> queue_;
+  std::map<std::uint64_t, std::shared_ptr<JobRecord>> jobs_;
+
+  std::vector<std::thread> runners_;
+  std::thread monitor_;
+};
+
+}  // namespace clmpi::svc

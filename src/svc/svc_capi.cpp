@@ -1,0 +1,154 @@
+// C entry points of the service-job extension (capi.h tail section).
+//
+// The service is a process-global singleton here — the C surface mirrors a
+// deployment where one daemon hosts every tenant's jobs. The C++ type
+// (svc::Service) stays multi-instantiable for tests.
+#include <memory>
+#include <mutex>
+
+#include "clmpi/capi_internal.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+std::mutex g_service_mutex;
+std::unique_ptr<clmpi::svc::Service> g_service;
+
+clmpi::svc::Service& require_service() {
+  if (g_service == nullptr) {
+    throw clmpi::Error("service not started (call clmpiServiceStart)",
+                       clmpi::Status::invalid_operation);
+  }
+  return *g_service;
+}
+
+clmpi::svc::JobKind to_kind(cl_uint kind) {
+  switch (kind) {
+    case CLMPI_JOB_KIND_HIMENO:
+      return clmpi::svc::JobKind::himeno;
+    case CLMPI_JOB_KIND_HALO:
+      return clmpi::svc::JobKind::halo;
+    case CLMPI_JOB_KIND_CHAOS:
+      return clmpi::svc::JobKind::chaos;
+    default:
+      throw clmpi::Error("unknown job kind " + std::to_string(kind),
+                         clmpi::Status::invalid_value);
+  }
+}
+
+cl_uint to_c_state(clmpi::svc::JobState s) noexcept {
+  switch (s) {
+    case clmpi::svc::JobState::queued:
+      return CLMPI_JOB_QUEUED;
+    case clmpi::svc::JobState::running:
+      return CLMPI_JOB_RUNNING;
+    case clmpi::svc::JobState::succeeded:
+      return CLMPI_JOB_SUCCEEDED;
+    case clmpi::svc::JobState::failed:
+      return CLMPI_JOB_FAILED;
+    case clmpi::svc::JobState::cancelled:
+      return CLMPI_JOB_CANCELLED;
+  }
+  return CLMPI_JOB_FAILED;
+}
+
+void fill_result(const clmpi::svc::JobResult& r, clmpi_job_result* out) noexcept {
+  if (out == nullptr) return;
+  out->state = to_c_state(r.state);
+  out->status = static_cast<cl_int>(r.status);
+  out->makespan_s = r.makespan_s;
+  out->trace_hash = r.trace_hash;
+  out->staging_hwm = r.usage.staging_hwm;
+  out->mailbox_hwm = r.usage.mailbox_hwm;
+  out->quota_denials = r.usage.staging_denials + r.usage.mailbox_denials;
+  out->messages = r.usage.messages;
+  out->queue_delay_s = r.queue_delay_s;
+  out->run_wall_s = r.run_wall_s;
+}
+
+}  // namespace
+
+cl_int clmpiServiceStart(cl_uint max_active, cl_uint queue_limit) {
+  return clmpi::capi::guarded([&] {
+    std::lock_guard<std::mutex> lock(g_service_mutex);
+    if (g_service != nullptr) {
+      throw clmpi::Error("service already started", clmpi::Status::invalid_operation);
+    }
+    clmpi::svc::Service::Options opts;
+    opts.max_active = max_active != 0 ? max_active : 2;
+    opts.queue_limit = queue_limit != 0 ? queue_limit : 64;
+    g_service = std::make_unique<clmpi::svc::Service>(opts);
+  });
+}
+
+cl_int clmpiServiceStop(void) {
+  return clmpi::capi::guarded([&] {
+    std::unique_ptr<clmpi::svc::Service> dying;
+    {
+      std::lock_guard<std::mutex> lock(g_service_mutex);
+      if (g_service == nullptr) {
+        throw clmpi::Error("service not started", clmpi::Status::invalid_operation);
+      }
+      dying = std::move(g_service);
+    }
+    dying.reset();  // drains outside the lock
+  });
+}
+
+clmpi_job clmpiSubmitJob(const clmpi_job_desc* desc, cl_int* errcode_ret) {
+  clmpi_job id = 0;
+  const cl_int status = clmpi::capi::guarded([&] {
+    if (desc == nullptr) {
+      throw clmpi::Error("null job desc", clmpi::Status::invalid_value);
+    }
+    clmpi::svc::JobSpec spec;
+    spec.kind = to_kind(desc->kind);
+    spec.nranks = desc->nranks;
+    if (desc->profile != nullptr) spec.profile = desc->profile;
+    spec.iterations = desc->iterations;
+    spec.seed = desc->seed;
+    spec.quotas.staging_bytes = static_cast<std::size_t>(desc->quota_staging_bytes);
+    spec.quotas.mailbox_depth = static_cast<std::size_t>(desc->quota_mailbox_depth);
+    spec.quotas.max_ranks = desc->quota_max_ranks;
+    spec.deadline_s = desc->deadline_s;
+    std::lock_guard<std::mutex> lock(g_service_mutex);
+    id = require_service().submit(std::move(spec));
+  });
+  if (errcode_ret != nullptr) *errcode_ret = status;
+  return status == CL_SUCCESS ? id : 0;
+}
+
+cl_int clmpiWaitJob(clmpi_job job, clmpi_job_result* result) {
+  return clmpi::capi::guarded([&] {
+    clmpi::svc::Service* svc = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(g_service_mutex);
+      svc = &require_service();
+    }
+    // wait() blocks — outside the global lock so submits keep flowing.
+    fill_result(svc->wait(job), result);
+  });
+}
+
+cl_int clmpiCancelJob(clmpi_job job) {
+  return clmpi::capi::guarded([&] {
+    bool delivered = false;
+    {
+      std::lock_guard<std::mutex> lock(g_service_mutex);
+      delivered = require_service().cancel(job);
+    }
+    if (!delivered) {
+      throw clmpi::CancelledError("job " + std::to_string(job) + " already terminal");
+    }
+  });
+}
+
+cl_int clmpiJobCounters(clmpi_job job, clmpi_job_result* result) {
+  return clmpi::capi::guarded([&] {
+    if (result == nullptr) {
+      throw clmpi::Error("null result", clmpi::Status::invalid_value);
+    }
+    std::lock_guard<std::mutex> lock(g_service_mutex);
+    fill_result(require_service().counters(job), result);
+  });
+}

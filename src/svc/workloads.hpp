@@ -1,0 +1,17 @@
+// The service's workload catalog: rank bodies for each JobKind.
+#pragma once
+
+#include <functional>
+
+#include "simmpi/cluster.hpp"
+#include "svc/service.hpp"
+
+namespace clmpi::svc {
+
+/// Build the rank body for `spec`. Every body is deterministic in virtual
+/// time for a fixed spec: the same (kind, nranks, iterations, seed, profile)
+/// always produces the same trace hash, whatever the co-tenancy — the soak
+/// bench's isolation oracle.
+std::function<void(mpi::Rank&)> make_workload(const JobSpec& spec);
+
+}  // namespace clmpi::svc

@@ -82,6 +82,8 @@ void send_device_async(const DeviceEndpoint& ep, const Strategy& requested,
   auto& prof = dev.profile();
 
   switch (strategy.kind) {
+    case StrategyKind::shmem:
+      throw PreconditionError("one-sided shmem strategy on a two-sided send");
     case StrategyKind::pinned: {
       const auto setup = dev.copy_engine().acquire(ready, prof.pcie.pin_setup);
       const auto d2h =
@@ -162,6 +164,8 @@ void recv_device_async(const DeviceEndpoint& ep, const Strategy& requested,
   auto& prof = dev.profile();
 
   switch (strategy.kind) {
+    case StrategyKind::shmem:
+      throw PreconditionError("one-sided shmem strategy on a two-sided recv");
     case StrategyKind::pinned: {
       const auto setup = dev.copy_engine().acquire(ready, prof.pcie.pin_setup);
       auto bounce = std::make_shared<StagingPool::Buffer>(pool_for(ep).acquire(ep.size));

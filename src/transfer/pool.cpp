@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "support/context.hpp"
+#include "support/tenant.hpp"
 
 namespace clmpi::xfer {
 
@@ -22,10 +23,17 @@ void raise_high_water(std::atomic<std::size_t>& mark, std::size_t value) noexcep
 }  // namespace
 
 void StagingPool::Buffer::release() noexcept {
+  // Credit the tenant for the full reserved capacity (the amount charged at
+  // acquire). Releases may run on any thread — completion callbacks, the
+  // progress driver — so the credit is just a relaxed atomic sub.
+  if (job_ != nullptr && !storage_.empty()) {
+    job_->credit_staging(storage_.size());
+  }
   if (pool_ != nullptr && !storage_.empty()) {
     pool_->give_back(std::move(storage_));
   }
   pool_ = nullptr;
+  job_ = nullptr;
   storage_.clear();
   size_ = 0;
 }
@@ -37,19 +45,25 @@ std::size_t StagingPool::class_of(std::size_t bytes) noexcept {
 
 StagingPool::Buffer StagingPool::acquire(std::size_t bytes) {
   if (bytes == 0) return {};
+  // Tenancy: charge the acquiring task's job for the reserved capacity,
+  // BEFORE touching the free lists — a QuotaError then leaves the pool
+  // untouched. Standalone runs (no job) skip the whole hook.
+  tenant::JobControl* job = ctx::current().job;
   acquires_.fetch_add(1, std::memory_order_relaxed);
 
   if (bytes > (std::size_t{1} << kMaxClassLog2)) {
+    if (job != nullptr) job->charge_staging(bytes);
     if (obs::metrics_enabled()) {
       static auto& acquires = obs::Registry::instance().counter("xfer.pool.acquires");
       acquires.add();
     }
     // Oversized: plain allocation, never retained.
-    return Buffer(nullptr, std::vector<std::byte>(bytes), bytes);
+    return Buffer(nullptr, job, std::vector<std::byte>(bytes), bytes);
   }
 
   const std::size_t cls = class_of(bytes);
   const std::size_t class_bytes = std::size_t{1} << (cls + kMinClassLog2);
+  if (job != nullptr) job->charge_staging(class_bytes);
   std::vector<std::byte> storage;
   {
     SizeClass& sc = classes_[cls];
@@ -79,7 +93,7 @@ StagingPool::Buffer StagingPool::acquire(std::size_t bytes) {
     // footprint any single rank's pool reached.
     in_use_gauge.record(in_use);
   }
-  return Buffer(this, std::move(storage), bytes);
+  return Buffer(this, job, std::move(storage), bytes);
 }
 
 void StagingPool::give_back(std::vector<std::byte> storage) noexcept {

@@ -27,6 +27,10 @@
 #include <span>
 #include <vector>
 
+namespace clmpi::tenant {
+class JobControl;  // support/tenant.hpp
+}
+
 namespace clmpi::xfer {
 
 class StagingPool {
@@ -38,17 +42,21 @@ class StagingPool {
    public:
     Buffer() = default;
     Buffer(Buffer&& other) noexcept
-        : pool_(other.pool_), storage_(std::move(other.storage_)), size_(other.size_) {
+        : pool_(other.pool_), job_(other.job_), storage_(std::move(other.storage_)),
+          size_(other.size_) {
       other.pool_ = nullptr;
+      other.job_ = nullptr;
       other.size_ = 0;
     }
     Buffer& operator=(Buffer&& other) noexcept {
       if (this != &other) {
         release();
         pool_ = other.pool_;
+        job_ = other.job_;
         storage_ = std::move(other.storage_);
         size_ = other.size_;
         other.pool_ = nullptr;
+        other.job_ = nullptr;
         other.size_ = 0;
       }
       return *this;
@@ -67,11 +75,15 @@ class StagingPool {
 
    private:
     friend class StagingPool;
-    Buffer(StagingPool* pool, std::vector<std::byte> storage, std::size_t size)
-        : pool_(pool), storage_(std::move(storage)), size_(size) {}
+    Buffer(StagingPool* pool, tenant::JobControl* job, std::vector<std::byte> storage,
+           std::size_t size)
+        : pool_(pool), job_(job), storage_(std::move(storage)), size_(size) {}
     void release() noexcept;
 
     StagingPool* pool_{nullptr};
+    /// The tenant charged for this buffer's capacity (ctx::current().job at
+    /// acquire time); credited back on release. Null for standalone runs.
+    tenant::JobControl* job_{nullptr};
     std::vector<std::byte> storage_;
     std::size_t size_{0};
   };

@@ -65,7 +65,9 @@ TEST_P(NbRanks, IbarrierSynchronizes) {
     if (rank.rank() == 0) rank.compute(vt::milliseconds(25.0));
     mpi::Request req = rank.world().ibarrier(rank.clock());
     req.wait(rank.clock());
-    if (rank.size() > 1) EXPECT_GT(rank.now_s(), 0.025);
+    if (rank.size() > 1) {
+      EXPECT_GT(rank.now_s(), 0.025);
+    }
   });
 }
 

@@ -488,7 +488,9 @@ TEST(ObsCounters, MatchFaultEngineGroundTruth) {
   ASSERT_TRUE(obs::Registry::instance().value("fault.delays", v));
   EXPECT_EQ(v, res.faults.delays);
   EXPECT_GT(res.faults.duplicates + res.faults.delays, 0u);
-  if (obs::Registry::instance().value("fault.drops", v)) EXPECT_EQ(v, res.faults.drops);
+  if (obs::Registry::instance().value("fault.drops", v)) {
+    EXPECT_EQ(v, res.faults.drops);
+  }
 }
 
 TEST(ObsCounters, MatchStagingPoolGroundTruth) {

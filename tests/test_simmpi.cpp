@@ -558,7 +558,9 @@ TEST(Collectives, ReduceMaxAtNonZeroRoot) {
     std::vector<std::int32_t> out{-1};
     rank.world().reduce(bytes_of(mine), mut_bytes_of(out), Datatype::int32, ReduceOp::max, 3,
                         rank.clock());
-    if (rank.rank() == 3) EXPECT_EQ(out[0], 4);
+    if (rank.rank() == 3) {
+      EXPECT_EQ(out[0], 4);
+    }
   });
 }
 
@@ -603,7 +605,7 @@ TEST(Comm, SplitEvenOdd) {
     const int from = (half.rank() + half.size() - 1) % half.size();
     std::vector<int> out{rank.rank()};
     std::vector<int> in{-1};
-    rank.world();  // world stays usable
+    (void)rank.world();  // world stays usable
     half.sendrecv(bytes_of(out), peer, 0, mut_bytes_of(in), from, 0, rank.clock());
     // The global rank we hear from has the same parity.
     EXPECT_EQ(in[0] % 2, color);

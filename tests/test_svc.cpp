@@ -1,0 +1,343 @@
+// Multi-tenant service mode: admission control, quotas, cancellation,
+// per-job observability (src/svc/service.hpp, docs/SERVICE.md).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <string>
+#include <vector>
+
+#include "clmpi/capi.h"
+#include "obs/metrics.hpp"
+#include "simmpi/cluster.hpp"
+#include "support/tenant.hpp"
+#include "svc/service.hpp"
+#include "svc/workloads.hpp"
+#include "test_util.hpp"
+#include "vt/tracer.hpp"
+
+namespace {
+
+using namespace clmpi;
+
+svc::Service::Options small_service(std::size_t max_active = 2) {
+  svc::Service::Options opts;
+  opts.workers = 1;
+  opts.max_active = max_active;
+  opts.watchdog_seconds = testutil::watchdog_seconds(120.0);
+  return opts;
+}
+
+svc::JobSpec halo_spec(int iterations = 4) {
+  svc::JobSpec spec;
+  spec.kind = svc::JobKind::halo;
+  spec.nranks = 4;
+  spec.iterations = iterations;
+  return spec;
+}
+
+TEST(Service, RunsEachWorkloadKindToSuccess) {
+  svc::Service service(small_service());
+  std::vector<std::uint64_t> ids;
+  for (svc::JobKind kind :
+       {svc::JobKind::himeno, svc::JobKind::halo, svc::JobKind::chaos}) {
+    svc::JobSpec spec;
+    spec.kind = kind;
+    spec.nranks = 2;
+    spec.iterations = 3;
+    spec.seed = 7;
+    ids.push_back(service.submit(spec));
+  }
+  for (std::uint64_t id : ids) {
+    const svc::JobResult r = service.wait(id);
+    EXPECT_EQ(r.state, svc::JobState::succeeded) << r.error;
+    EXPECT_EQ(r.status, Status::success);
+    EXPECT_GT(r.makespan_s, 0.0);
+    EXPECT_NE(r.trace_hash, 0u);
+  }
+  const svc::Service::Stats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(Service, TraceHashMatchesStandaloneRun) {
+  // The same spec through the service (shared pool, job tag, quotas armed)
+  // and through a plain Cluster::run must trace identically: tenancy and
+  // accounting are virtual-time-neutral.
+  svc::JobSpec spec = halo_spec(5);
+  spec.quotas.staging_bytes = 64 << 20;
+  spec.quotas.mailbox_depth = 1024;
+
+  vt::Tracer standalone;
+  {
+    mpi::Cluster::Options opts;
+    opts.nranks = spec.nranks;
+    opts.profile = &sys::profile_by_name(spec.profile);
+    opts.tracer = &standalone;
+    opts.watchdog_seconds = testutil::watchdog_seconds(120.0);
+    mpi::Cluster::run(opts, svc::make_workload(spec));
+  }
+
+  svc::Service service(small_service());
+  const svc::JobResult r = service.wait(service.submit(spec));
+  ASSERT_EQ(r.state, svc::JobState::succeeded) << r.error;
+  EXPECT_EQ(r.trace_hash, standalone.hash());
+}
+
+TEST(Service, ConcurrentTenantsTraceLikeSoloTenants) {
+  // Three co-tenant copies of three distinct specs: every copy must hash
+  // exactly like its kin — co-tenancy may interleave jobs but never reorder
+  // any single job's schedule.
+  svc::Service service(small_service(3));
+  std::vector<svc::JobSpec> specs;
+  for (int i = 0; i < 3; ++i) {
+    svc::JobSpec spec;
+    spec.kind = static_cast<svc::JobKind>(i);
+    spec.nranks = 2;
+    spec.iterations = 3;
+    spec.seed = 11;
+    specs.push_back(spec);
+  }
+  std::vector<std::uint64_t> ids;
+  for (int copy = 0; copy < 3; ++copy) {
+    for (const svc::JobSpec& spec : specs) ids.push_back(service.submit(spec));
+  }
+  std::vector<std::uint64_t> hashes;
+  for (std::uint64_t id : ids) {
+    const svc::JobResult r = service.wait(id);
+    ASSERT_EQ(r.state, svc::JobState::succeeded) << r.error;
+    hashes.push_back(r.trace_hash);
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(hashes[i], hashes[i + specs.size()]) << "kind " << i;
+    EXPECT_EQ(hashes[i], hashes[i + 2 * specs.size()]) << "kind " << i;
+  }
+}
+
+TEST(JobControl, QuotaExactlyAtLimitIsAdmitted) {
+  // The quota boundary is inclusive: a charge that lands EXACTLY on the
+  // limit is admitted; the first charge past it is the one denied.
+  tenant::JobQuotas quotas;
+  quotas.mailbox_depth = 4;
+  quotas.staging_bytes = 4096;
+  tenant::JobControl ctrl(1, quotas);
+  for (int i = 0; i < 4; ++i) ctrl.charge_mailbox();
+  EXPECT_EQ(ctrl.usage().mailbox_depth, 4u);
+  EXPECT_THROW(ctrl.charge_mailbox(), QuotaError);
+  EXPECT_EQ(ctrl.usage().mailbox_depth, 4u) << "denied charge must roll back";
+  EXPECT_EQ(ctrl.usage().mailbox_denials, 1u);
+  ctrl.credit_mailbox();
+  ctrl.charge_mailbox();  // back under the limit: admitted again
+  EXPECT_EQ(ctrl.usage().mailbox_hwm, 4u);
+
+  ctrl.charge_staging(4096);  // exactly the limit in one charge
+  EXPECT_THROW(ctrl.charge_staging(1), QuotaError);
+  EXPECT_EQ(ctrl.usage().staging_in_use, 4096u) << "denied charge must roll back";
+  EXPECT_EQ(ctrl.usage().staging_hwm, 4096u);
+  ctrl.credit_staging(4096);
+  EXPECT_EQ(ctrl.usage().staging_in_use, 0u);
+}
+
+TEST(Service, MailboxQuotaDenialFailsJobTyped) {
+  // A quota far below the halo workload's pending-op demand must fail the
+  // job with the typed status — and the failure must be CLEAN: peer ranks
+  // blocked on the dead rank's messages are unwound by the cancel backstop
+  // instead of deadlocking the shared pool.
+  svc::Service service(small_service(1));
+  svc::JobSpec over = halo_spec();
+  over.quotas.mailbox_depth = 2;
+  const svc::JobResult denied = service.wait(service.submit(over));
+  EXPECT_EQ(denied.state, svc::JobState::failed);
+  EXPECT_EQ(denied.status, Status::quota_exceeded) << denied.error;
+  EXPECT_GE(denied.usage.mailbox_denials, 1u);
+
+  // The service survives the failed tenant.
+  const svc::JobResult next = service.wait(service.submit(halo_spec()));
+  EXPECT_EQ(next.state, svc::JobState::succeeded) << next.error;
+}
+
+TEST(Service, StagingQuotaFailsOverrunningJobOnly) {
+  // A himeno job needs staging buffers for its halo transfers; a 1-byte
+  // staging quota must fail it with the typed status while a co-tenant
+  // without quotas runs to completion.
+  svc::Service service(small_service(2));
+  svc::JobSpec starved;
+  starved.kind = svc::JobKind::himeno;
+  starved.nranks = 2;
+  starved.iterations = 2;
+  starved.quotas.staging_bytes = 1;
+  const std::uint64_t starved_id = service.submit(starved);
+
+  svc::JobSpec healthy;
+  healthy.kind = svc::JobKind::himeno;
+  healthy.nranks = 2;
+  healthy.iterations = 2;
+  const std::uint64_t healthy_id = service.submit(healthy);
+
+  const svc::JobResult bad = service.wait(starved_id);
+  EXPECT_EQ(bad.state, svc::JobState::failed);
+  EXPECT_EQ(bad.status, Status::quota_exceeded) << bad.error;
+  EXPECT_GE(bad.usage.staging_denials, 1u);
+
+  const svc::JobResult good = service.wait(healthy_id);
+  EXPECT_EQ(good.state, svc::JobState::succeeded) << good.error;
+  EXPECT_EQ(good.usage.staging_denials, 0u);
+}
+
+TEST(Service, RankQuotaRejectsAtSubmission) {
+  svc::Service service(small_service());
+  svc::JobSpec spec = halo_spec();
+  spec.nranks = 8;
+  spec.quotas.max_ranks = 4;
+  EXPECT_THROW(service.submit(spec), QuotaError);
+}
+
+TEST(Service, AdmissionRejectsWhenQueueFull) {
+  svc::Service::Options opts = small_service(1);
+  opts.queue_limit = 2;
+  svc::Service service(opts);
+
+  std::vector<std::uint64_t> accepted;
+  bool rejected = false;
+  for (int i = 0; i < 8 && !rejected; ++i) {
+    try {
+      accepted.push_back(service.submit(halo_spec(20)));
+    } catch (const RejectedError&) {
+      rejected = true;
+    }
+  }
+  // One running + queue_limit queued is the most the service admits at
+  // once, so the 8-submit burst must hit the bound.
+  EXPECT_TRUE(rejected);
+  EXPECT_LE(accepted.size(), 7u);
+  EXPECT_GE(service.stats().rejected, 1u);
+  for (std::uint64_t id : accepted) {
+    const svc::JobResult r = service.wait(id);
+    EXPECT_EQ(r.state, svc::JobState::succeeded) << r.error;
+  }
+}
+
+TEST(Service, CancelMidRunReportsCancelled) {
+  svc::Service service(small_service(1));
+  svc::JobSpec slow;
+  slow.kind = svc::JobKind::chaos;
+  slow.nranks = 2;
+  slow.iterations = 200000;  // far longer than the cancel latency
+  const std::uint64_t id = service.submit(slow);
+  while (service.counters(id).state == svc::JobState::queued) {
+  }
+  EXPECT_TRUE(service.cancel(id));
+  const svc::JobResult r = service.wait(id);
+  EXPECT_EQ(r.state, svc::JobState::cancelled) << r.error;
+  EXPECT_EQ(r.status, Status::cancelled);
+  EXPECT_FALSE(service.cancel(id)) << "terminal job must report cancel misses";
+
+  // The pool survives a cancelled tenant: the next job runs normally.
+  const svc::JobResult next = service.wait(service.submit(halo_spec()));
+  EXPECT_EQ(next.state, svc::JobState::succeeded) << next.error;
+}
+
+TEST(Service, CancelRacingCompletionAlwaysTerminates) {
+  // Fire cancels at jobs short enough that completion often wins: every
+  // outcome must be a clean terminal state (succeeded or cancelled, never a
+  // hang or a third state), and the service must stay healthy throughout.
+  svc::Service service(small_service(2));
+  for (int round = 0; round < 12; ++round) {
+    svc::JobSpec spec;
+    spec.kind = svc::JobKind::halo;
+    spec.nranks = 2;
+    spec.iterations = 1 + round % 3;
+    const std::uint64_t id = service.submit(spec);
+    service.cancel(id);
+    const svc::JobResult r = service.wait(id);
+    EXPECT_TRUE(r.state == svc::JobState::succeeded ||
+                r.state == svc::JobState::cancelled)
+        << to_string(r.state) << ": " << r.error;
+    if (r.state == svc::JobState::cancelled) {
+      EXPECT_EQ(r.status, Status::cancelled);
+    }
+  }
+  const svc::JobResult last = service.wait(service.submit(halo_spec()));
+  EXPECT_EQ(last.state, svc::JobState::succeeded) << last.error;
+}
+
+TEST(Service, DeadlineCancelsOverdueJob) {
+  svc::Service service(small_service(1));
+  svc::JobSpec spec;
+  spec.kind = svc::JobKind::chaos;
+  spec.nranks = 2;
+  spec.iterations = 200000;
+  spec.deadline_s = 0.05;
+  const svc::JobResult r = service.wait(service.submit(spec));
+  EXPECT_EQ(r.state, svc::JobState::cancelled) << r.error;
+  EXPECT_EQ(r.status, Status::cancelled);
+}
+
+TEST(Service, PerJobCounterNamespacesAreIsolated) {
+  obs::Registry& reg = obs::Registry::instance();
+  svc::Service service(small_service(2));
+  const std::uint64_t a = service.submit(halo_spec(3));
+  const std::uint64_t b = service.submit(halo_spec(6));
+  const svc::JobResult ra = service.wait(a);
+  const svc::JobResult rb = service.wait(b);
+  ASSERT_EQ(ra.state, svc::JobState::succeeded) << ra.error;
+  ASSERT_EQ(rb.state, svc::JobState::succeeded) << rb.error;
+  ASSERT_GT(rb.usage.messages, ra.usage.messages);
+
+  const std::string pa = "job." + std::to_string(a) + ".";
+  const std::string pb = "job." + std::to_string(b) + ".";
+  std::uint64_t va = 0;
+  std::uint64_t vb = 0;
+  ASSERT_TRUE(reg.value(pa + "messages", va));
+  ASSERT_TRUE(reg.value(pb + "messages", vb));
+  EXPECT_EQ(va, ra.usage.messages);
+  EXPECT_EQ(vb, rb.usage.messages);
+  EXPECT_NE(va, vb) << "tenants must not share a metric namespace";
+}
+
+TEST(Service, WaitUnknownJobThrowsTyped) {
+  svc::Service service(small_service());
+  try {
+    service.wait(999);
+    FAIL() << "wait(999) must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status(), Status::invalid_job);
+  }
+}
+
+TEST(ServiceCApi, JobRoundTrip) {
+  ASSERT_EQ(clmpiServiceStart(2, 8), CL_SUCCESS);
+  EXPECT_EQ(clmpiServiceStart(2, 8), CL_INVALID_OPERATION);
+
+  clmpi_job_desc desc{};
+  desc.kind = CLMPI_JOB_KIND_HALO;
+  desc.nranks = 2;
+  desc.iterations = 3;
+  cl_int err = CL_INVALID_OPERATION;
+  const clmpi_job job = clmpiSubmitJob(&desc, &err);
+  ASSERT_EQ(err, CL_SUCCESS);
+  ASSERT_NE(job, 0u);
+
+  clmpi_job_result result{};
+  ASSERT_EQ(clmpiWaitJob(job, &result), CL_SUCCESS);
+  EXPECT_EQ(result.state, CLMPI_JOB_SUCCEEDED);
+  EXPECT_EQ(result.status, CL_SUCCESS);
+  EXPECT_GT(result.makespan_s, 0.0);
+  EXPECT_NE(result.trace_hash, 0u);
+  EXPECT_GT(result.messages, 0u);
+
+  EXPECT_EQ(clmpiCancelJob(job), CLMPI_CANCELLED);
+  EXPECT_EQ(clmpiJobCounters(job, &result), CL_SUCCESS);
+  EXPECT_EQ(clmpiWaitJob(7777, &result), CLMPI_INVALID_JOB);
+
+  desc.nranks = 16;
+  desc.quota_max_ranks = 2;
+  EXPECT_EQ(clmpiSubmitJob(&desc, &err), 0u);
+  EXPECT_EQ(err, CLMPI_QUOTA_EXCEEDED);
+
+  ASSERT_EQ(clmpiServiceStop(), CL_SUCCESS);
+  EXPECT_EQ(clmpiServiceStop(), CL_INVALID_OPERATION);
+}
+
+}  // namespace

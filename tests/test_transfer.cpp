@@ -70,7 +70,7 @@ INSTANTIATE_TEST_SUITE_P(
                       StrategyCase{"mapped", Strategy::mapped()},
                       StrategyCase{"pipelined1M", Strategy::pipelined(1_MiB)},
                       StrategyCase{"pipelined4M", Strategy::pipelined(4_MiB)}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& suite_info) { return suite_info.param.name; });
 
 TEST(HostDevice, HostSendsToDeviceWithMatchingDecomposition) {
   // Host memory on rank 0, device buffer on rank 1; both sides pipelined
